@@ -1,0 +1,229 @@
+// Command ecs-experiments regenerates the paper's experimental artifacts:
+// the Figure 5 series (Section 5), the Theorem 1/2/4 round-complexity
+// sweeps, the Theorem 5/6 lower-bound sweeps, and the Theorem 7
+// stochastic-dominance audit.
+//
+// Usage:
+//
+//	ecs-experiments -exp all -scale 10 -trials 3
+//	ecs-experiments -exp fig5-zeta -scale 1 -trials 10   # paper-scale
+//	ecs-experiments -exp lb-equal -n 1024
+//
+// -scale divides the paper's input sizes (10,000–200,000; zeta
+// 1,000–20,000); -scale 1 -trials 10 reproduces Section 5 exactly, at the
+// cost of minutes of runtime.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"ecsort/internal/dist"
+	"ecsort/internal/harness"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: all | fig5-uniform | fig5-geometric | fig5-poisson | fig5-zeta | fig1 | rounds-cr | rounds-er | rounds-const | lb-equal | lb-smallest | dominance | zeta-exponent | procs | profile")
+		scale  = flag.Int("scale", 10, "divide the paper's input sizes by this factor")
+		trials = flag.Int("trials", 3, "trials per input size (paper: 10)")
+		n      = flag.Int("n", 1024, "input size for lower-bound and dominance experiments")
+		seed   = flag.Int64("seed", 2016, "random seed")
+		csvDir = flag.String("csv", "", "also write raw observations as CSV files into this directory")
+	)
+	flag.Parse()
+
+	writeCSV := func(name string, write func(io.Writer) error) error {
+		if *csvDir == "" {
+			return nil
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return write(f)
+	}
+
+	run := func(name string) error {
+		switch name {
+		case "fig5-uniform", "fig5-geometric", "fig5-poisson", "fig5-zeta":
+			family := name[len("fig5-"):]
+			panel, err := harness.RunFig5Panel(family, *scale, *trials, *seed)
+			if err != nil {
+				return err
+			}
+			if err := writeCSV(name, func(w io.Writer) error {
+				return harness.WriteFig5CSV(w, panel)
+			}); err != nil {
+				return err
+			}
+			return harness.RenderFig5(os.Stdout, panel)
+		case "zeta-exponent":
+			ss := []float64{1.1, 1.2, 1.4, 1.6, 1.8, 2.0, 2.2, 2.5, 3.0}
+			sizes := harness.PaperSizes(true, *scale)
+			sweep, err := harness.RunZetaExponentSweep(ss, sizes, *trials, *seed)
+			if err != nil {
+				return err
+			}
+			if err := writeCSV(name, func(w io.Writer) error {
+				return harness.WriteZetaExponentCSV(w, sweep)
+			}); err != nil {
+				return err
+			}
+			return harness.RenderZetaExponents(os.Stdout, sweep)
+		case "fig1":
+			for _, tc := range []struct{ n, k int }{{1 << 14, 2}, {1 << 17, 4}, {1 << 20, 8}} {
+				if err := harness.RenderFigure1(os.Stdout, tc.n, tc.k, harness.Figure1Schedule(tc.n, tc.k)); err != nil {
+					return err
+				}
+			}
+			return nil
+		case "rounds-cr":
+			for _, k := range []int{2, 4, 8, 16} {
+				s, err := harness.RunRoundsCR(k, scaledSizes(*scale), *seed)
+				if err != nil {
+					return err
+				}
+				if err := harness.RenderRounds(os.Stdout, s,
+					fmt.Sprintf("Theorem 1: O(k + log log n) rounds; k=%d, expect a flat column", k)); err != nil {
+					return err
+				}
+			}
+			return nil
+		case "rounds-er":
+			for _, k := range []int{2, 4, 8} {
+				s, err := harness.RunRoundsER(k, scaledSizes(*scale), *seed)
+				if err != nil {
+					return err
+				}
+				if err := harness.RenderRounds(os.Stdout, s,
+					fmt.Sprintf("Theorem 2: O(k log n) rounds; k=%d, expect rounds ∝ log n", k)); err != nil {
+					return err
+				}
+			}
+			return nil
+		case "rounds-const":
+			for _, lambda := range []float64{0.1, 0.2, 0.3} {
+				k := int(1 / lambda)
+				s, err := harness.RunRoundsConst(lambda, 8, k, scaledSizes(*scale), *seed)
+				if err != nil {
+					return err
+				}
+				if err := harness.RenderRounds(os.Stdout, s,
+					fmt.Sprintf("Theorem 4: O(1) rounds for ℓ ≥ λn; λ=%.2f, expect a flat column", lambda)); err != nil {
+					return err
+				}
+			}
+			return nil
+		case "profile":
+			for _, algo := range []string{"cr", "er", "const"} {
+				prof, err := harness.RunRoundProfile(algo, min(*n, 4096), 4, *seed)
+				if err != nil {
+					return err
+				}
+				if err := harness.RenderRoundProfile(os.Stdout, prof); err != nil {
+					return err
+				}
+			}
+			return nil
+		case "procs":
+			procs := []int{*n, *n / 4, *n / 16, *n / 64}
+			points, err := harness.RunProcessorSweep(*n, 8, procs, *seed)
+			if err != nil {
+				return err
+			}
+			return harness.RenderProcs(os.Stdout, *n, 8, points)
+		case "lb-equal":
+			fs := divisorsUpTo(*n, 64)
+			s, err := harness.RunAdversaryEqual(*n, fs)
+			if err != nil {
+				return err
+			}
+			if err := writeCSV(name, func(w io.Writer) error {
+				return harness.WriteLBCSV(w, s)
+			}); err != nil {
+				return err
+			}
+			return harness.RenderLB(os.Stdout, s)
+		case "lb-smallest":
+			var ls []int
+			for l := 2; l <= *n/4; l *= 2 {
+				ls = append(ls, l)
+			}
+			s, err := harness.RunAdversarySmallest(*n, ls)
+			if err != nil {
+				return err
+			}
+			return harness.RenderLB(os.Stdout, s)
+		case "dominance":
+			for _, d := range []dist.Distribution{
+				dist.NewUniform(10), dist.NewUniform(100),
+				dist.NewGeometric(0.5), dist.NewGeometric(0.02),
+				dist.NewPoisson(1), dist.NewPoisson(25),
+				dist.NewZeta(1.1), dist.NewZeta(2.5),
+			} {
+				rep, err := harness.RunDominance(d, *n, *trials, *seed)
+				if err != nil {
+					return err
+				}
+				if err := harness.RenderDominance(os.Stdout, rep); err != nil {
+					return err
+				}
+			}
+			return nil
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{
+			"fig1",
+			"zeta-exponent",
+			"fig5-uniform", "fig5-geometric", "fig5-poisson", "fig5-zeta",
+			"rounds-cr", "rounds-er", "rounds-const",
+			"procs", "profile",
+			"lb-equal", "lb-smallest",
+			"dominance",
+		}
+	}
+	for _, name := range names {
+		fmt.Printf("\n######## experiment: %s ########\n", name)
+		if err := run(name); err != nil {
+			fmt.Fprintln(os.Stderr, "ecs-experiments:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// scaledSizes picks a geometric size ladder for the round experiments,
+// shrunk by scale.
+func scaledSizes(scale int) []int {
+	base := []int{1 << 12, 1 << 14, 1 << 16, 1 << 18}
+	out := make([]int, 0, len(base))
+	for _, b := range base {
+		s := b / scale
+		if s < 16 {
+			s = 16
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// divisorsUpTo lists divisors f of n with 2 ≤ f ≤ cap, for the equal-size
+// sweep.
+func divisorsUpTo(n, cap int) []int {
+	var out []int
+	for f := 2; f <= cap && f <= n/2; f++ {
+		if n%f == 0 {
+			out = append(out, f)
+		}
+	}
+	return out
+}

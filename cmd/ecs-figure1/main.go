@@ -1,0 +1,34 @@
+// Command ecs-figure1 prints the Figure 1 table of the paper for a given
+// n and k: iteration by iteration, how the two-phase CR algorithm merges
+// answers, how many processors each answer owns, and how many physical
+// rounds each iteration costs.
+//
+// Usage:
+//
+//	ecs-figure1 -n 1048576 -k 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ecsort/internal/harness"
+)
+
+func main() {
+	var (
+		n = flag.Int("n", 1<<20, "number of elements")
+		k = flag.Int("k", 8, "number of equivalence classes")
+	)
+	flag.Parse()
+	if *n < 1 || *k < 1 {
+		fmt.Fprintln(os.Stderr, "ecs-figure1: n and k must be positive")
+		os.Exit(1)
+	}
+	rows := harness.Figure1Schedule(*n, *k)
+	if err := harness.RenderFigure1(os.Stdout, *n, *k, rows); err != nil {
+		fmt.Fprintln(os.Stderr, "ecs-figure1:", err)
+		os.Exit(1)
+	}
+}

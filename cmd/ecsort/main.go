@@ -1,0 +1,167 @@
+// Command ecsort runs one equivalence class sorting algorithm on a
+// synthetic input and reports the classes found and the cost in Valiant's
+// parallel comparison model.
+//
+// Usage:
+//
+//	ecsort -algo cr   -n 100000 -k 25
+//	ecsort -algo er   -n 50000 -dist zeta -param 2.0
+//	ecsort -algo const -n 20000 -k 3 -lambda 0.2
+//	ecsort -algo rr   -n 100000 -dist geometric -param 0.1
+//	ecsort -algo naive -n 10000 -k 10 -oracle handshake
+//
+// The -oracle flag picks the comparison mechanism: plain labels (fast),
+// simulated secret handshakes (HMAC challenge–response between agent
+// goroutines), simulated fault diagnosis, or graph isomorphism.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"ecsort"
+)
+
+func main() {
+	var (
+		algo    = flag.String("algo", "cr", "algorithm: cr | er | const | rr | naive")
+		n       = flag.Int("n", 10000, "number of elements")
+		k       = flag.Int("k", 10, "number of classes (uniform inputs; also SortCR's k hint)")
+		distKin = flag.String("dist", "uniform", "class distribution: uniform | geometric | poisson | zeta")
+		param   = flag.Float64("param", 0, "distribution parameter (p, λ, or s); 0 = default")
+		lambda  = flag.Float64("lambda", 0.2, "const algorithm: smallest class fraction λ")
+		d       = flag.Int("d", 0, "const algorithm: Hamiltonian cycles (0 = theory constant)")
+		oracleK = flag.String("oracle", "label", "oracle: label | handshake | fault | graphiso | graphiso-cached | agents")
+		seed    = flag.Int64("seed", 1, "random seed")
+		verbose = flag.Bool("v", false, "print every class")
+		certify = flag.Bool("certify", false, "re-verify the answer with a minimal certificate schedule")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	dist, err := pickDistribution(*distKin, *k, *param)
+	if err != nil {
+		fatal(err)
+	}
+	labels := ecsort.SampleLabels(dist, *n, rng)
+
+	oracle, err := pickOracle(*oracleK, labels, *seed, rng)
+	if err != nil {
+		fatal(err)
+	}
+
+	var res ecsort.Result
+	switch *algo {
+	case "cr":
+		res, err = ecsort.SortCR(oracle, *k, ecsort.Config{})
+	case "er":
+		res, err = ecsort.SortER(oracle, ecsort.Config{})
+	case "const":
+		res, err = ecsort.SortConstRoundER(oracle, ecsort.ConstRoundOptions{
+			Lambda: *lambda, D: *d, MaxRetries: 5, Seed: *seed,
+		}, ecsort.Config{})
+	case "rr":
+		res, err = ecsort.SortRoundRobin(oracle, ecsort.Config{})
+	case "naive":
+		res, err = ecsort.SortNaive(oracle, ecsort.Config{})
+	default:
+		err = fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("algorithm:    %s\n", *algo)
+	fmt.Printf("oracle:       %s\n", *oracleK)
+	fmt.Printf("input:        n=%d, %s\n", *n, dist.Name())
+	fmt.Printf("classes:      %d\n", res.NumClasses())
+	fmt.Printf("comparisons:  %d\n", res.Stats.Comparisons)
+	fmt.Printf("rounds:       %d\n", res.Stats.Rounds)
+	fmt.Printf("widest round: %d comparisons\n", res.Stats.MaxRoundSize)
+	if correct := ecsort.SameClassification(res.Labels(*n), labels); correct {
+		fmt.Printf("verified:     classification matches ground truth\n")
+	} else {
+		fmt.Printf("verified:     MISMATCH against ground truth\n")
+		os.Exit(1)
+	}
+	if *certify {
+		if cerr := ecsort.Certify(oracle, res.Classes, ecsort.Config{}); cerr != nil {
+			fmt.Printf("certificate:  REJECTED: %v\n", cerr)
+			os.Exit(1)
+		}
+		fmt.Printf("certificate:  accepted (n−k+C(k,2) extra tests)\n")
+	}
+	if *verbose {
+		for i, c := range res.Canonical() {
+			fmt.Printf("class %d (%d members): %v\n", i, len(c), c)
+		}
+	}
+}
+
+func pickDistribution(kind string, k int, param float64) (ecsort.Distribution, error) {
+	switch kind {
+	case "uniform":
+		return ecsort.NewUniform(k), nil
+	case "geometric":
+		if param == 0 {
+			param = 0.5
+		}
+		return ecsort.NewGeometric(param), nil
+	case "poisson":
+		if param == 0 {
+			param = 5
+		}
+		return ecsort.NewPoisson(param), nil
+	case "zeta":
+		if param == 0 {
+			param = 2
+		}
+		return ecsort.NewZeta(param), nil
+	default:
+		return nil, fmt.Errorf("unknown distribution %q", kind)
+	}
+}
+
+func pickOracle(kind string, labels []int, seed int64, rng *rand.Rand) (ecsort.Oracle, error) {
+	switch kind {
+	case "label":
+		return ecsort.NewLabelOracle(labels), nil
+	case "handshake":
+		return ecsort.NewHandshakeOracle(labels, seed), nil
+	case "fault":
+		// Realize each class label as a distinct worm-state bitmask.
+		states := make([]uint64, len(labels))
+		for i, l := range labels {
+			states[i] = uint64(l) * 0x9e3779b97f4a7c15 // distinct per class
+		}
+		return ecsort.NewFaultOracle(states), nil
+	case "graphiso":
+		if len(labels) > 2000 {
+			return nil, fmt.Errorf("graphiso oracle capped at n=2000 (each test is an isomorphism search)")
+		}
+		return ecsort.RandomGraphCollection(labels, 10, rng), nil
+	case "graphiso-cached":
+		if len(labels) > 20000 {
+			return nil, fmt.Errorf("graphiso-cached oracle capped at n=20000")
+		}
+		plain := ecsort.RandomGraphCollection(labels, 10, rng)
+		graphs := make([]*ecsort.Graph, plain.N())
+		for i := range graphs {
+			graphs[i] = plain.Graph(i)
+		}
+		return ecsort.NewGraphIsoCachedOracle(graphs), nil
+	case "agents":
+		// A live distributed network: every comparison is a real
+		// two-goroutine protocol session.
+		return ecsort.NewAgentNetwork(ecsort.KeyAgents(labels, seed)), nil
+	default:
+		return nil, fmt.Errorf("unknown oracle %q", kind)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ecsort:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,407 @@
+// Package ecsort implements parallel equivalence class sorting: grouping n
+// elements into their equivalence classes when the only available
+// operation is a pairwise equivalence test ("are these two in the same
+// class?") and no total order exists.
+//
+// It is a faithful implementation of Devanny, Goodrich, and Jetviroj,
+// "Parallel Equivalence Class Sorting: Algorithms, Lower Bounds, and
+// Distribution-Based Analysis" (SPAA 2016), in Valiant's parallel
+// comparison model:
+//
+//   - SortCR — O(k + log log n) rounds in the concurrent-read model
+//     (Theorem 1), via the two-phase compounding-comparison technique.
+//   - SortER — O(k log n) rounds in the exclusive-read model (Theorem 2).
+//   - SortConstRoundER — O(1) rounds in the exclusive-read model when the
+//     smallest class has at least λn elements (Theorem 4), built on
+//     unions of random Hamiltonian cycles.
+//   - SortRoundRobin — the sequential round-robin regimen of Jayapaul et
+//     al., whose comparison count the distribution-based analysis of the
+//     paper's Section 4 bounds.
+//   - SortNaive — the obvious sequential baseline.
+//
+// Inputs are abstracted as an Oracle: anything that can answer Same(i, j)
+// for elements 0..N()-1. The package ships oracles for the paper's three
+// motivating applications — cryptographic secret handshakes, generalized
+// fault (malware-state) diagnosis, and graph mining by isomorphism — plus
+// a plain label oracle and the paper's Section 3 lower-bound adversaries,
+// which are adaptive oracles that force any algorithm to spend Ω(n²/f)
+// comparisons.
+//
+// Costs are accounted in Valiant's model: only equivalence tests count,
+// grouped into parallel rounds. Result.Stats reports total comparisons,
+// rounds, and the widest round.
+package ecsort
+
+import (
+	"math/rand"
+
+	"ecsort/internal/adversary"
+	"ecsort/internal/agents"
+	"ecsort/internal/core"
+	"ecsort/internal/dist"
+	"ecsort/internal/majority"
+	"ecsort/internal/model"
+	"ecsort/internal/oracle"
+)
+
+// Oracle answers equivalence tests over elements 0..N()-1. Implementations
+// must be safe for concurrent use; parallel rounds may issue tests from
+// several goroutines.
+type Oracle = model.Oracle
+
+// Mode selects the read-concurrency rule of the comparison model.
+type Mode = model.Mode
+
+// Comparison model variants.
+const (
+	// ER (exclusive read): each element joins at most one comparison per
+	// round — elements perform the tests themselves (secret handshakes,
+	// fault probes).
+	ER = model.ER
+	// CR (concurrent read): an element may join many comparisons per
+	// round — elements are passive objects (graphs under isomorphism
+	// tests).
+	CR = model.CR
+)
+
+// Pair is a single equivalence test between two elements.
+type Pair = model.Pair
+
+// Stats is the cost of a run in Valiant's model.
+type Stats = model.Stats
+
+// Result is a completed sort: the equivalence classes plus the cost that
+// produced them.
+type Result = core.Result
+
+// Session executes comparison rounds against an oracle with full cost
+// accounting; use it to build custom algorithms on the same substrate.
+type Session = model.Session
+
+// Config tunes session execution. The zero value is ready to use.
+type Config struct {
+	// Processors caps comparisons per physical round (Valiant's p).
+	// 0 means n, the paper's setting.
+	Processors int
+	// Workers is the number of goroutines executing each round.
+	// 0 means GOMAXPROCS. Use 1 with order-sensitive oracles
+	// (adversaries).
+	Workers int
+}
+
+func (c Config) options() []model.Option {
+	var opts []model.Option
+	if c.Processors > 0 {
+		opts = append(opts, model.Processors(c.Processors))
+	}
+	if c.Workers > 0 {
+		opts = append(opts, model.Workers(c.Workers))
+	}
+	return opts
+}
+
+// NewSession creates a cost-accounting session in the given mode.
+func NewSession(o Oracle, mode Mode, cfg Config) *Session {
+	return model.NewSession(o, mode, cfg.options()...)
+}
+
+// SortCR sorts in the concurrent-read model in O(k + log log n) parallel
+// rounds with n processors (Theorem 1). k must be the number of classes
+// or an upper bound; correctness holds for any k ≥ 1 (k only steers the
+// round schedule).
+func SortCR(o Oracle, k int, cfg Config) (Result, error) {
+	return core.SortCR(NewSession(o, CR, cfg), k)
+}
+
+// SortER sorts in the exclusive-read model in O(k log n) parallel rounds
+// with n processors (Theorem 2). It needs no knowledge of k.
+func SortER(o Oracle, cfg Config) (Result, error) {
+	return core.SortER(NewSession(o, ER, cfg))
+}
+
+// ConstRoundOptions configures SortConstRoundER.
+type ConstRoundOptions struct {
+	// Lambda is the guaranteed lower bound on (smallest class size)/n,
+	// in (0, 0.4]. Required. If unknown, start at 0.4 and halve on
+	// ErrConstRoundFailed, as the paper suggests.
+	Lambda float64
+	// D overrides the number of random Hamiltonian cycles; 0 selects
+	// the theory constant d(λ), which is safe but pessimistic.
+	D int
+	// MaxRetries redraws the random graph after a failure.
+	MaxRetries int
+	// Seed drives the random cycles.
+	Seed int64
+}
+
+// ErrConstRoundFailed is returned by SortConstRoundER when the randomized
+// algorithm could not classify every element — in practice, when Lambda
+// overestimates ℓ/n.
+var ErrConstRoundFailed = core.ErrConstRoundFailed
+
+// SortConstRoundER sorts in the exclusive-read model in O(1) parallel
+// rounds with n processors, provided every class has at least
+// Lambda·n elements (Theorem 4).
+func SortConstRoundER(o Oracle, opt ConstRoundOptions, cfg Config) (Result, error) {
+	return core.SortConstRoundER(NewSession(o, ER, cfg), core.ConstRoundConfig{
+		Lambda:     opt.Lambda,
+		D:          opt.D,
+		MaxRetries: opt.MaxRetries,
+		Rng:        rand.New(rand.NewSource(opt.Seed)),
+	})
+}
+
+// SortCRUnknownK sorts in the concurrent-read model with no prior
+// knowledge of k, adapting the compounding schedule to the largest class
+// count observed so far. Rounds match SortCR's asymptotics.
+func SortCRUnknownK(o Oracle, cfg Config) (Result, error) {
+	return core.SortCRUnknownK(NewSession(o, CR, cfg))
+}
+
+// ErrAdaptiveExhausted is returned by SortConstRoundERAdaptive when
+// halving λ reached its floor without success.
+var ErrAdaptiveExhausted = core.ErrAdaptiveExhausted
+
+// SortConstRoundERAdaptive runs the Theorem 4 algorithm without knowing
+// λ, halving a starting guess after every failure (the paper's remark).
+// It returns the λ that succeeded alongside the result.
+func SortConstRoundERAdaptive(o Oracle, opt ConstRoundOptions, cfg Config) (Result, float64, error) {
+	return core.SortConstRoundERAdaptive(NewSession(o, ER, cfg), core.AdaptiveConstRoundConfig{
+		StartLambda: opt.Lambda,
+		D:           opt.D,
+		MaxRetries:  opt.MaxRetries,
+		Rng:         rand.New(rand.NewSource(opt.Seed)),
+	})
+}
+
+// SortTwoClassER sorts inputs promised to have at most two classes in
+// O(1) ER rounds, with no lower bound on the smaller class — the k = 2
+// case the paper's conclusion notes follows from classic parallel fault
+// diagnosis. If the two-class promise might be false, Certify the result.
+func SortTwoClassER(o Oracle, maxRetries int, seed int64, cfg Config) (Result, error) {
+	return core.SortTwoClassER(NewSession(o, ER, cfg), maxRetries, rand.New(rand.NewSource(seed)))
+}
+
+// Majority finds an element of the strict-majority class (> n/2 members)
+// with ≤ 2(n−1) equivalence tests (Boyer–Moore MJRTY + verification),
+// returning the candidate, its exact class size, and whether it is a
+// strict majority — one of the related problems (Section 1.1) this
+// substrate solves directly.
+func Majority(o Oracle, cfg Config) (candidate, size int, isMajority bool) {
+	return majority.Majority(NewSession(o, ER, cfg))
+}
+
+// LargestClass finds an element of the largest equivalence class (the
+// comparison-model "mode") and its size.
+func LargestClass(o Oracle, cfg Config) (candidate, size int) {
+	return majority.Mode(NewSession(o, ER, cfg))
+}
+
+// SortRoundRobin runs the sequential round-robin regimen of Jayapaul et
+// al. — the algorithm whose total comparisons Section 4 of the paper
+// bounds distribution by distribution. Comparisons are charged one per
+// round.
+func SortRoundRobin(o Oracle, cfg Config) (Result, error) {
+	return core.RoundRobin(NewSession(o, ER, cfg))
+}
+
+// SortNaive runs the sequential one-representative-per-class baseline
+// (≤ n·k comparisons).
+func SortNaive(o Oracle, cfg Config) (Result, error) {
+	return core.Naive(NewSession(o, ER, cfg))
+}
+
+// SameClassification reports whether two labelings induce the same
+// partition, ignoring label values.
+func SameClassification(a, b []int) bool { return core.SameClassification(a, b) }
+
+// Certify verifies a claimed classification against an oracle with the
+// minimum certificate: each element against its class representative plus
+// all representative pairs — n−k+(k choose 2) tests in shared ER rounds.
+// It returns nil iff the classes are correct and complete.
+func Certify(o Oracle, classes [][]int, cfg Config) error {
+	return core.Certify(NewSession(o, ER, cfg), classes)
+}
+
+// Recorder wraps an oracle and keeps a transcript of every test — useful
+// for debugging custom algorithms (e.g. detecting repeated pairs). Use
+// with Config{Workers: 1} for an ordered transcript.
+type Recorder = model.Recorder
+
+// NewRecorder wraps an oracle with a recording layer.
+func NewRecorder(o Oracle) *Recorder { return model.NewRecorder(o) }
+
+// Incremental maintains a complete classification while elements arrive
+// over time, folding buffered arrivals in with single compounding rounds
+// (the online counterpart of SortCR).
+type Incremental = core.Incremental
+
+// NewIncremental creates an incremental sorter over the oracle's
+// universe; elements are classified as they are Added.
+func NewIncremental(o Oracle, cfg Config) (*Incremental, error) {
+	return core.NewIncremental(NewSession(o, CR, cfg))
+}
+
+//
+// Oracles.
+//
+
+// LabelOracle answers from explicit class labels.
+type LabelOracle = oracle.Label
+
+// NewLabelOracle builds an oracle where elements i and j are equivalent
+// iff labels[i] == labels[j].
+func NewLabelOracle(labels []int) *LabelOracle { return oracle.NewLabel(labels) }
+
+// HandshakeOracle simulates cryptographic secret handshakes: each test
+// runs an HMAC-SHA256 challenge–response between two agent goroutines.
+type HandshakeOracle = oracle.Handshake
+
+// NewHandshakeOracle enrolls agents into groups given by labels; agents
+// in one group share a key derived from a master secret seeded by seed.
+func NewHandshakeOracle(labels []int, seed int64) *HandshakeOracle {
+	return oracle.NewHandshake(labels, seed)
+}
+
+// FaultOracle simulates generalized fault diagnosis over hidden malware
+// states (worm-infection bitmasks).
+type FaultOracle = oracle.Fault
+
+// NewFaultOracle builds the oracle from explicit worm bitmasks.
+func NewFaultOracle(states []uint64) *FaultOracle { return oracle.NewFault(states) }
+
+// RandomInfections infects n machines with numWorms worms independently
+// with probability p each.
+func RandomInfections(n, numWorms int, p float64, rng *rand.Rand) *FaultOracle {
+	return oracle.RandomInfections(n, numWorms, p, rng)
+}
+
+// Graph is a small simple undirected graph for the graph-mining oracle.
+type Graph = oracle.Graph
+
+// NewGraph returns an empty graph on n vertices.
+func NewGraph(n int) *Graph { return oracle.NewGraph(n) }
+
+// Isomorphic decides graph isomorphism (WL refinement + backtracking).
+func Isomorphic(a, b *Graph) bool { return oracle.Isomorphic(a, b) }
+
+// GraphIsoOracle classifies a collection of graphs by isomorphism.
+type GraphIsoOracle = oracle.GraphIso
+
+// NewGraphIsoOracle wraps a graph collection.
+func NewGraphIsoOracle(graphs []*Graph) *GraphIsoOracle { return oracle.NewGraphIso(graphs) }
+
+// RandomGraphCollection realizes class labels as permuted copies of
+// pairwise non-isomorphic random base graphs on `vertices` vertices.
+func RandomGraphCollection(labels []int, vertices int, rng *rand.Rand) *GraphIsoOracle {
+	return oracle.RandomGraphCollection(labels, vertices, rng)
+}
+
+// CanonicalCertificate returns a canonical-form string for g: two graphs
+// are isomorphic iff their certificates are equal (WL refinement +
+// branch-and-bound minimal adjacency encoding).
+func CanonicalCertificate(g *Graph) string { return oracle.Canonical(g) }
+
+// GraphIsoCachedOracle is the graph-mining oracle with canonical-form
+// caching: one certificate per graph up front, then every test is a
+// string comparison — the practical engine for large mining workloads.
+type GraphIsoCachedOracle = oracle.GraphIsoCached
+
+// NewGraphIsoCachedOracle wraps a collection, precomputing certificates.
+func NewGraphIsoCachedOracle(graphs []*Graph) *GraphIsoCachedOracle {
+	return oracle.NewGraphIsoCached(graphs)
+}
+
+//
+// Distributed agent networks (the ER model's physical reality).
+//
+
+// Agent is one autonomous participant in a distributed equivalence
+// protocol; see AgentNetwork.
+type Agent = agents.Agent
+
+// AgentNetwork simulates n message-passing agents; it executes whole
+// comparison rounds as concurrent pairwise protocol sessions and
+// physically enforces the one-handshake-per-agent-per-round ER rule.
+type AgentNetwork = agents.Network
+
+// NewAgentNetwork wraps a roster of agents.
+func NewAgentNetwork(roster []Agent) *AgentNetwork { return agents.NewNetwork(roster) }
+
+// KeyAgents builds secret-handshake agents: one HMAC group key per
+// distinct label, derived from masterSeed.
+func KeyAgents(labels []int, masterSeed int64) []Agent {
+	return agents.GroupKeys(labels, masterSeed)
+}
+
+// StateAgents builds fault-diagnosis agents comparing private state
+// values via salted digests.
+func StateAgents(states []uint64) []Agent { return agents.StateRoster(states) }
+
+// NewAgentSession creates an ER session whose rounds execute on the
+// network — each comparison is a real two-goroutine protocol run. Every
+// ER algorithm accepts the returned session; for the packaged sorts, pass
+// the network itself as the Oracle and route rounds with this session via
+// core algorithms, e.g.:
+//
+//	nw := ecsort.NewAgentNetwork(ecsort.KeyAgents(labels, seed))
+//	res, err := ecsort.SortERDistributed(nw, ecsort.Config{})
+func NewAgentSession(nw *AgentNetwork, cfg Config) *Session {
+	opts := append(cfg.options(), model.WithExecutor(nw))
+	return model.NewSession(nw, ER, opts...)
+}
+
+// SortERDistributed runs the Theorem 2 algorithm with every round
+// executed as concurrent protocol sessions on the network.
+func SortERDistributed(nw *AgentNetwork, cfg Config) (Result, error) {
+	return core.SortER(NewAgentSession(nw, cfg))
+}
+
+// SortRoundRobinDistributed runs the sequential regimen over the network
+// (one protocol session per comparison).
+func SortRoundRobinDistributed(nw *AgentNetwork, cfg Config) (Result, error) {
+	return core.RoundRobin(NewAgentSession(nw, cfg))
+}
+
+//
+// Distributions (Section 4).
+//
+
+// Distribution is a probability distribution over class indices ordered
+// most-to-least likely.
+type Distribution = dist.Distribution
+
+// NewUniform returns the uniform distribution on k classes.
+func NewUniform(k int) Distribution { return dist.NewUniform(k) }
+
+// NewGeometric returns the geometric distribution: class i has
+// probability pⁱ(1−p).
+func NewGeometric(p float64) Distribution { return dist.NewGeometric(p) }
+
+// NewPoisson returns the Poisson distribution with rate lambda.
+func NewPoisson(lambda float64) Distribution { return dist.NewPoisson(lambda) }
+
+// NewZeta returns the zeta (Zipf) distribution with exponent s > 1.
+func NewZeta(s float64) Distribution { return dist.NewZeta(s) }
+
+// SampleLabels draws n independent class labels from d.
+func SampleLabels(d Distribution, n int, rng *rand.Rand) []int {
+	return dist.Labels(d, n, rng)
+}
+
+//
+// Lower-bound adversaries (Section 3).
+//
+
+// Adversary is an adaptive oracle realizing the paper's lower bounds; run
+// algorithms against it with Config{Workers: 1}.
+type Adversary = adversary.Adversary
+
+// NewEqualSizeAdversary forces Ω(n²/f) comparisons on any algorithm when
+// every class must end with exactly f elements (Theorem 5). f must
+// divide n.
+func NewEqualSizeAdversary(n, f int) *Adversary { return adversary.NewEqualSize(n, f) }
+
+// NewSmallestClassAdversary forces Ω(n²/ℓ) comparisons before any
+// algorithm can identify a member of the smallest class (Theorem 6).
+func NewSmallestClassAdversary(n, l int) *Adversary { return adversary.NewSmallestClass(n, l) }

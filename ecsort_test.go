@@ -1,0 +1,254 @@
+package ecsort
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPublicSortersAgree runs every public entry point on one instance
+// and checks they produce the same partition.
+func TestPublicSortersAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	labels := SampleLabels(NewUniform(6), 200, rng)
+	o := NewLabelOracle(labels)
+
+	results := map[string]Result{}
+	var err error
+	if results["cr"], err = SortCR(o, 6, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if results["er"], err = SortER(o, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if results["rr"], err = SortRoundRobin(o, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if results["naive"], err = SortNaive(o, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	want := o.Labels()
+	for name, res := range results {
+		if !SameClassification(res.Labels(200), want) {
+			t.Errorf("%s: wrong classification", name)
+		}
+		if res.Stats.Comparisons == 0 {
+			t.Errorf("%s: zero comparisons recorded", name)
+		}
+	}
+}
+
+func TestPublicConstRound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	labels := SampleLabels(NewUniform(3), 150, rng)
+	o := NewLabelOracle(labels)
+	res, err := SortConstRoundER(o, ConstRoundOptions{Lambda: 0.2, D: 8, MaxRetries: 5, Seed: 3}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameClassification(res.Labels(150), o.Labels()) {
+		t.Fatal("wrong classification")
+	}
+}
+
+func TestPublicConstRoundFailure(t *testing.T) {
+	labels := make([]int, 100)
+	labels[0] = 1 // smallest class has 1 element; λ=0.4 is hopeless
+	o := NewLabelOracle(labels)
+	_, err := SortConstRoundER(o, ConstRoundOptions{Lambda: 0.4, D: 2, MaxRetries: 1, Seed: 4}, Config{})
+	if err != nil && !errors.Is(err, ErrConstRoundFailed) {
+		t.Fatalf("unexpected error type: %v", err)
+	}
+}
+
+// TestApplicationOraclesEndToEnd sorts with each motivating-application
+// oracle through the public API.
+func TestApplicationOraclesEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+
+	t.Run("secret handshakes", func(t *testing.T) {
+		labels := SampleLabels(NewUniform(4), 40, rng)
+		agents := NewHandshakeOracle(labels, 99)
+		res, err := SortER(agents, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !SameClassification(res.Labels(40), labels) {
+			t.Fatal("handshake sort wrong")
+		}
+	})
+
+	t.Run("fault diagnosis", func(t *testing.T) {
+		machines := RandomInfections(60, 3, 0.4, rng)
+		res, err := SortCR(machines, machines.NumStates(), Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !SameClassification(res.Labels(60), machines.TruthLabels()) {
+			t.Fatal("fault sort wrong")
+		}
+	})
+
+	t.Run("graph mining", func(t *testing.T) {
+		labels := SampleLabels(NewUniform(3), 24, rng)
+		graphs := RandomGraphCollection(labels, 8, rng)
+		res, err := SortCR(graphs, 3, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !SameClassification(res.Labels(24), labels) {
+			t.Fatal("graph sort wrong")
+		}
+	})
+}
+
+func TestPublicAdversary(t *testing.T) {
+	adv := NewEqualSizeAdversary(48, 4)
+	res, err := SortRoundRobin(adv, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Classes {
+		if len(c) != 4 {
+			t.Fatalf("adversary class size %d, want 4", len(c))
+		}
+	}
+	if res.Stats.Comparisons < int64(48*48/(64*4)) {
+		t.Fatalf("comparisons %d below Lemma 3 bound", res.Stats.Comparisons)
+	}
+	if err := adv.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigKnobs(t *testing.T) {
+	labels := SampleLabels(NewUniform(4), 64, rand.New(rand.NewSource(6)))
+	o := NewLabelOracle(labels)
+	tight, err := SortER(o, Config{Processors: 4, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := SortER(o, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Stats.Rounds <= loose.Stats.Rounds {
+		t.Errorf("4-processor run used %d rounds, full run %d — budget had no effect",
+			tight.Stats.Rounds, loose.Stats.Rounds)
+	}
+	if tight.Stats.MaxRoundSize > 4 {
+		t.Errorf("MaxRoundSize %d exceeds processor budget", tight.Stats.MaxRoundSize)
+	}
+}
+
+// TestPublicQuickAllOracles fuzzes the public API across oracle kinds.
+func TestPublicQuickAllOracles(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		k := 1 + rng.Intn(5)
+		labels := SampleLabels(NewUniform(k), n, rng)
+		o := NewLabelOracle(labels)
+		res, err := SortER(o, Config{})
+		if err != nil {
+			return false
+		}
+		return SameClassification(res.Labels(n), labels)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicTwoClassAndMajority(t *testing.T) {
+	// A 90/10 split: two-class constant-round sort, majority, and mode.
+	labels := make([]int, 100)
+	for i := 0; i < 10; i++ {
+		labels[i*7] = 1
+	}
+	o := NewLabelOracle(labels)
+
+	res, err := SortTwoClassER(o, 5, 3, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameClassification(res.Labels(100), labels) {
+		t.Fatal("two-class sort wrong")
+	}
+
+	cand, size, isMaj := Majority(o, Config{})
+	if !isMaj || size != 90 || labels[cand] != 0 {
+		t.Fatalf("majority: cand=%d size=%d maj=%v", cand, size, isMaj)
+	}
+
+	mc, ms := LargestClass(o, Config{})
+	if ms != 90 || labels[mc] != 0 {
+		t.Fatalf("largest class: cand=%d size=%d", mc, ms)
+	}
+}
+
+func TestDistributedSorts(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	n := 48
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = rng.Intn(3)
+	}
+
+	t.Run("key agents", func(t *testing.T) {
+		nw := NewAgentNetwork(KeyAgents(labels, 7))
+		res, err := SortERDistributed(nw, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !SameClassification(res.Labels(n), labels) {
+			t.Fatal("wrong classification")
+		}
+		if nw.Sessions() != res.Stats.Comparisons {
+			t.Fatalf("sessions %d != comparisons %d", nw.Sessions(), res.Stats.Comparisons)
+		}
+	})
+
+	t.Run("state agents", func(t *testing.T) {
+		states := make([]uint64, n)
+		for i, l := range labels {
+			states[i] = uint64(l) << 7
+		}
+		nw := NewAgentNetwork(StateAgents(states))
+		res, err := SortRoundRobinDistributed(nw, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !SameClassification(res.Labels(n), labels) {
+			t.Fatal("wrong classification")
+		}
+	})
+
+	t.Run("custom session over network", func(t *testing.T) {
+		nw := NewAgentNetwork(KeyAgents([]int{0, 0, 1, 1}, 3))
+		s := NewAgentSession(nw, Config{})
+		res, err := s.Round([]Pair{{A: 0, B: 1}, {A: 2, B: 3}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res[0] || !res[1] {
+			t.Fatal("wrong verdicts")
+		}
+	})
+}
+
+func TestCustomSession(t *testing.T) {
+	o := NewLabelOracle([]int{0, 0, 1, 1})
+	s := NewSession(o, ER, Config{})
+	res, err := s.Round([]Pair{{A: 0, B: 1}, {A: 2, B: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[0] || !res[1] {
+		t.Fatal("wrong answers")
+	}
+	if st := s.Stats(); st.Rounds != 1 || st.Comparisons != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,66 @@
+// Distribution-based analysis (Section 4): sample class assignments from
+// the paper's four distributions, sort with the round-robin regimen, and
+// check the Theorem 7 bound pathwise — comparisons never exceed
+// 2·Σ V̂ᵢ (+ n−1 within-class merges), where V̂ᵢ is element i's class
+// index capped at n.
+//
+//	go run ./examples/distributions
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"ecsort"
+)
+
+func main() {
+	const n = 5000
+	rng := rand.New(rand.NewSource(1605)) // arXiv month of the paper
+
+	dists := []ecsort.Distribution{
+		ecsort.NewUniform(10),
+		ecsort.NewUniform(100),
+		ecsort.NewGeometric(1.0 / 10),
+		ecsort.NewPoisson(5),
+		ecsort.NewZeta(2.5),
+		ecsort.NewZeta(1.5),
+	}
+
+	fmt.Printf("round-robin ECS on n=%d elements per distribution\n\n", n)
+	fmt.Printf("%-20s %12s %14s %8s %18s\n",
+		"distribution", "comparisons", "Thm 7 bound", "ratio", "2·n·E[D_N] (mean)")
+
+	for _, d := range dists {
+		labels := ecsort.SampleLabels(d, n, rng)
+		res, err := ecsort.SortRoundRobin(ecsort.NewLabelOracle(labels), ecsort.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var bound int64
+		for _, l := range labels {
+			v := l
+			if v > n {
+				v = n
+			}
+			bound += int64(v)
+		}
+		bound = 2*bound + int64(n-1)
+		if res.Stats.Comparisons > bound {
+			log.Fatalf("%s: Theorem 7 violated: %d > %d", d.Name(), res.Stats.Comparisons, bound)
+		}
+		mean := "diverges"
+		if m := d.Mean(); !math.IsInf(m, 1) {
+			mean = fmt.Sprintf("%.0f", 2*float64(n)*m)
+		}
+		fmt.Printf("%-20s %12d %14d %8.2f %18s\n",
+			d.Name(), res.Stats.Comparisons, bound,
+			float64(res.Stats.Comparisons)/float64(bound), mean)
+	}
+
+	fmt.Println("\nTheorems 8–9: the finite-mean distributions cost O(n) comparisons;")
+	fmt.Println("zeta with s ≤ 2 has divergent mean and visibly heavier cost — the")
+	fmt.Println("regime the paper leaves open.")
+}

@@ -1,0 +1,62 @@
+// Quickstart: sort 1,000 elements drawn from 8 hidden classes with every
+// algorithm in the library and compare their costs in Valiant's parallel
+// comparison model.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ecsort"
+)
+
+func main() {
+	const n, k = 1000, 8
+	rng := rand.New(rand.NewSource(42))
+
+	// Hidden ground truth: each element gets one of k classes uniformly.
+	labels := ecsort.SampleLabels(ecsort.NewUniform(k), n, rng)
+	oracle := ecsort.NewLabelOracle(labels)
+
+	fmt.Printf("equivalence class sorting: n=%d elements, k=%d hidden classes\n\n", n, k)
+	fmt.Printf("%-22s %12s %8s %12s\n", "algorithm", "comparisons", "rounds", "widest round")
+
+	show := func(name string, res ecsort.Result, err error) {
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		if !ecsort.SameClassification(res.Labels(n), labels) {
+			log.Fatalf("%s: wrong classification", name)
+		}
+		fmt.Printf("%-22s %12d %8d %12d\n",
+			name, res.Stats.Comparisons, res.Stats.Rounds, res.Stats.MaxRoundSize)
+	}
+
+	// Theorem 1: O(k + log log n) rounds, concurrent-read model.
+	res, err := ecsort.SortCR(oracle, k, ecsort.Config{})
+	show("SortCR (Thm 1)", res, err)
+
+	// Theorem 2: O(k log n) rounds, exclusive-read model.
+	res, err = ecsort.SortER(oracle, ecsort.Config{})
+	show("SortER (Thm 2)", res, err)
+
+	// Theorem 4: O(1) rounds when every class has ≥ λn elements.
+	// Uniform k=8 gives class sizes ≈ n/8, so λ = 0.1 is safe.
+	res, err = ecsort.SortConstRoundER(oracle, ecsort.ConstRoundOptions{
+		Lambda: 0.1, D: 10, MaxRetries: 5, Seed: 7,
+	}, ecsort.Config{})
+	show("SortConstRoundER (Thm 4)", res, err)
+
+	// The sequential baselines of the distribution-based analysis.
+	res, err = ecsort.SortRoundRobin(oracle, ecsort.Config{})
+	show("SortRoundRobin [12]", res, err)
+	res, err = ecsort.SortNaive(oracle, ecsort.Config{})
+	show("SortNaive", res, err)
+
+	fmt.Println("\nAll five algorithms recovered the same hidden classes.")
+	fmt.Println("Note the trade: SortCR spends the fewest rounds; the sequential")
+	fmt.Println("baselines spend one round per comparison but fewer comparisons total.")
+}

@@ -1,0 +1,543 @@
+// Package adversary implements the lower-bound constructions of Section 3
+// of the paper as adaptive oracles: they answer equivalence tests online
+// while maintaining a weighted equitable coloring of the knowledge graph,
+// so that any algorithm is forced to spend Ω(n²/f) comparisons when every
+// class has size f (Theorem 5) and Ω(n²/ℓ) comparisons to identify a
+// member of the smallest class (Theorem 6).
+//
+// The adversary keeps one vertex per fragment (set of elements it has
+// committed to being equivalent), colored so that each color class has a
+// fixed total weight. Unmarked vertices always have weight one. A
+// comparison is processed by the case analysis of Section 3:
+//
+//  1. an unmarked endpoint whose degree would exceed the threshold is
+//     marked "high element degree";
+//  2. if an endpoint is still unmarked and both endpoints share a color,
+//     the adversary tries to swap the unmarked endpoint's color with some
+//     other unmarked vertex, keeping the coloring proper;
+//  3. if no swap candidate exists, the whole color is marked "high color
+//     degree";
+//  4. finally the answer is read off the colors: both endpoints marked and
+//     same color → "equal" (fragments contract); otherwise → "not equal"
+//     (an edge is added).
+//
+// Because the adversary implements model.Oracle, the upper-bound
+// algorithms run against it unchanged; run them with model.Workers(1) so
+// answers are order-deterministic.
+package adversary
+
+import (
+	"fmt"
+	"sync"
+
+	"ecsort/internal/unionfind"
+)
+
+// Kind selects which lower-bound construction an Adversary realizes.
+type Kind int
+
+const (
+	// EqualSize is the Theorem 5 adversary: every class ends with
+	// exactly f elements and the degree threshold is n/(4f).
+	EqualSize Kind = iota
+	// SmallestClass is the Theorem 6 adversary: one special color (the
+	// "scc") of ℓ elements is protected from marking for as long as
+	// possible; the degree threshold is n/(4ℓ).
+	SmallestClass
+)
+
+// Adversary is an adaptive equivalence oracle realizing the Section 3
+// lower bounds. It is safe for concurrent use (a mutex serializes
+// queries), but answers then depend on arrival order; use
+// model.Workers(1) for reproducibility.
+type Adversary struct {
+	mu sync.Mutex
+
+	kind      Kind
+	n         int
+	param     int     // f for EqualSize, ℓ for SmallestClass
+	threshold float64 // degree bound: n/(4·param)
+
+	dsu    *unionfind.DSU
+	weight []int // at roots: number of elements in the fragment
+
+	colorOf     []int // at roots
+	marked      []bool
+	colorMarked []bool
+	// colorMembers lists the root vertices currently holding each color;
+	// entries may be stale (non-roots) and are canonicalized lazily.
+	colorMembers [][]int
+	// adj[r] is the set of roots known unequal to root r.
+	adj []map[int]struct{}
+	// adjColor[r][c] counts neighbors of root r carrying color c; used
+	// for O(1) proper-coloring checks during swaps.
+	adjColor []map[int]int
+
+	sccColor int // SmallestClass only; -1 otherwise
+
+	queries          int64
+	markedWeight     int   // total weight of marked vertices
+	firstSCCMarkedAt int64 // query count when the first scc element was marked; 0 = not yet
+
+	// Case counters, exposed for tests and reporting: how often the
+	// adversary resolved a query through each branch of the Section 3
+	// case analysis.
+	degreeMarks   int // case 1: "high element degree" marks
+	swaps         int // case 2: color swaps
+	colorMarks    int // case 3: whole colors marked
+	contractions  int // case 4, equal answers
+	sccProtects   int // Theorem 6 only: scc vertices swapped out of danger
+	equalAnswers  int64
+	unequalAnswer int64
+}
+
+// NewEqualSize builds the Theorem 5 adversary over n elements destined for
+// classes of exactly f elements each. f must divide n.
+func NewEqualSize(n, f int) *Adversary {
+	if f < 1 || n%f != 0 {
+		panic(fmt.Sprintf("adversary: f=%d must divide n=%d", f, n))
+	}
+	a := newAdversary(EqualSize, n, f)
+	// Arbitrary equitable coloring: element i gets color i/f, so each of
+	// the n/f colors holds f weight-one vertices.
+	for i := 0; i < n; i++ {
+		a.setInitialColor(i, i/f)
+	}
+	return a
+}
+
+// NewSmallestClass builds the Theorem 6 adversary over n elements with a
+// special smallest class of ℓ elements. The remaining n−ℓ elements are
+// split into ⌊(n−ℓ)/(ℓ+1)⌋ color classes of nearly equal size (each at
+// least ℓ+1). Requires n ≥ 2ℓ+2 so at least one non-scc color exists.
+func NewSmallestClass(n, l int) *Adversary {
+	if l < 1 || n < 2*l+2 {
+		panic(fmt.Sprintf("adversary: need n >= 2l+2, got n=%d l=%d", n, l))
+	}
+	a := newAdversary(SmallestClass, n, l)
+	a.sccColor = 0
+	for i := 0; i < l; i++ {
+		a.setInitialColor(i, 0)
+	}
+	rest := n - l
+	classes := rest / (l + 1)
+	// Distribute the rest as evenly as possible over `classes` colors
+	// 1..classes.
+	base := rest / classes
+	extra := rest % classes
+	idx := l
+	for c := 0; c < classes; c++ {
+		size := base
+		if c < extra {
+			size++
+		}
+		for j := 0; j < size; j++ {
+			a.setInitialColor(idx, c+1)
+			idx++
+		}
+	}
+	return a
+}
+
+func newAdversary(kind Kind, n, param int) *Adversary {
+	a := &Adversary{
+		kind:      kind,
+		n:         n,
+		param:     param,
+		threshold: float64(n) / (4 * float64(param)),
+		dsu:       unionfind.New(n),
+		weight:    make([]int, n),
+		colorOf:   make([]int, n),
+		marked:    make([]bool, n),
+		adj:       make([]map[int]struct{}, n),
+		adjColor:  make([]map[int]int, n),
+		sccColor:  -1,
+	}
+	for i := range a.weight {
+		a.weight[i] = 1
+		a.colorOf[i] = -1
+	}
+	return a
+}
+
+func (a *Adversary) setInitialColor(v, c int) {
+	for c >= len(a.colorMembers) {
+		a.colorMembers = append(a.colorMembers, nil)
+		a.colorMarked = append(a.colorMarked, false)
+	}
+	a.colorOf[v] = c
+	a.colorMembers[c] = append(a.colorMembers[c], v)
+}
+
+// N implements model.Oracle.
+func (a *Adversary) N() int { return a.n }
+
+// Queries returns the number of equivalence tests answered so far.
+func (a *Adversary) Queries() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.queries
+}
+
+// MarkedWeight returns the total number of elements currently marked.
+// Lemma 3 states that once n/8 elements are marked, Ω(n²/f) comparisons
+// must already have happened.
+func (a *Adversary) MarkedWeight() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.markedWeight
+}
+
+// FirstSCCMark returns the query count at which the first element of the
+// special smallest-class color was marked, or 0 if that has not happened.
+// Only meaningful for SmallestClass adversaries: until this point, no
+// algorithm can correctly commit to a member of the smallest class.
+func (a *Adversary) FirstSCCMark() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.firstSCCMarkedAt
+}
+
+// Same implements model.Oracle by running the Section 3 case analysis.
+func (a *Adversary) Same(x, y int) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.queries++
+
+	u, v := a.dsu.Find(x), a.dsu.Find(y)
+	if u == v {
+		return true // already committed equal; a repeat costs the caller
+	}
+
+	// Case 1: mark endpoints whose degree would exceed the threshold. The
+	// Theorem 6 adversary first tries to swap an endangered scc vertex
+	// out of the protected color.
+	for _, w := range [2]int{u, v} {
+		if !a.marked[w] && float64(len(a.adj[w])+1) > a.threshold {
+			if a.protectSCC(w) {
+				a.sccProtects++
+			}
+			a.degreeMarks++
+			a.markVertex(w)
+		}
+	}
+
+	// Cases 2 and 3 apply only when an endpoint is unmarked and the two
+	// endpoints share a color.
+	if (!a.marked[u] || !a.marked[v]) && a.colorOf[u] == a.colorOf[v] {
+		w := u
+		if a.marked[u] {
+			w = v
+		}
+		c := a.colorOf[u]
+		if z, ok := a.findSwapCandidate(c, w, u, v); ok {
+			a.swaps++
+			a.swapColors(w, z)
+		} else {
+			a.colorMarks++
+			a.markColor(c)
+		}
+	}
+
+	// Case 4: answer from the colors.
+	if a.marked[u] && a.marked[v] {
+		if a.colorOf[u] == a.colorOf[v] {
+			a.contractions++
+			a.equalAnswers++
+			a.contract(u, v)
+			return true
+		}
+		a.unequalAnswer++
+		a.addEdge(u, v)
+		return false
+	}
+	// One endpoint is unmarked; the machinery above guarantees the
+	// colors now differ.
+	if a.colorOf[u] == a.colorOf[v] {
+		panic("adversary: invariant violation, unmarked endpoints share a color after case 2/3")
+	}
+	a.unequalAnswer++
+	a.addEdge(u, v)
+	return false
+}
+
+// findSwapCandidate looks for an unmarked vertex z ∉ {u, v} of an
+// unmarked color c' ≠ c with no neighbor colored c, such that w has no
+// neighbor colored c'. Swapping w and z then keeps the coloring proper.
+func (a *Adversary) findSwapCandidate(c, w, u, v int) (int, bool) {
+	for cp := range a.colorMembers {
+		if cp == c || a.colorMarked[cp] {
+			continue
+		}
+		if a.neighborCount(w, cp) > 0 {
+			continue
+		}
+		a.canonicalizeColor(cp)
+		for _, z := range a.colorMembers[cp] {
+			if z == u || z == v || a.marked[z] {
+				continue
+			}
+			if a.neighborCount(z, c) == 0 {
+				return z, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// neighborCount returns how many neighbors of root r carry color c.
+func (a *Adversary) neighborCount(r, c int) int {
+	if a.adjColor[r] == nil {
+		return 0
+	}
+	return a.adjColor[r][c]
+}
+
+// canonicalizeColor rewrites a color's member list to current roots,
+// dropping duplicates left behind by contractions.
+func (a *Adversary) canonicalizeColor(c int) {
+	members := a.colorMembers[c][:0]
+	seen := make(map[int]struct{}, len(a.colorMembers[c]))
+	for _, m := range a.colorMembers[c] {
+		r := a.dsu.Find(m)
+		if a.colorOf[r] != c {
+			continue // m was swapped away under an old identity
+		}
+		if _, dup := seen[r]; dup {
+			continue
+		}
+		seen[r] = struct{}{}
+		members = append(members, r)
+	}
+	a.colorMembers[c] = members
+}
+
+// swapColors exchanges the colors of roots w and z and patches every
+// neighbor's color census.
+func (a *Adversary) swapColors(w, z int) {
+	cw, cz := a.colorOf[w], a.colorOf[z]
+	a.recolor(w, cw, cz)
+	a.recolor(z, cz, cw)
+}
+
+func (a *Adversary) recolor(r, from, to int) {
+	a.colorOf[r] = to
+	a.colorMembers[to] = append(a.colorMembers[to], r)
+	for t := range a.adj[r] {
+		a.adjColor[t][from]--
+		if a.adjColor[t][from] == 0 {
+			delete(a.adjColor[t], from)
+		}
+		a.adjColor[t][to]++
+	}
+	// The stale entry in colorMembers[from] is dropped lazily by
+	// canonicalizeColor.
+}
+
+// markVertex marks a root (and thereby all its elements).
+func (a *Adversary) markVertex(r int) {
+	if a.marked[r] {
+		return
+	}
+	a.marked[r] = true
+	a.markedWeight += a.weight[r]
+	a.noteSCCMark(r)
+}
+
+// markColor marks the color and every vertex carrying it.
+func (a *Adversary) markColor(c int) {
+	a.colorMarked[c] = true
+	a.canonicalizeColor(c)
+	for _, r := range a.colorMembers[c] {
+		a.markVertex(r)
+	}
+}
+
+// noteSCCMark records the first time an scc vertex becomes marked
+// (SmallestClass only).
+func (a *Adversary) noteSCCMark(r int) {
+	if a.sccColor >= 0 && a.firstSCCMarkedAt == 0 && a.colorOf[r] == a.sccColor {
+		a.firstSCCMarkedAt = a.queries
+	}
+}
+
+// addEdge records that roots u and v are known unequal.
+func (a *Adversary) addEdge(u, v int) {
+	if a.adj[u] == nil {
+		a.adj[u] = make(map[int]struct{})
+	}
+	if _, ok := a.adj[u][v]; ok {
+		return
+	}
+	a.adj[u][v] = struct{}{}
+	if a.adj[v] == nil {
+		a.adj[v] = make(map[int]struct{})
+	}
+	a.adj[v][u] = struct{}{}
+	a.bumpAdjColor(u, a.colorOf[v], 1)
+	a.bumpAdjColor(v, a.colorOf[u], 1)
+}
+
+func (a *Adversary) bumpAdjColor(r, c, delta int) {
+	if a.adjColor[r] == nil {
+		a.adjColor[r] = make(map[int]int)
+	}
+	a.adjColor[r][c] += delta
+	if a.adjColor[r][c] == 0 {
+		delete(a.adjColor[r], c)
+	}
+}
+
+// contract merges the fragments of marked roots u and v (same color).
+func (a *Adversary) contract(u, v int) {
+	root, _ := a.dsu.Union(u, v)
+	absorbed := u
+	if root == u {
+		absorbed = v
+	}
+	a.weight[root] += a.weight[absorbed]
+	// Move absorbed's edges onto root, collapsing duplicates.
+	for t := range a.adj[absorbed] {
+		delete(a.adj[t], absorbed)
+		a.bumpAdjColor(t, a.colorOf[absorbed], -1)
+		if _, dup := a.adj[root][t]; dup {
+			continue // t already adjacent to root; censuses already counted
+		}
+		if a.adj[root] == nil {
+			a.adj[root] = make(map[int]struct{})
+		}
+		a.adj[root][t] = struct{}{}
+		a.adj[t][root] = struct{}{}
+		a.bumpAdjColor(t, a.colorOf[root], 1)
+		a.bumpAdjColor(root, a.colorOf[t], 1)
+	}
+	a.adj[absorbed] = nil
+	a.adjColor[absorbed] = nil
+	// colorMembers keeps a stale entry for absorbed; canonicalizeColor
+	// will fold it into root.
+}
+
+// protectSCC is invoked before an scc vertex would be marked by case 1:
+// the Theorem 6 adversary first tries to swap the endangered vertex's
+// color with any valid unmarked vertex of another color.
+func (a *Adversary) protectSCC(r int) bool {
+	if a.sccColor < 0 || a.colorOf[r] != a.sccColor || a.marked[r] {
+		return false
+	}
+	if z, ok := a.findSwapCandidate(a.colorOf[r], r, r, -1); ok {
+		a.swapColors(r, z)
+		return true
+	}
+	return false
+}
+
+// Classes returns the adversary's current classes (the color classes),
+// usable as ground truth once the consulted algorithm finishes. Classes
+// are keyed by color and contain element indices.
+func (a *Adversary) Classes() [][]int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	byColor := make([][]int, len(a.colorMembers))
+	for e := 0; e < a.n; e++ {
+		c := a.colorOf[a.dsu.Find(e)]
+		byColor[c] = append(byColor[c], e)
+	}
+	out := make([][]int, 0, len(byColor))
+	for _, g := range byColor {
+		if len(g) > 0 {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Labels returns the current color of each element — the adversary's
+// committed classification.
+func (a *Adversary) Labels() []int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	labels := make([]int, a.n)
+	for e := 0; e < a.n; e++ {
+		labels[e] = a.colorOf[a.dsu.Find(e)]
+	}
+	return labels
+}
+
+// CaseStats reports how often each branch of the Section 3 case analysis
+// fired — observability into the adversary's strategy.
+type CaseStats struct {
+	DegreeMarks  int   // case 1: elements marked for high degree
+	Swaps        int   // case 2: color swaps performed
+	ColorMarks   int   // case 3: whole colors marked
+	Contractions int   // case 4: fragments contracted ("equal" answers)
+	SCCProtects  int   // Theorem 6: scc vertices swapped out of danger
+	Equal        int64 // total "equal" answers
+	Unequal      int64 // total "not equal" answers
+}
+
+// Cases returns a snapshot of the case counters.
+func (a *Adversary) Cases() CaseStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return CaseStats{
+		DegreeMarks:  a.degreeMarks,
+		Swaps:        a.swaps,
+		ColorMarks:   a.colorMarks,
+		Contractions: a.contractions,
+		SCCProtects:  a.sccProtects,
+		Equal:        a.equalAnswers,
+		Unequal:      a.unequalAnswer,
+	}
+}
+
+// Audit verifies the adversary's internal invariants: the coloring is
+// proper (no inequality edge joins two vertices of one color, so the
+// adversary can never have contradicted itself), every color class still
+// carries its fixed total weight, and unmarked vertices have weight one.
+// Tests call it after running an algorithm to completion.
+func (a *Adversary) Audit() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	weights := make([]int, len(a.colorMembers))
+	seen := make(map[int]struct{}, a.n)
+	for e := 0; e < a.n; e++ {
+		r := a.dsu.Find(e)
+		if _, done := seen[r]; done {
+			continue
+		}
+		seen[r] = struct{}{}
+		c := a.colorOf[r]
+		if c < 0 || c >= len(weights) {
+			return fmt.Errorf("adversary: root %d has invalid color %d", r, c)
+		}
+		weights[c] += a.weight[r]
+		if !a.marked[r] && a.weight[r] != 1 {
+			return fmt.Errorf("adversary: unmarked root %d has weight %d", r, a.weight[r])
+		}
+		for t := range a.adj[r] {
+			if a.dsu.Find(t) != t {
+				return fmt.Errorf("adversary: root %d adjacent to non-root %d", r, t)
+			}
+			if a.colorOf[t] == c {
+				return fmt.Errorf("adversary: improper coloring, edge (%d,%d) within color %d", r, t, c)
+			}
+		}
+	}
+	want := a.param // f for EqualSize
+	for c, w := range weights {
+		if a.kind == SmallestClass {
+			if c == a.sccColor {
+				want = a.param
+			} else {
+				want = weights[c] // sizes vary; only check non-negative
+			}
+		}
+		if a.kind == EqualSize && w != want {
+			return fmt.Errorf("adversary: color %d has weight %d, want %d", c, w, want)
+		}
+		if a.kind == SmallestClass && c == a.sccColor && w != a.param {
+			return fmt.Errorf("adversary: scc color has weight %d, want %d", w, a.param)
+		}
+	}
+	return nil
+}

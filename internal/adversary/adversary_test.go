@@ -1,0 +1,342 @@
+package adversary
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ecsort/internal/core"
+	"ecsort/internal/model"
+)
+
+// runSorter executes a sequential sorter against the adversary with a
+// single worker (answers are order-sensitive).
+func runAgainst(t *testing.T, adv *Adversary, run func(*model.Session) (core.Result, error)) core.Result {
+	t.Helper()
+	s := model.NewSession(adv, model.ER, model.Workers(1))
+	res, err := run(s)
+	if err != nil {
+		t.Fatalf("algorithm against adversary: %v", err)
+	}
+	return res
+}
+
+func TestEqualSizeForcesConsistentClasses(t *testing.T) {
+	for _, tc := range []struct{ n, f int }{
+		{16, 2}, {24, 4}, {60, 6}, {64, 8}, {96, 12},
+	} {
+		for _, algo := range []struct {
+			name string
+			run  func(*model.Session) (core.Result, error)
+		}{
+			{"Naive", core.Naive},
+			{"RoundRobin", core.RoundRobin},
+		} {
+			adv := NewEqualSize(tc.n, tc.f)
+			res := runAgainst(t, adv, algo.run)
+			if err := adv.Audit(); err != nil {
+				t.Fatalf("%s n=%d f=%d: %v", algo.name, tc.n, tc.f, err)
+			}
+			// The algorithm's answer must match the adversary's final
+			// committed coloring.
+			if !core.SameClassification(res.Labels(tc.n), adv.Labels()) {
+				t.Fatalf("%s n=%d f=%d: answer disagrees with adversary's classes",
+					algo.name, tc.n, tc.f)
+			}
+			// Every class has exactly f elements.
+			for _, c := range res.Classes {
+				if len(c) != tc.f {
+					t.Fatalf("%s n=%d f=%d: class of size %d", algo.name, tc.n, tc.f, len(c))
+				}
+			}
+		}
+	}
+}
+
+// TestTheorem5LowerBound: completing a sort against the adversary marks
+// all n elements, so by Lemma 3 at least n²/(64f) comparisons happened.
+func TestTheorem5LowerBound(t *testing.T) {
+	for _, tc := range []struct{ n, f int }{
+		{64, 2}, {64, 4}, {128, 4}, {128, 8}, {240, 12},
+	} {
+		adv := NewEqualSize(tc.n, tc.f)
+		res := runAgainst(t, adv, core.RoundRobin)
+		lb := int64(tc.n * tc.n / (64 * tc.f))
+		if res.Stats.Comparisons < lb {
+			t.Errorf("n=%d f=%d: %d comparisons below Lemma 3 bound %d",
+				tc.n, tc.f, res.Stats.Comparisons, lb)
+		}
+		if adv.MarkedWeight() != tc.n {
+			t.Errorf("n=%d f=%d: only %d elements marked at completion",
+				tc.n, tc.f, adv.MarkedWeight())
+		}
+	}
+}
+
+// TestTheorem5BeatsOldBound: the forced comparison counts scale like n²/f,
+// clearly above the older Ω(n²/f²) bound — the paper's improvement.
+func TestTheorem5BeatsOldBound(t *testing.T) {
+	n := 192
+	counts := map[int]int64{}
+	for _, f := range []int{2, 4, 8, 16} {
+		adv := NewEqualSize(n, f)
+		res := runAgainst(t, adv, core.RoundRobin)
+		counts[f] = res.Stats.Comparisons
+	}
+	for _, f := range []int{2, 4, 8, 16} {
+		oldBound := int64(n * n / (f * f))
+		if f >= 8 && counts[f] <= oldBound {
+			t.Errorf("f=%d: forced %d comparisons, not above old n²/f² = %d",
+				f, counts[f], oldBound)
+		}
+	}
+}
+
+func TestSmallestClassAdversary(t *testing.T) {
+	for _, tc := range []struct{ n, l int }{
+		{20, 2}, {40, 4}, {80, 8}, {100, 3},
+	} {
+		adv := NewSmallestClass(tc.n, tc.l)
+		res := runAgainst(t, adv, core.RoundRobin)
+		if err := adv.Audit(); err != nil {
+			t.Fatalf("n=%d l=%d: %v", tc.n, tc.l, err)
+		}
+		if !core.SameClassification(res.Labels(tc.n), adv.Labels()) {
+			t.Fatalf("n=%d l=%d: answer disagrees with adversary", tc.n, tc.l)
+		}
+		// The special class keeps exactly ℓ members.
+		smallest := tc.n
+		for _, c := range res.Classes {
+			if len(c) < smallest {
+				smallest = len(c)
+			}
+		}
+		if smallest != tc.l {
+			t.Errorf("n=%d l=%d: smallest class has %d members", tc.n, tc.l, smallest)
+		}
+		// Identifying the smallest class can't precede the first scc
+		// mark, which requires many comparisons (Theorem 6 shape).
+		if adv.FirstSCCMark() == 0 {
+			t.Errorf("n=%d l=%d: scc never marked though sort completed", tc.n, tc.l)
+		}
+	}
+}
+
+// TestTheorem6Shape: comparisons until the first scc marking scale like
+// n²/ℓ — doubling ℓ should roughly halve them, certainly not leave them
+// at the n²/ℓ² decay rate.
+func TestTheorem6Shape(t *testing.T) {
+	n := 240
+	marks := map[int]int64{}
+	for _, l := range []int{4, 8, 16} {
+		adv := NewSmallestClass(n, l)
+		runAgainst(t, adv, core.RoundRobin)
+		m := adv.FirstSCCMark()
+		if m == 0 {
+			t.Fatalf("l=%d: no scc mark recorded", l)
+		}
+		marks[l] = m
+	}
+	// n²/ℓ predicts ratio 2 between consecutive ℓ; n²/ℓ² predicts 4.
+	// Accept anything < 3.4 as "n²/ℓ-like".
+	r1 := float64(marks[4]) / float64(marks[8])
+	r2 := float64(marks[8]) / float64(marks[16])
+	if r1 > 3.4 || r2 > 3.4 {
+		t.Errorf("scc-mark decay ratios %.2f, %.2f look like n²/ℓ² rather than n²/ℓ", r1, r2)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	cases := []func(){
+		func() { NewEqualSize(10, 3) }, // f does not divide n
+		func() { NewEqualSize(10, 0) },
+		func() { NewSmallestClass(5, 2) }, // n < 2l+2
+		func() { NewSmallestClass(10, 0) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAdversaryNeverContradicts(t *testing.T) {
+	// Fire random queries and record every answer; committed answers must
+	// never flip.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, fsize := 24, 4
+		adv := NewEqualSize(n, fsize)
+		answers := map[[2]int]bool{}
+		for q := 0; q < 400; q++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a == b {
+				continue
+			}
+			key := [2]int{min(a, b), max(a, b)}
+			got := adv.Same(a, b)
+			if prev, ok := answers[key]; ok && prev && !got {
+				return false // "equal" can never become "not equal"
+			}
+			if prev, ok := answers[key]; ok && !prev && got {
+				return false // "not equal" can never become "equal"
+			}
+			answers[key] = got
+		}
+		return adv.Audit() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueriesCounter(t *testing.T) {
+	adv := NewEqualSize(8, 2)
+	adv.Same(0, 1)
+	adv.Same(2, 3)
+	if q := adv.Queries(); q != 2 {
+		t.Fatalf("Queries = %d, want 2", q)
+	}
+}
+
+func TestMarkedWeightMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	adv := NewEqualSize(32, 4)
+	last := 0
+	for q := 0; q < 600; q++ {
+		a, b := rng.Intn(32), rng.Intn(32)
+		if a == b {
+			continue
+		}
+		adv.Same(a, b)
+		w := adv.MarkedWeight()
+		if w < last {
+			t.Fatalf("marked weight decreased: %d -> %d", last, w)
+		}
+		last = w
+	}
+}
+
+// TestCaseCountersConsistent: after a complete sort, the counters must
+// account for the structural facts — every element marked, contractions
+// exactly n − (number of classes), answers sum to queries.
+func TestCaseCountersConsistent(t *testing.T) {
+	n, f := 96, 8
+	adv := NewEqualSize(n, f)
+	res := runAgainst(t, adv, core.RoundRobin)
+	cs := adv.Cases()
+	if cs.Contractions != n-n/f {
+		t.Errorf("contractions = %d, want n−k = %d", cs.Contractions, n-n/f)
+	}
+	if cs.Equal+cs.Unequal != adv.Queries() {
+		t.Errorf("answers %d+%d don't sum to queries %d", cs.Equal, cs.Unequal, adv.Queries())
+	}
+	if cs.Equal != res.Stats.Comparisons-cs.Unequal {
+		t.Errorf("answer split inconsistent with comparisons")
+	}
+	// Every element ends marked; marks happen via degree or color.
+	if cs.DegreeMarks == 0 && cs.ColorMarks == 0 {
+		t.Error("sort completed without any marking")
+	}
+	// The early game must be all swaps/edges — at least one swap fires on
+	// a same-color comparison before the colors run out of candidates.
+	if cs.Swaps == 0 {
+		t.Error("no swaps recorded: case 2 never exercised")
+	}
+}
+
+// TestSwapScenario pins down case 2 on a hand-built scenario: with a
+// fresh adversary, the very first same-color comparison must swap, not
+// mark (plenty of unmarked candidates exist).
+func TestSwapScenario(t *testing.T) {
+	adv := NewEqualSize(12, 3) // colors {0,1,2}, {3,4,5}, ...
+	if adv.Same(0, 1) {
+		t.Fatal("same-color pair answered equal while unmarked")
+	}
+	cs := adv.Cases()
+	if cs.Swaps != 1 || cs.ColorMarks != 0 || cs.DegreeMarks != 0 {
+		t.Fatalf("cases = %+v, want exactly one swap", cs)
+	}
+	// Proper coloring must survive the swap.
+	if err := adv.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSCCProtectionFires: drive a smallest-class element's degree over
+// the threshold and check the protection swap triggered before marking.
+func TestSCCProtectionFires(t *testing.T) {
+	n, l := 40, 2 // threshold n/(4l) = 5
+	adv := NewSmallestClass(n, l)
+	// Hammer element 0 (initially scc-colored) with distinct partners
+	// until its degree crosses the threshold.
+	for b := l; b < n; b++ {
+		adv.Same(0, b)
+		if adv.Cases().DegreeMarks > 0 {
+			break
+		}
+	}
+	cs := adv.Cases()
+	if cs.DegreeMarks == 0 {
+		t.Fatal("degree never crossed the threshold")
+	}
+	if cs.SCCProtects == 0 {
+		t.Fatal("scc element was marked without a protection attempt")
+	}
+	if adv.FirstSCCMark() != 0 {
+		t.Fatal("scc marked despite successful protection swap")
+	}
+	if err := adv.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAdversaryQuery(b *testing.B) {
+	adv := NewEqualSize(1024, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := i % 1024
+		y := (i*31 + 7) % 1024
+		if x != y {
+			adv.Same(x, y)
+		}
+	}
+}
+
+// TestAdversaryAsOracleForParallelSorts: the parallel algorithms must also
+// terminate correctly against the adaptive adversary.
+func TestAdversaryAsOracleForParallelSorts(t *testing.T) {
+	t.Run("SortER", func(t *testing.T) {
+		adv := NewEqualSize(32, 4)
+		s := model.NewSession(adv, model.ER, model.Workers(1))
+		res, err := core.SortER(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := adv.Audit(); err != nil {
+			t.Fatal(err)
+		}
+		if !core.SameClassification(res.Labels(32), adv.Labels()) {
+			t.Fatal("SortER answer disagrees with adversary's classes")
+		}
+	})
+	t.Run("SortCR", func(t *testing.T) {
+		adv := NewEqualSize(32, 4)
+		s := model.NewSession(adv, model.CR, model.Workers(1))
+		res, err := core.SortCR(s, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := adv.Audit(); err != nil {
+			t.Fatal(err)
+		}
+		if !core.SameClassification(res.Labels(32), adv.Labels()) {
+			t.Fatal("SortCR answer disagrees with adversary's classes")
+		}
+	})
+}

@@ -1,0 +1,44 @@
+package adversary
+
+import (
+	"testing"
+)
+
+// FuzzAdversaryConsistency feeds arbitrary query sequences to both
+// adversaries and checks the two commitments that make them sound:
+// answers never flip, and the internal invariants (proper coloring, class
+// weights) always audit clean.
+func FuzzAdversaryConsistency(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6}, true)
+	f.Add([]byte{9, 9, 9, 9}, false)
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}, true)
+	f.Fuzz(func(t *testing.T, data []byte, equalKind bool) {
+		if len(data) < 2 {
+			return
+		}
+		const n = 24
+		var adv *Adversary
+		if equalKind {
+			adv = NewEqualSize(n, 4)
+		} else {
+			adv = NewSmallestClass(n, 3)
+		}
+		answers := map[[2]int]bool{}
+		for step := 0; step+1 < len(data); step += 2 {
+			a := int(data[step]) % n
+			b := int(data[step+1]) % n
+			if a == b {
+				continue
+			}
+			key := [2]int{min(a, b), max(a, b)}
+			got := adv.Same(a, b)
+			if prev, seen := answers[key]; seen && prev != got {
+				t.Fatalf("answer for %v flipped from %v to %v", key, prev, got)
+			}
+			answers[key] = got
+		}
+		if err := adv.Audit(); err != nil {
+			t.Fatalf("audit failed: %v", err)
+		}
+	})
+}

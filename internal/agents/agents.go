@@ -1,0 +1,228 @@
+// Package agents simulates the distributed reality behind the paper's
+// exclusive-read model: n autonomous agents, each holding private state,
+// that can only learn about each other by running a pairwise protocol
+// over a message channel. The Network executes one comparison round at a
+// time, physically enforcing the ER rule — every agent participates in at
+// most one protocol session per round — and running all of a round's
+// sessions concurrently, one goroutine per agent side.
+//
+// The package provides two concrete agents matching the paper's first two
+// applications:
+//
+//   - KeyAgent — the secret-handshake intern: holds a group key and runs
+//     a nonce-exchange + HMAC-SHA256 challenge–response; transcripts
+//     reveal only same-group/different-group.
+//   - StateAgent — the fault-diagnosis machine: holds a worm-state value
+//     and compares via salted commitments, revealing only whether the
+//     states coincide. (The simulation models the information flow, not a
+//     cryptographically binding commitment: small state spaces would
+//     admit dictionary attacks in a real deployment.)
+//
+// A Network plugs into the comparison-model substrate as a
+// model.Executor, so every ER algorithm in internal/core runs unchanged
+// on top of genuinely message-passing agents.
+package agents
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"ecsort/internal/model"
+)
+
+// Message is one protocol message between two agents.
+type Message []byte
+
+// Agent is one participant: Handshake runs the agent's side of the
+// pairwise protocol and decides whether the peer is equivalent. sessionID
+// is distinct per pairing and identical for both sides; implementations
+// derive nonces from it so protocol runs are reproducible.
+type Agent interface {
+	Handshake(sessionID uint64, send chan<- Message, recv <-chan Message) bool
+}
+
+// Network owns n agents and executes comparison rounds between them.
+type Network struct {
+	agents []Agent
+	// sessions counts pairwise protocol runs, for reporting.
+	sessions int64
+	mu       sync.Mutex
+	seq      uint64
+}
+
+// NewNetwork wraps a set of agents.
+func NewNetwork(agents []Agent) *Network {
+	return &Network{agents: agents}
+}
+
+// N returns the number of agents.
+func (nw *Network) N() int { return len(nw.agents) }
+
+// Sessions returns how many pairwise protocol sessions have run.
+func (nw *Network) Sessions() int64 {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.sessions
+}
+
+// Same implements model.Oracle by running a single protocol session, so a
+// Network can be handed directly to model.NewSession — pass the network
+// both as the oracle and as the executor (model.WithExecutor) to route
+// whole rounds through concurrent agent sessions.
+func (nw *Network) Same(i, j int) bool {
+	nw.mu.Lock()
+	id := nw.seq
+	nw.seq++
+	nw.sessions++
+	nw.mu.Unlock()
+	return nw.runSession(id, i, j)
+}
+
+// ExecuteRound implements model.Executor: it runs every pair's protocol
+// session concurrently (two goroutines per pair, crossed channels) after
+// checking the ER rule. Both sides of a session must agree on the
+// verdict; disagreement panics, because it means the pairwise protocol
+// itself is broken.
+func (nw *Network) ExecuteRound(pairs []model.Pair) []bool {
+	busy := make(map[int]struct{}, 2*len(pairs))
+	for _, p := range pairs {
+		if _, dup := busy[p.A]; dup {
+			panic(fmt.Sprintf("agents: agent %d scheduled twice in one round", p.A))
+		}
+		if _, dup := busy[p.B]; dup {
+			panic(fmt.Sprintf("agents: agent %d scheduled twice in one round", p.B))
+		}
+		busy[p.A] = struct{}{}
+		busy[p.B] = struct{}{}
+	}
+	nw.mu.Lock()
+	base := nw.seq
+	nw.seq += uint64(len(pairs))
+	nw.sessions += int64(len(pairs))
+	nw.mu.Unlock()
+
+	results := make([]bool, len(pairs))
+	var wg sync.WaitGroup
+	for i, p := range pairs {
+		wg.Add(1)
+		go func(i int, p model.Pair) {
+			defer wg.Done()
+			results[i] = nw.runSession(base+uint64(i), p.A, p.B)
+		}(i, p)
+	}
+	wg.Wait()
+	return results
+}
+
+// runSession wires two agents together and runs their handshakes.
+func (nw *Network) runSession(sessionID uint64, a, b int) bool {
+	aToB := make(chan Message, 4)
+	bToA := make(chan Message, 4)
+	verdicts := make(chan bool, 2)
+	go func() { verdicts <- nw.agents[a].Handshake(sessionID, aToB, bToA) }()
+	go func() { verdicts <- nw.agents[b].Handshake(sessionID, bToA, aToB) }()
+	va, vb := <-verdicts, <-verdicts
+	if va != vb {
+		panic(fmt.Sprintf("agents: session %d: sides disagree (%v vs %v)", sessionID, va, vb))
+	}
+	return va
+}
+
+// KeyAgent runs the secret-handshake protocol with a group key.
+type KeyAgent struct {
+	key []byte
+}
+
+// NewKeyAgent creates an agent holding the given group key.
+func NewKeyAgent(key []byte) *KeyAgent {
+	cp := make([]byte, len(key))
+	copy(cp, key)
+	return &KeyAgent{key: cp}
+}
+
+// GroupKeys derives one 32-byte group key per distinct label from a
+// master seed, and returns the agent roster realizing labels.
+func GroupKeys(labels []int, masterSeed int64) []Agent {
+	var master [32]byte
+	binary.BigEndian.PutUint64(master[:8], uint64(masterSeed))
+	keys := map[int][]byte{}
+	out := make([]Agent, len(labels))
+	for i, l := range labels {
+		key, ok := keys[l]
+		if !ok {
+			mac := hmac.New(sha256.New, master[:])
+			var buf [8]byte
+			binary.BigEndian.PutUint64(buf[:], uint64(l))
+			mac.Write(buf[:])
+			key = mac.Sum(nil)
+			keys[l] = key
+		}
+		out[i] = NewKeyAgent(key)
+	}
+	return out
+}
+
+// Handshake implements Agent: exchange session-derived nonces, then
+// exchange HMACs of the ordered transcript; equal tags ⇔ equal keys.
+func (a *KeyAgent) Handshake(sessionID uint64, send chan<- Message, recv <-chan Message) bool {
+	nonce := deriveNonce(sessionID, a.key)
+	send <- nonce
+	peerNonce := <-recv
+	lo, hi := nonce, peerNonce
+	if string(lo) > string(hi) {
+		lo, hi = hi, lo
+	}
+	mac := hmac.New(sha256.New, a.key)
+	mac.Write([]byte("agents-handshake-v1"))
+	mac.Write(lo)
+	mac.Write(hi)
+	tag := mac.Sum(nil)
+	send <- tag
+	peerTag := <-recv
+	return hmac.Equal(tag, peerTag)
+}
+
+// StateAgent compares a private state value by exchanging salted digests.
+type StateAgent struct {
+	state uint64
+}
+
+// NewStateAgent creates an agent with the given private state (e.g. a
+// worm-infection bitmask).
+func NewStateAgent(state uint64) *StateAgent { return &StateAgent{state: state} }
+
+// StateRoster builds agents from explicit states.
+func StateRoster(states []uint64) []Agent {
+	out := make([]Agent, len(states))
+	for i, s := range states {
+		out[i] = NewStateAgent(s)
+	}
+	return out
+}
+
+// Handshake implements Agent: both sides hash (sessionID, state) — equal
+// states produce equal digests, and the digest hides the state value up
+// to dictionary search over the state space.
+func (a *StateAgent) Handshake(sessionID uint64, send chan<- Message, recv <-chan Message) bool {
+	h := sha256.New()
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[:8], sessionID)
+	binary.BigEndian.PutUint64(buf[8:], a.state)
+	h.Write(buf[:])
+	digest := h.Sum(nil)
+	send <- digest
+	peer := <-recv
+	return hmac.Equal(digest, peer)
+}
+
+func deriveNonce(sessionID uint64, key []byte) Message {
+	h := sha256.New()
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], sessionID)
+	h.Write(buf[:])
+	h.Write(key)
+	return h.Sum(nil)[:16]
+}

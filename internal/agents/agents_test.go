@@ -1,0 +1,180 @@
+package agents
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ecsort/internal/core"
+	"ecsort/internal/model"
+)
+
+func TestKeyAgentsHandshake(t *testing.T) {
+	labels := []int{0, 1, 0, 2}
+	nw := NewNetwork(GroupKeys(labels, 42))
+	for i := range labels {
+		for j := range labels {
+			if i == j {
+				continue
+			}
+			want := labels[i] == labels[j]
+			if got := nw.Same(i, j); got != want {
+				t.Fatalf("Same(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestStateAgentsHandshake(t *testing.T) {
+	states := []uint64{3, 7, 3, 0}
+	nw := NewNetwork(StateRoster(states))
+	if !nw.Same(0, 2) || nw.Same(0, 1) || nw.Same(1, 3) {
+		t.Fatal("state handshakes wrong")
+	}
+}
+
+func TestExecuteRoundConcurrentSessions(t *testing.T) {
+	labels := []int{0, 0, 1, 1, 2, 2}
+	nw := NewNetwork(GroupKeys(labels, 7))
+	res := nw.ExecuteRound([]model.Pair{{A: 0, B: 1}, {A: 2, B: 3}, {A: 4, B: 5}})
+	for i, r := range res {
+		if !r {
+			t.Fatalf("pair %d should match", i)
+		}
+	}
+	res = nw.ExecuteRound([]model.Pair{{A: 0, B: 2}, {A: 1, B: 4}})
+	if res[0] || res[1] {
+		t.Fatal("cross-group handshakes matched")
+	}
+	if nw.Sessions() != 5 {
+		t.Fatalf("Sessions = %d, want 5", nw.Sessions())
+	}
+}
+
+func TestExecuteRoundEnforcesER(t *testing.T) {
+	nw := NewNetwork(GroupKeys([]int{0, 0, 0}, 1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double-booked agent did not panic")
+		}
+	}()
+	nw.ExecuteRound([]model.Pair{{A: 0, B: 1}, {A: 1, B: 2}})
+}
+
+// TestFullSortsOverNetwork runs every ER algorithm on a live agent
+// network plugged in as the session executor.
+func TestFullSortsOverNetwork(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 60
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = rng.Intn(4)
+	}
+
+	t.Run("SortER over key agents", func(t *testing.T) {
+		nw := NewNetwork(GroupKeys(labels, 99))
+		s := model.NewSession(nw, model.ER, model.WithExecutor(nw))
+		res, err := core.SortER(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !core.SameClassification(res.Labels(n), labels) {
+			t.Fatal("wrong classification")
+		}
+		// Every comparison went through a protocol session.
+		if nw.Sessions() != res.Stats.Comparisons {
+			t.Fatalf("sessions %d != comparisons %d", nw.Sessions(), res.Stats.Comparisons)
+		}
+	})
+
+	t.Run("RoundRobin over state agents", func(t *testing.T) {
+		states := make([]uint64, n)
+		for i, l := range labels {
+			states[i] = uint64(l) * 0x9e3779b97f4a7c15
+		}
+		nw := NewNetwork(StateRoster(states))
+		s := model.NewSession(nw, model.ER, model.WithExecutor(nw))
+		res, err := core.RoundRobin(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !core.SameClassification(res.Labels(n), labels) {
+			t.Fatal("wrong classification")
+		}
+	})
+
+	t.Run("ConstRound over key agents", func(t *testing.T) {
+		balanced := make([]int, n)
+		for i := range balanced {
+			balanced[i] = i % 3
+		}
+		nw := NewNetwork(GroupKeys(balanced, 5))
+		s := model.NewSession(nw, model.ER, model.WithExecutor(nw))
+		res, err := core.SortConstRoundER(s, core.ConstRoundConfig{
+			Lambda:     0.2,
+			D:          10,
+			MaxRetries: 5,
+			Rng:        rand.New(rand.NewSource(11)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !core.SameClassification(res.Labels(n), balanced) {
+			t.Fatal("wrong classification")
+		}
+	})
+}
+
+// TestNetworkQuick fuzzes rosters and verifies protocol verdicts always
+// match label equality.
+func TestNetworkQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = rng.Intn(3)
+		}
+		nw := NewNetwork(GroupKeys(labels, seed))
+		for trial := 0; trial < 15; trial++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i == j {
+				continue
+			}
+			if nw.Same(i, j) != (labels[i] == labels[j]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionIDsDistinct: parallel rounds must hand each pair a distinct
+// session id (nonce reuse across sessions would be a protocol smell).
+func TestSessionIDsDistinct(t *testing.T) {
+	nw := NewNetwork(GroupKeys([]int{0, 0, 0, 0}, 3))
+	nw.ExecuteRound([]model.Pair{{A: 0, B: 1}, {A: 2, B: 3}})
+	nw.ExecuteRound([]model.Pair{{A: 0, B: 2}, {A: 1, B: 3}})
+	if nw.seq != 4 {
+		t.Fatalf("seq = %d, want 4", nw.seq)
+	}
+}
+
+func BenchmarkNetworkRound(b *testing.B) {
+	labels := make([]int, 256)
+	for i := range labels {
+		labels[i] = i % 4
+	}
+	nw := NewNetwork(GroupKeys(labels, 1))
+	pairs := make([]model.Pair, 0, 128)
+	for i := 0; i < 256; i += 2 {
+		pairs = append(pairs, model.Pair{A: i, B: i + 1})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.ExecuteRound(pairs)
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ecsort/internal/model"
+	"ecsort/internal/oracle"
+)
+
+func TestAblationsCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, tc := range []struct{ n, k int }{
+		{1, 1}, {17, 3}, {100, 10}, {256, 4},
+	} {
+		truth := oracle.RandomBalanced(tc.n, tc.k, rng)
+		for _, algo := range []struct {
+			name string
+			run  func(*model.Session, int) (Result, error)
+		}{
+			{"pairwise-only", SortCRPairwiseOnly},
+			{"eager-groups", SortCREagerGroups},
+		} {
+			s := model.NewSession(truth, model.CR)
+			res, err := algo.run(s, tc.k)
+			if err != nil {
+				t.Fatalf("%s n=%d k=%d: %v", algo.name, tc.n, tc.k, err)
+			}
+			checkResult(t, res, truth)
+		}
+	}
+}
+
+// TestAblationPhase2Matters: on large inputs, full SortCR should need
+// clearly fewer rounds than the pairwise-only ablation, whose tail is
+// Θ(log n) instead of Θ(log log n).
+func TestAblationPhase2Matters(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	n, k := 1<<15, 2
+	truth := oracle.RandomBalanced(n, k, rng)
+
+	full := model.NewSession(truth, model.CR)
+	if _, err := SortCR(full, k); err != nil {
+		t.Fatal(err)
+	}
+	pairwise := model.NewSession(truth, model.CR)
+	if _, err := SortCRPairwiseOnly(pairwise, k); err != nil {
+		t.Fatal(err)
+	}
+	if full.Stats().Rounds >= pairwise.Stats().Rounds {
+		t.Errorf("compounding did not help: full %d rounds vs pairwise-only %d",
+			full.Stats().Rounds, pairwise.Stats().Rounds)
+	}
+}
+
+// TestAblationPhase1Matters: skipping phase 1 must cost extra rounds
+// relative to full SortCR (the early group merges overflow the processor
+// budget), while still being correct.
+func TestAblationPhase1Matters(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	n, k := 1<<14, 8
+	truth := oracle.RandomBalanced(n, k, rng)
+
+	full := model.NewSession(truth, model.CR)
+	if _, err := SortCR(full, k); err != nil {
+		t.Fatal(err)
+	}
+	eager := model.NewSession(truth, model.CR)
+	if _, err := SortCREagerGroups(eager, k); err != nil {
+		t.Fatal(err)
+	}
+	if eager.Stats().Rounds <= full.Stats().Rounds {
+		t.Errorf("eager grouping unexpectedly cheap: eager %d rounds vs full %d",
+			eager.Stats().Rounds, full.Stats().Rounds)
+	}
+}
+
+func TestAblationValidation(t *testing.T) {
+	truth := oracle.NewLabel([]int{0, 1})
+	er := model.NewSession(truth, model.ER)
+	if _, err := SortCRPairwiseOnly(er, 1); err == nil {
+		t.Error("pairwise-only accepted ER session")
+	}
+	if _, err := SortCREagerGroups(er, 1); err == nil {
+		t.Error("eager-groups accepted ER session")
+	}
+	cr := model.NewSession(truth, model.CR)
+	if _, err := SortCRPairwiseOnly(cr, 0); err == nil {
+		t.Error("pairwise-only accepted k=0")
+	}
+	if _, err := SortCREagerGroups(cr, 0); err == nil {
+		t.Error("eager-groups accepted k=0")
+	}
+}

@@ -1,0 +1,317 @@
+// Package core implements the equivalence class sorting algorithms of the
+// paper: the CR two-phase compounding-comparison algorithm (Theorem 1,
+// O(k + log log n) rounds), the ER merge-tree algorithm (Theorem 2,
+// O(k log n) rounds), the constant-round ER algorithm for inputs whose
+// smallest class has size ≥ λn (Theorem 4), the sequential round-robin
+// regimen of Jayapaul et al. used for the distribution-based analysis
+// (Section 4), and a naive sequential baseline.
+package core
+
+import (
+	"fmt"
+
+	"ecsort/internal/model"
+)
+
+// Answer is a complete equivalence class sorting answer for a subset of
+// the elements: a partition of that subset into its equivalence classes.
+// Classes within one answer are mutually known-unequal, so merging two
+// answers only requires comparing class representatives pairwise — at most
+// k² tests — which is the engine of the compounding-comparison technique.
+type Answer struct {
+	// Classes holds the element indices of each class. Every class is
+	// non-empty; Classes[i][0] serves as the class representative.
+	Classes [][]int
+}
+
+// Singleton returns the trivial answer for the single element e.
+func Singleton(e int) Answer {
+	return Answer{Classes: [][]int{{e}}}
+}
+
+// Singletons returns the initial answer list: one singleton answer per
+// element 0..n-1 (step 1 of the Theorem 1 algorithm).
+func Singletons(n int) []Answer {
+	answers := make([]Answer, n)
+	for i := range answers {
+		answers[i] = Singleton(i)
+	}
+	return answers
+}
+
+// K returns the number of classes in the answer.
+func (a Answer) K() int { return len(a.Classes) }
+
+// Size returns the number of elements covered by the answer.
+func (a Answer) Size() int {
+	s := 0
+	for _, c := range a.Classes {
+		s += len(c)
+	}
+	return s
+}
+
+// Reps returns the representative element of each class (the first
+// member).
+func (a Answer) Reps() []int {
+	reps := make([]int, len(a.Classes))
+	for i, c := range a.Classes {
+		reps[i] = c[0]
+	}
+	return reps
+}
+
+// Elements returns all elements covered by the answer, class by class.
+func (a Answer) Elements() []int {
+	out := make([]int, 0, a.Size())
+	for _, c := range a.Classes {
+		out = append(out, c...)
+	}
+	return out
+}
+
+// merge combines answers according to an equality relation on their
+// classes, given as a list of matched (class of a, class of b) index
+// pairs. Unmatched classes carry over unchanged.
+func mergeMatched(a, b Answer, matches []model.Pair) Answer {
+	out := Answer{Classes: make([][]int, 0, a.K()+b.K())}
+	usedB := make([]bool, b.K())
+	matchOf := make([]int, a.K())
+	for i := range matchOf {
+		matchOf[i] = -1
+	}
+	for _, m := range matches {
+		matchOf[m.A] = m.B
+		usedB[m.B] = true
+	}
+	for i, cls := range a.Classes {
+		merged := cls
+		if j := matchOf[i]; j >= 0 {
+			merged = append(append(make([]int, 0, len(cls)+len(b.Classes[j])), cls...), b.Classes[j]...)
+		}
+		out.Classes = append(out.Classes, merged)
+	}
+	for j, cls := range b.Classes {
+		if !usedB[j] {
+			out.Classes = append(out.Classes, cls)
+		}
+	}
+	return out
+}
+
+// MergePairCR merges two answers in the CR model with one logical round of
+// K(a)·K(b) concurrent representative tests. The session splits the round
+// if it exceeds the processor budget.
+func MergePairCR(s *model.Session, a, b Answer) (Answer, error) {
+	if s.Mode() != model.CR {
+		return Answer{}, fmt.Errorf("core: MergePairCR requires a CR session, got %v", s.Mode())
+	}
+	ra, rb := a.Reps(), b.Reps()
+	pairs := make([]model.Pair, 0, len(ra)*len(rb))
+	for _, x := range ra {
+		for _, y := range rb {
+			pairs = append(pairs, model.Pair{A: x, B: y})
+		}
+	}
+	res, err := s.Round(pairs)
+	if err != nil {
+		return Answer{}, err
+	}
+	var matches []model.Pair
+	for idx, eq := range res {
+		if eq {
+			matches = append(matches, model.Pair{A: idx / len(rb), B: idx % len(rb)})
+		}
+	}
+	return mergeMatched(a, b, matches), nil
+}
+
+// crossPairs enumerates the representative tests needed to merge a group
+// of answers in the CR model: one test per (class of answer u, class of
+// answer v) pair over all u < v.
+func crossPairs(group []Answer) []model.Pair {
+	total := 0
+	for u := 0; u < len(group); u++ {
+		for v := u + 1; v < len(group); v++ {
+			total += group[u].K() * group[v].K()
+		}
+	}
+	pairs := make([]model.Pair, 0, total)
+	for u := 0; u < len(group); u++ {
+		ru := group[u].Reps()
+		for v := u + 1; v < len(group); v++ {
+			rv := group[v].Reps()
+			for _, x := range ru {
+				for _, y := range rv {
+					pairs = append(pairs, model.Pair{A: x, B: y})
+				}
+			}
+		}
+	}
+	return pairs
+}
+
+// MergeGroupCR merges a whole group of answers in the CR model with one
+// logical round containing every cross-answer representative test — the
+// compounding step of phase 2 of the Theorem 1 algorithm. Matching classes
+// are united transitively.
+func MergeGroupCR(s *model.Session, group []Answer) (Answer, error) {
+	switch len(group) {
+	case 0:
+		return Answer{}, fmt.Errorf("core: MergeGroupCR of empty group")
+	case 1:
+		return group[0], nil
+	}
+	if s.Mode() != model.CR {
+		return Answer{}, fmt.Errorf("core: MergeGroupCR requires a CR session, got %v", s.Mode())
+	}
+	pairs := crossPairs(group)
+	res, err := s.Round(pairs)
+	if err != nil {
+		return Answer{}, err
+	}
+	return uniteGroup(group, pairs, res), nil
+}
+
+// uniteGroup folds equality results over a group of answers into a single
+// answer, using a tiny union-find over (answer, class) slots keyed by the
+// class representative element.
+func uniteGroup(group []Answer, pairs []model.Pair, res []bool) Answer {
+	// Map representative element -> slot index.
+	type slot struct{ members []int }
+	repSlot := make(map[int]int)
+	slots := make([]slot, 0)
+	parent := make([]int, 0)
+	for _, ans := range group {
+		for _, cls := range ans.Classes {
+			repSlot[cls[0]] = len(slots)
+			slots = append(slots, slot{members: cls})
+			parent = append(parent, len(parent))
+		}
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i, eq := range res {
+		if !eq {
+			continue
+		}
+		ra, rb := find(repSlot[pairs[i].A]), find(repSlot[pairs[i].B])
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	merged := make(map[int][]int)
+	var order []int
+	for i := range slots {
+		r := find(i)
+		if _, ok := merged[r]; !ok {
+			order = append(order, r)
+		}
+		merged[r] = append(merged[r], slots[i].members...)
+	}
+	out := Answer{Classes: make([][]int, 0, len(order))}
+	for _, r := range order {
+		out.Classes = append(out.Classes, merged[r])
+	}
+	return out
+}
+
+// MergePairER merges two answers in the ER model using the Latin-square
+// rotation schedule: at most max(K(a), K(b)) rounds of disjoint
+// representative tests (the engine of Theorem 2, where this is at most k
+// rounds per merge). For round-sharing across independent merges at the
+// same level of a merge tree, use pairPlan directly (see SortER).
+func MergePairER(s *model.Session, a, b Answer) (Answer, error) {
+	plan := newPairPlan(a, b)
+	for {
+		pairs := plan.next()
+		if pairs == nil {
+			return plan.result(), nil
+		}
+		res, err := s.Round(pairs)
+		if err != nil {
+			return Answer{}, err
+		}
+		plan.absorb(pairs, res)
+	}
+}
+
+// pairPlan is the incremental state of one ER pair-merge. Rotation round r
+// pairs class i of the smaller side with class (i+r) mod K of the larger
+// side, so every class appears in at most one test per round and all
+// K(a)·K(b) class pairs are covered after max(K(a), K(b)) rounds. Classes
+// that have already found their partner are skipped: classes within one
+// answer are mutually distinct, so a matched class needs no further tests.
+type pairPlan struct {
+	a, b     Answer // K(a) <= K(b) after normalization
+	r        int    // next rotation round to emit
+	matchedA []bool
+	matchedB []bool
+	matches  []model.Pair // (class of a, class of b) index pairs
+	classOf  map[int]int  // representative element -> class index
+}
+
+func newPairPlan(a, b Answer) *pairPlan {
+	if a.K() > b.K() {
+		a, b = b, a
+	}
+	p := &pairPlan{
+		a:        a,
+		b:        b,
+		matchedA: make([]bool, a.K()),
+		matchedB: make([]bool, b.K()),
+		classOf:  make(map[int]int, a.K()+b.K()),
+	}
+	for i, cls := range p.a.Classes {
+		p.classOf[cls[0]] = i
+	}
+	for j, cls := range p.b.Classes {
+		p.classOf[cls[0]] = j
+	}
+	return p
+}
+
+// next returns the disjoint tests of the next non-empty rotation round, or
+// nil when the schedule is exhausted. The caller must pass the returned
+// tests' results to absorb before calling next again.
+func (p *pairPlan) next() []model.Pair {
+	kb := p.b.K()
+	for ; p.r < kb; p.r++ {
+		var pairs []model.Pair
+		for i := 0; i < p.a.K(); i++ {
+			j := (i + p.r) % kb
+			if p.matchedA[i] || p.matchedB[j] {
+				continue
+			}
+			pairs = append(pairs, model.Pair{A: p.a.Classes[i][0], B: p.b.Classes[j][0]})
+		}
+		if len(pairs) > 0 {
+			p.r++
+			return pairs
+		}
+	}
+	return nil
+}
+
+// absorb records the results of one executed round returned by next.
+func (p *pairPlan) absorb(pairs []model.Pair, res []bool) {
+	for idx, eq := range res {
+		if eq {
+			i, j := p.classOf[pairs[idx].A], p.classOf[pairs[idx].B]
+			p.matchedA[i] = true
+			p.matchedB[j] = true
+			p.matches = append(p.matches, model.Pair{A: i, B: j})
+		}
+	}
+}
+
+// result folds the matches into the merged answer.
+func (p *pairPlan) result() Answer {
+	return mergeMatched(p.a, p.b, p.matches)
+}

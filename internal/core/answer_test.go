@@ -1,0 +1,363 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ecsort/internal/model"
+	"ecsort/internal/oracle"
+)
+
+func TestSingletons(t *testing.T) {
+	answers := Singletons(3)
+	if len(answers) != 3 {
+		t.Fatalf("answers = %d", len(answers))
+	}
+	for i, a := range answers {
+		if a.K() != 1 || a.Size() != 1 || a.Classes[0][0] != i {
+			t.Fatalf("answer %d = %+v", i, a)
+		}
+	}
+}
+
+func TestAnswerAccessors(t *testing.T) {
+	a := Answer{Classes: [][]int{{4, 7}, {1}, {2, 3, 5}}}
+	if a.K() != 3 || a.Size() != 6 {
+		t.Fatalf("K=%d Size=%d", a.K(), a.Size())
+	}
+	reps := a.Reps()
+	if reps[0] != 4 || reps[1] != 1 || reps[2] != 2 {
+		t.Fatalf("reps = %v", reps)
+	}
+	if len(a.Elements()) != 6 {
+		t.Fatalf("elements = %v", a.Elements())
+	}
+}
+
+// buildAnswer groups a set of elements by their true labels.
+func buildAnswer(elems []int, labels []int) Answer {
+	byClass := map[int][]int{}
+	var order []int
+	for _, e := range elems {
+		l := labels[e]
+		if _, ok := byClass[l]; !ok {
+			order = append(order, l)
+		}
+		byClass[l] = append(byClass[l], e)
+	}
+	var a Answer
+	for _, l := range order {
+		a.Classes = append(a.Classes, byClass[l])
+	}
+	return a
+}
+
+// answerMatchesTruth checks an answer is the exact classification of its
+// elements under labels.
+func answerMatchesTruth(a Answer, labels []int) bool {
+	seen := map[int]bool{}
+	classOfLabel := map[int]int{}
+	for ci, cls := range a.Classes {
+		if len(cls) == 0 {
+			return false
+		}
+		l := labels[cls[0]]
+		if _, dup := classOfLabel[l]; dup {
+			return false // same true class split across answer classes
+		}
+		classOfLabel[l] = ci
+		for _, e := range cls {
+			if labels[e] != l || seen[e] {
+				return false
+			}
+			seen[e] = true
+		}
+	}
+	return true
+}
+
+func TestMergePairCRAndER(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(40)
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = rng.Intn(5)
+		}
+		truth := oracle.NewLabel(labels)
+		// Split elements into two disjoint sets.
+		cut := 1 + rng.Intn(n-2)
+		var left, right []int
+		for i := 0; i < n; i++ {
+			if i < cut {
+				left = append(left, i)
+			} else {
+				right = append(right, i)
+			}
+		}
+		a := buildAnswer(left, labels)
+		b := buildAnswer(right, labels)
+
+		cr := model.NewSession(truth, model.CR)
+		mergedCR, err := MergePairCR(cr, a, b)
+		if err != nil || !answerMatchesTruth(mergedCR, labels) {
+			return false
+		}
+		// CR pair merge costs K(a)·K(b) comparisons in one logical round.
+		if cr.Stats().Comparisons != int64(a.K()*b.K()) {
+			return false
+		}
+
+		er := model.NewSession(truth, model.ER)
+		mergedER, err := MergePairER(er, a, b)
+		if err != nil || !answerMatchesTruth(mergedER, labels) {
+			return false
+		}
+		// ER merge never exceeds max(K(a),K(b)) rounds or K(a)·K(b)
+		// comparisons.
+		if er.Stats().Rounds > max(a.K(), b.K()) {
+			return false
+		}
+		if er.Stats().Comparisons > int64(a.K()*b.K()) {
+			return false
+		}
+		return mergedER.Size() == n && mergedCR.Size() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeERSavesComparisons: the matched-class skip should usually do
+// strictly better than the full K(a)·K(b) grid when classes match.
+func TestMergeERSavesComparisons(t *testing.T) {
+	labels := []int{0, 1, 2, 0, 1, 2}
+	truth := oracle.NewLabel(labels)
+	a := buildAnswer([]int{0, 1, 2}, labels)
+	b := buildAnswer([]int{3, 4, 5}, labels)
+	s := model.NewSession(truth, model.ER)
+	merged, err := MergePairER(s, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.K() != 3 {
+		t.Fatalf("K = %d, want 3", merged.K())
+	}
+	// Diagonal matching: rotation round 0 matches everything, so only 3
+	// comparisons happen instead of 9.
+	if c := s.Stats().Comparisons; c != 3 {
+		t.Fatalf("comparisons = %d, want 3 (diagonal match)", c)
+	}
+}
+
+func TestMergeGroupCR(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(40)
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = rng.Intn(4)
+		}
+		truth := oracle.NewLabel(labels)
+		// Split into 3–5 random groups.
+		groups := 3 + rng.Intn(3)
+		parts := make([][]int, groups)
+		for i := 0; i < n; i++ {
+			g := rng.Intn(groups)
+			parts[g] = append(parts[g], i)
+		}
+		var answers []Answer
+		for _, p := range parts {
+			if len(p) > 0 {
+				answers = append(answers, buildAnswer(p, labels))
+			}
+		}
+		if len(answers) < 2 {
+			return true
+		}
+		s := model.NewSession(truth, model.CR)
+		merged, err := MergeGroupCR(s, answers)
+		if err != nil {
+			return false
+		}
+		return answerMatchesTruth(merged, labels) && merged.Size() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeGroupCRSingle(t *testing.T) {
+	a := Answer{Classes: [][]int{{0}}}
+	s := model.NewSession(oracle.NewLabel([]int{0}), model.CR)
+	out, err := MergeGroupCR(s, []Answer{a})
+	if err != nil || out.K() != 1 {
+		t.Fatalf("single group merge: %v %+v", err, out)
+	}
+	if _, err := MergeGroupCR(s, nil); err == nil {
+		t.Fatal("empty group accepted")
+	}
+}
+
+func TestMergeModeEnforcement(t *testing.T) {
+	truth := oracle.NewLabel([]int{0, 1})
+	er := model.NewSession(truth, model.ER)
+	a, b := Singleton(0), Singleton(1)
+	if _, err := MergePairCR(er, a, b); err == nil {
+		t.Fatal("MergePairCR accepted ER session")
+	}
+	if _, err := MergeGroupCR(er, []Answer{a, b}); err == nil {
+		t.Fatal("MergeGroupCR accepted ER session")
+	}
+}
+
+func TestResultCanonicalAndLabels(t *testing.T) {
+	r := Result{Classes: [][]int{{5, 2}, {1, 4, 0}, {3}}}
+	canon := r.Canonical()
+	want := [][]int{{0, 1, 4}, {2, 5}, {3}}
+	for i := range want {
+		if len(canon[i]) != len(want[i]) {
+			t.Fatalf("canonical = %v", canon)
+		}
+		for j := range want[i] {
+			if canon[i][j] != want[i][j] {
+				t.Fatalf("canonical = %v", canon)
+			}
+		}
+	}
+	labels := r.Labels(6)
+	wantLabels := []int{0, 0, 1, 2, 0, 1}
+	for i := range wantLabels {
+		if labels[i] != wantLabels[i] {
+			t.Fatalf("labels = %v, want %v", labels, wantLabels)
+		}
+	}
+	// Uncovered elements get -1.
+	partial := Result{Classes: [][]int{{0}}}
+	if l := partial.Labels(2); l[1] != -1 {
+		t.Fatalf("uncovered label = %d, want -1", l[1])
+	}
+}
+
+func TestSameClassification(t *testing.T) {
+	if !SameClassification([]int{0, 0, 1}, []int{5, 5, 9}) {
+		t.Error("identical partitions rejected")
+	}
+	if SameClassification([]int{0, 0, 1}, []int{0, 1, 1}) {
+		t.Error("different partitions accepted")
+	}
+	if SameClassification([]int{0}, []int{0, 1}) {
+		t.Error("length mismatch accepted")
+	}
+	if !SameClassification(nil, nil) {
+		t.Error("empty partitions rejected")
+	}
+	// Injectivity both ways: a refines b but b doesn't refine a.
+	if SameClassification([]int{0, 1, 2}, []int{0, 0, 1}) {
+		t.Error("refinement accepted as equality")
+	}
+	if SameClassification([]int{0, 0, 1}, []int{0, 1, 2}) {
+		t.Error("coarsening accepted as equality")
+	}
+}
+
+func TestSortCRUnknownK(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, tc := range []struct{ n, k int }{
+		{1, 1}, {10, 3}, {64, 8}, {200, 5}, {333, 17},
+	} {
+		truth := oracle.RandomBalanced(tc.n, tc.k, rng)
+		s := model.NewSession(truth, model.CR)
+		res, err := SortCRUnknownK(s)
+		if err != nil {
+			t.Fatalf("n=%d k=%d: %v", tc.n, tc.k, err)
+		}
+		checkResult(t, res, truth)
+	}
+}
+
+func TestSortCRUnknownKModeCheck(t *testing.T) {
+	truth := oracle.NewLabel([]int{0, 1})
+	if _, err := SortCRUnknownK(model.NewSession(truth, model.ER)); err == nil {
+		t.Fatal("ER session accepted")
+	}
+}
+
+// TestSortCRUnknownKRoundsComparable: the adaptive variant should not
+// spend wildly more rounds than the informed one.
+func TestSortCRUnknownKRoundsComparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	truth := oracle.RandomBalanced(4096, 8, rng)
+	informed := model.NewSession(truth, model.CR)
+	if _, err := SortCR(informed, 8); err != nil {
+		t.Fatal(err)
+	}
+	adaptive := model.NewSession(truth, model.CR)
+	if _, err := SortCRUnknownK(adaptive); err != nil {
+		t.Fatal(err)
+	}
+	if adaptive.Stats().Rounds > 4*informed.Stats().Rounds+16 {
+		t.Errorf("adaptive rounds %d vs informed %d", adaptive.Stats().Rounds, informed.Stats().Rounds)
+	}
+}
+
+func TestSortConstRoundERAdaptive(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	// ℓ/n = 0.1 < 0.4: the starting guess may or may not fail (success
+	// only needs a component of λn/8 per class, which is weaker than
+	// ℓ ≥ λn), but the recipe must end with a correct classification at
+	// some λ ∈ (0, 0.4].
+	truth := oracle.RandomSizes([]int{20, 80, 100}, rng)
+	s := model.NewSession(truth, model.ER)
+	res, lambda, err := SortConstRoundERAdaptive(s, AdaptiveConstRoundConfig{
+		D:          10,
+		MaxRetries: 2,
+		Rng:        rand.New(rand.NewSource(64)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lambda <= 0 || lambda > 0.4 {
+		t.Errorf("returned λ=%v outside (0, 0.4]", lambda)
+	}
+	checkResult(t, res, truth)
+}
+
+// TestSortConstRoundERAdaptiveMustHalve forces failures with a skewed
+// input and D=1 (sparse random graph): the recipe should still converge
+// or exhaust cleanly.
+func TestSortConstRoundERAdaptiveMustHalve(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	truth := oracle.RandomSizes([]int{5, 95, 100}, rng) // ℓ/n = 0.025
+	s := model.NewSession(truth, model.ER)
+	res, lambda, err := SortConstRoundERAdaptive(s, AdaptiveConstRoundConfig{
+		D:          6,
+		MaxRetries: 3,
+		Rng:        rand.New(rand.NewSource(66)),
+	})
+	if err != nil {
+		if !errors.Is(err, ErrAdaptiveExhausted) {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		return
+	}
+	if lambda <= 0 || lambda > 0.4 {
+		t.Errorf("returned λ=%v outside (0, 0.4]", lambda)
+	}
+	checkResult(t, res, truth)
+}
+
+func TestSortConstRoundERAdaptiveValidation(t *testing.T) {
+	truth := oracle.NewLabel([]int{0, 0, 1, 1})
+	s := model.NewSession(truth, model.ER)
+	if _, _, err := SortConstRoundERAdaptive(s, AdaptiveConstRoundConfig{}); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+	if _, _, err := SortConstRoundERAdaptive(s, AdaptiveConstRoundConfig{
+		StartLambda: 0.7, Rng: rand.New(rand.NewSource(1)),
+	}); err == nil {
+		t.Fatal("StartLambda 0.7 accepted")
+	}
+}

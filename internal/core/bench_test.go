@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ecsort/internal/model"
+	"ecsort/internal/oracle"
+)
+
+// Algorithm throughput across input sizes; complements the root-level
+// per-figure benchmarks with engine-level numbers.
+
+func benchSorter(b *testing.B, mode model.Mode, n, k int,
+	run func(*model.Session) (Result, error)) {
+	b.Helper()
+	truth := oracle.RandomBalanced(n, k, rand.New(rand.NewSource(7)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := model.NewSession(truth, mode)
+		if _, err := run(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSortCREngine(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 13, 1 << 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchSorter(b, model.CR, n, 8, func(s *model.Session) (Result, error) {
+				return SortCR(s, 8)
+			})
+		})
+	}
+}
+
+func BenchmarkSortEREngine(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 13, 1 << 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchSorter(b, model.ER, n, 8, SortER)
+		})
+	}
+}
+
+func BenchmarkRoundRobinEngine(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 13} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchSorter(b, model.ER, n, 8, RoundRobin)
+		})
+	}
+}
+
+func BenchmarkNaiveEngine(b *testing.B) {
+	benchSorter(b, model.ER, 1<<13, 8, Naive)
+}
+
+func BenchmarkCertifyEngine(b *testing.B) {
+	truth := oracle.RandomBalanced(1<<13, 8, rand.New(rand.NewSource(8)))
+	res, err := SortER(model.NewSession(truth, model.ER))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := model.NewSession(truth, model.ER)
+		if err := Certify(s, res.Classes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIncrementalEngine(b *testing.B) {
+	const n = 1 << 12
+	truth := oracle.RandomBalanced(n, 8, rand.New(rand.NewSource(9)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := model.NewSession(truth, model.CR)
+		inc, err := NewIncremental(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for e := 0; e < n; e++ {
+			if err := inc.Add(e); err != nil {
+				b.Fatal(err)
+			}
+			if e%256 == 255 {
+				if err := inc.Flush(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if _, err := inc.Classes(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

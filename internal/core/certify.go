@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+
+	"ecsort/internal/model"
+	"ecsort/internal/sched"
+)
+
+// Certify checks a claimed classification against an oracle with the
+// minimum testing a certificate needs: every element equals its class
+// representative (n − k tests) and representatives are pairwise distinct
+// ((k choose 2) tests) — exactly the clique condition under which the
+// Figure 2 knowledge graph declares an answer final. Tests are scheduled
+// into disjoint rounds so certification is itself a legal ER computation.
+//
+// It returns nil iff the classes are a correct and complete equivalence
+// class sorting of the oracle's elements.
+func Certify(s *model.Session, classes [][]int) error {
+	n := s.N()
+	covered := make([]bool, n)
+	total := 0
+	for ci, cls := range classes {
+		if len(cls) == 0 {
+			return fmt.Errorf("core: class %d is empty", ci)
+		}
+		for _, e := range cls {
+			if e < 0 || e >= n {
+				return fmt.Errorf("core: class %d contains out-of-range element %d", ci, e)
+			}
+			if covered[e] {
+				return fmt.Errorf("core: element %d appears in two classes", e)
+			}
+			covered[e] = true
+			total++
+		}
+	}
+	if total != n {
+		return fmt.Errorf("core: classes cover %d of %d elements", total, n)
+	}
+
+	// Within-class checks: rep vs. every other member. A rep can do one
+	// test per ER round, so round j tests the (j+1)-th member of every
+	// class simultaneously — max class size − 1 rounds in total.
+	maxLen := 0
+	for _, cls := range classes {
+		if len(cls) > maxLen {
+			maxLen = len(cls)
+		}
+	}
+	for j := 1; j < maxLen; j++ {
+		var round []model.Pair
+		var owner []int
+		for ci, cls := range classes {
+			if j < len(cls) {
+				round = append(round, model.Pair{A: cls[0], B: cls[j]})
+				owner = append(owner, ci)
+			}
+		}
+		res, err := s.Round(round)
+		if err != nil {
+			return err
+		}
+		for i, eq := range res {
+			if !eq {
+				return fmt.Errorf("core: class %d contains non-equivalent elements %d and %d",
+					owner[i], round[i].A, round[i].B)
+			}
+		}
+	}
+
+	// Cross-class checks: all representative pairs via the circle
+	// schedule.
+	reps := make([]int, len(classes))
+	repClass := make(map[int]int, len(classes))
+	for ci, cls := range classes {
+		reps[ci] = cls[0]
+		repClass[cls[0]] = ci
+	}
+	for _, round := range sched.AllPairs(reps) {
+		res, err := s.Round(round)
+		if err != nil {
+			return err
+		}
+		for i, eq := range res {
+			if eq {
+				return fmt.Errorf("core: classes %d and %d are actually the same class",
+					repClass[round[i].A], repClass[round[i].B])
+			}
+		}
+	}
+	return nil
+}

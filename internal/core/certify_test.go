@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ecsort/internal/model"
+	"ecsort/internal/oracle"
+)
+
+func TestCertifyAcceptsCorrectAnswers(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(60)
+		k := 1 + rng.Intn(6)
+		truth := oracle.RandomBalanced(n, k, rng)
+		res, err := SortER(model.NewSession(truth, model.ER))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cert := model.NewSession(truth, model.ER)
+		if err := Certify(cert, res.Classes); err != nil {
+			t.Fatalf("trial %d: correct answer rejected: %v", trial, err)
+		}
+	}
+}
+
+func TestCertifyRejectsBadAnswers(t *testing.T) {
+	truth := oracle.NewLabel([]int{0, 0, 1, 1})
+	cases := []struct {
+		name    string
+		classes [][]int
+		wantSub string
+	}{
+		{"merged classes", [][]int{{0, 1, 2, 3}}, "non-equivalent"},
+		{"split class", [][]int{{0}, {1}, {2, 3}}, "actually the same"},
+		{"missing element", [][]int{{0, 1}, {2}}, "cover"},
+		{"duplicate element", [][]int{{0, 1}, {2, 3, 0}}, "two classes"},
+		{"out of range", [][]int{{0, 1}, {2, 3, 9}}, "out-of-range"},
+		{"empty class", [][]int{{0, 1}, {2, 3}, {}}, "empty"},
+		{"swapped member", [][]int{{0, 2}, {1, 3}}, "non-equivalent"},
+	}
+	for _, tc := range cases {
+		s := model.NewSession(truth, model.ER)
+		err := Certify(s, tc.classes)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+// TestCertifyCost: n−k within-class tests plus (k choose 2) cross tests,
+// no more.
+func TestCertifyCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	n, k := 120, 6
+	truth := oracle.RandomBalanced(n, k, rng)
+	res, err := SortER(model.NewSession(truth, model.ER))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := model.NewSession(truth, model.ER)
+	if err := Certify(s, res.Classes); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(n - k + k*(k-1)/2)
+	if got := s.Stats().Comparisons; got != want {
+		t.Errorf("certification cost %d, want %d", got, want)
+	}
+}
+
+// TestCertifyQuickAgainstCorruptions: random single-element corruption of
+// a correct answer must always be caught.
+func TestCertifyQuickAgainstCorruptions(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(40)
+		k := 2 + rng.Intn(3)
+		truth := oracle.RandomBalanced(n, k, rng)
+		res, err := SortER(model.NewSession(truth, model.ER))
+		if err != nil {
+			return false
+		}
+		classes := res.Canonical()
+		if len(classes) < 2 {
+			return true
+		}
+		// Move one element to a different class. Need a donor class with
+		// at least two members (all-singleton partitions have none).
+		donors := 0
+		for _, c := range classes {
+			if len(c) >= 2 {
+				donors++
+			}
+		}
+		if donors == 0 {
+			return true
+		}
+		from := rng.Intn(len(classes))
+		for len(classes[from]) < 2 {
+			from = rng.Intn(len(classes))
+		}
+		to := (from + 1 + rng.Intn(len(classes)-1)) % len(classes)
+		moved := classes[from][rng.Intn(len(classes[from]))]
+		var newFrom []int
+		for _, e := range classes[from] {
+			if e != moved {
+				newFrom = append(newFrom, e)
+			}
+		}
+		classes[from] = newFrom
+		classes[to] = append(classes[to], moved)
+		s := model.NewSession(truth, model.ER)
+		return Certify(s, classes) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCertifyRoundEfficiency: within-class rounds are shared across
+// classes, so a balanced instance certifies in about n/k + k rounds.
+func TestCertifyRoundEfficiency(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	n, k := 128, 4
+	truth := oracle.RandomBalanced(n, k, rng)
+	res, err := SortER(model.NewSession(truth, model.ER))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := model.NewSession(truth, model.ER)
+	if err := Certify(s, res.Classes); err != nil {
+		t.Fatal(err)
+	}
+	// Largest class ≈ n/k = 32 → ≤ 35 within rounds; cross ≤ k = 4.
+	if r := s.Stats().Rounds; r > n/k+k+8 {
+		t.Errorf("certification used %d rounds, want ≈ %d", r, n/k+k)
+	}
+}

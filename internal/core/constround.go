@@ -1,0 +1,229 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"ecsort/internal/graphs"
+	"ecsort/internal/model"
+	"ecsort/internal/sched"
+	"ecsort/internal/unionfind"
+)
+
+// ErrConstRoundFailed reports that the randomized constant-round algorithm
+// failed to classify every element with the given λ and retry budget. The
+// failure probability is e^{-Ω(n)} for correct λ, so in practice this
+// means λ was larger than ℓ/n.
+var ErrConstRoundFailed = errors.New("core: constant-round algorithm failed; smallest class may be below λn")
+
+// ConstRoundConfig configures SortConstRoundER.
+type ConstRoundConfig struct {
+	// Lambda is the guaranteed lower bound on (smallest class size)/n,
+	// in (0, 0.4]. Required.
+	Lambda float64
+	// D overrides the number of Hamiltonian cycles. If 0, the
+	// theory-driven constant d(λ) from Theorem 3 is used; that constant
+	// is pessimistic (hundreds of cycles for small λ), so experiments
+	// commonly set a smaller D and rely on retries.
+	D int
+	// MaxRetries bounds how many times the algorithm redraws its random
+	// cycles after a failure. 0 means 1 attempt, no retries.
+	MaxRetries int
+	// Rng drives the random Hamiltonian cycles. Required.
+	Rng *rand.Rand
+	// StrictSCC selects anchors as strongly connected components of the
+	// directed "equal" edges, the literal reading of Theorem 3. The
+	// default uses undirected connected components, which is sound
+	// because equivalence is symmetric (an equal edge is traversable
+	// both ways) and never produces smaller anchors. StrictSCC exists to
+	// validate that reading and for apples-to-apples comparisons with
+	// the theorem's statement.
+	StrictSCC bool
+}
+
+// SortConstRoundER solves equivalence class sorting in the exclusive-read
+// model in O(1) parallel rounds using n processors, provided every
+// equivalence class has size at least λn (Theorem 4). The algorithm:
+//
+//  1. Draw H_d, the union of d = d(λ) random Hamiltonian cycles, and test
+//     every edge — at most 3d rounds of disjoint tests (step 2).
+//  2. The "true" edges induce connected components; by Theorem 3 every
+//     class contains a component of size ≥ λn/8 with high probability.
+//     Components that big ("anchors") are cross-checked pairwise (O(1)
+//     rounds of disjoint tests via the circle schedule) to merge anchors
+//     of the same class.
+//  3. Each anchor sweeps all still-unclassified elements |C| at a time
+//     (step 3): ⌈targets/|C|⌉ ≤ 8/λ rounds per anchor, and at most
+//     ⌊1/λ⌋ anchors, so O(1) rounds in total.
+//
+// If some element matches no anchor, the random graph failed to seed that
+// element's class with a large component; the algorithm redraws and
+// retries up to cfg.MaxRetries times and reports ErrConstRoundFailed after
+// exhausting them. Following the paper's remark, a caller that does not
+// know λ can halve its guess and call again.
+func SortConstRoundER(s *model.Session, cfg ConstRoundConfig) (Result, error) {
+	if s.Mode() != model.ER {
+		return Result{}, fmt.Errorf("core: SortConstRoundER requires an ER session, got %v", s.Mode())
+	}
+	if cfg.Lambda <= 0 || cfg.Lambda > 0.4 {
+		return Result{}, fmt.Errorf("core: lambda %v outside (0, 0.4]", cfg.Lambda)
+	}
+	if cfg.Rng == nil {
+		return Result{}, errors.New("core: ConstRoundConfig.Rng is required")
+	}
+	n := s.N()
+	if n == 0 {
+		return Result{Stats: s.Stats()}, nil
+	}
+	if n < 3 {
+		// Too small for Hamiltonian cycles; a single ER round suffices.
+		return tinySortER(s, n)
+	}
+	d := cfg.D
+	if d == 0 {
+		d = graphs.DegreeForLambda(cfg.Lambda)
+	}
+	for attempt := 0; ; attempt++ {
+		res, ok, err := constRoundAttempt(s, n, d, cfg.Lambda, cfg.StrictSCC, cfg.Rng)
+		if err != nil {
+			return Result{}, err
+		}
+		if ok {
+			return res, nil
+		}
+		if attempt >= cfg.MaxRetries {
+			return Result{}, ErrConstRoundFailed
+		}
+	}
+}
+
+// tinySortER classifies n ∈ {1,2} elements directly.
+func tinySortER(s *model.Session, n int) (Result, error) {
+	if n == 1 {
+		return Result{Classes: [][]int{{0}}, Stats: s.Stats()}, nil
+	}
+	res, err := s.Round([]model.Pair{{A: 0, B: 1}})
+	if err != nil {
+		return Result{}, err
+	}
+	if res[0] {
+		return Result{Classes: [][]int{{0, 1}}, Stats: s.Stats()}, nil
+	}
+	return Result{Classes: [][]int{{0}, {1}}, Stats: s.Stats()}, nil
+}
+
+func constRoundAttempt(s *model.Session, n, d int, lambda float64, strictSCC bool, rng *rand.Rand) (Result, bool, error) {
+	dsu := unionfind.New(n)
+
+	// Step 2: test the edges of H_d, cycle by cycle, in disjoint rounds.
+	h := graphs.NewHamiltonian(n, d, rng)
+	var allEdges []model.Pair
+	var allResults []bool
+	for _, round := range h.ERRounds() {
+		res, err := s.Round(round)
+		if err != nil {
+			return Result{}, false, err
+		}
+		allEdges = append(allEdges, round...)
+		allResults = append(allResults, res...)
+	}
+	for i, e := range allEdges {
+		if allResults[i] {
+			dsu.Union(e.A, e.B)
+		}
+	}
+
+	// Anchors: components of size ≥ max(1, ⌊λn/8⌋), per step 3's bound
+	// |C| ≥ λn/8 (Theorem 3 with γ = 1/4 gives λn/4; the paper uses the
+	// slack λn/8).
+	threshold := int(lambda * float64(n) / 8)
+	if threshold < 1 {
+		threshold = 1
+	}
+	var components [][]int
+	if strictSCC {
+		var equalEdges []model.Pair
+		for i, e := range allEdges {
+			if allResults[i] {
+				equalEdges = append(equalEdges, e)
+			}
+		}
+		components = graphs.StronglyConnectedComponents(n, equalEdges)
+	} else {
+		components = graphs.ComponentsFromEqualities(n, allEdges, allResults)
+	}
+	var anchors [][]int
+	for _, c := range components {
+		if len(c) >= threshold {
+			anchors = append(anchors, c)
+		}
+	}
+	if len(anchors) == 0 {
+		return Result{}, false, nil
+	}
+
+	// Merge anchors of the same class: all representative pairs via the
+	// circle schedule (disjoint per round, ≤ |anchors| rounds).
+	reps := make([]int, len(anchors))
+	for i, c := range anchors {
+		reps[i] = c[0]
+	}
+	for _, round := range sched.AllPairs(reps) {
+		res, err := s.Round(round)
+		if err != nil {
+			return Result{}, false, err
+		}
+		for i, eq := range res {
+			if eq {
+				dsu.Union(round[i].A, round[i].B)
+			}
+		}
+	}
+
+	// Sweep: each anchor classifies the elements outside every anchor,
+	// |C| targets per round. Elements already matched to an earlier
+	// anchor are dropped from later sweeps.
+	inAnchor := make([]bool, n)
+	for _, c := range anchors {
+		for _, e := range c {
+			inAnchor[e] = true
+		}
+	}
+	var targets []int
+	for e := 0; e < n; e++ {
+		if !inAnchor[e] {
+			targets = append(targets, e)
+		}
+	}
+	matched := make([]bool, n)
+	for _, anchor := range anchors {
+		var remaining []int
+		for _, t := range targets {
+			if !matched[t] {
+				remaining = append(remaining, t)
+			}
+		}
+		if len(remaining) == 0 {
+			break
+		}
+		for _, round := range sched.Sweep(anchor, remaining) {
+			res, err := s.Round(round)
+			if err != nil {
+				return Result{}, false, err
+			}
+			for i, eq := range res {
+				if eq {
+					dsu.Union(round[i].A, round[i].B)
+					matched[round[i].B] = true
+				}
+			}
+		}
+	}
+	for _, t := range targets {
+		if !matched[t] {
+			return Result{}, false, nil // some class had no anchor: retry
+		}
+	}
+	return Result{Classes: dsu.Groups(), Stats: s.Stats()}, true, nil
+}

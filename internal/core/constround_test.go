@@ -1,0 +1,233 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"ecsort/internal/model"
+	"ecsort/internal/oracle"
+)
+
+func constCfg(lambda float64, d int, seed int64) ConstRoundConfig {
+	return ConstRoundConfig{
+		Lambda:     lambda,
+		D:          d,
+		MaxRetries: 3,
+		Rng:        rand.New(rand.NewSource(seed)),
+	}
+}
+
+func TestConstRoundCorrectBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, tc := range []struct {
+		n, k   int
+		lambda float64
+	}{
+		{30, 3, 0.3}, {100, 3, 0.3}, {90, 2, 0.4}, {200, 4, 0.2},
+	} {
+		truth := oracle.RandomBalanced(tc.n, tc.k, rng)
+		s := model.NewSession(truth, model.ER)
+		res, err := SortConstRoundER(s, constCfg(tc.lambda, 0, 33))
+		if err != nil {
+			t.Fatalf("n=%d k=%d λ=%v: %v", tc.n, tc.k, tc.lambda, err)
+		}
+		checkResult(t, res, truth)
+	}
+}
+
+func TestConstRoundTinyInputs(t *testing.T) {
+	for _, labels := range [][]int{{0}, {0, 0}, {0, 1}} {
+		truth := oracle.NewLabel(labels)
+		s := model.NewSession(truth, model.ER)
+		res, err := SortConstRoundER(s, constCfg(0.4, 0, 1))
+		if err != nil {
+			t.Fatalf("labels %v: %v", labels, err)
+		}
+		checkResult(t, res, truth)
+	}
+}
+
+func TestConstRoundEmpty(t *testing.T) {
+	truth := oracle.NewLabel(nil)
+	s := model.NewSession(truth, model.ER)
+	res, err := SortConstRoundER(s, constCfg(0.4, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Classes) != 0 {
+		t.Fatalf("classes = %v", res.Classes)
+	}
+}
+
+func TestConstRoundValidation(t *testing.T) {
+	truth := oracle.NewLabel([]int{0, 0, 1, 1})
+	s := model.NewSession(truth, model.ER)
+	if _, err := SortConstRoundER(s, ConstRoundConfig{Lambda: 0.5, Rng: rand.New(rand.NewSource(1))}); err == nil {
+		t.Error("lambda > 0.4 accepted")
+	}
+	if _, err := SortConstRoundER(s, ConstRoundConfig{Lambda: 0.3}); err == nil {
+		t.Error("nil rng accepted")
+	}
+	crs := model.NewSession(truth, model.CR)
+	if _, err := SortConstRoundER(crs, constCfg(0.3, 0, 1)); err == nil {
+		t.Error("CR session accepted")
+	}
+}
+
+// TestConstRoundFailsGracefullyOnTinyClasses: when the smallest class is
+// far below λn and D is small, the algorithm should admit failure rather
+// than return a wrong answer.
+func TestConstRoundFailsGracefullyOnTinyClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	// 1 lone element among 199 others: ℓ/n = 0.005 « λ = 0.4.
+	sizes := []int{1, 99, 100}
+	truth := oracle.RandomSizes(sizes, rng)
+	s := model.NewSession(truth, model.ER)
+	res, err := SortConstRoundER(s, ConstRoundConfig{
+		Lambda:     0.4,
+		D:          2,
+		MaxRetries: 2,
+		Rng:        rand.New(rand.NewSource(5)),
+	})
+	if err == nil {
+		// If it succeeded anyway, the answer must still be right (the
+		// algorithm only returns complete classifications).
+		checkResult(t, res, truth)
+		return
+	}
+	if !errors.Is(err, ErrConstRoundFailed) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestTheorem4ConstantRounds: for fixed λ the number of rounds must not
+// grow with n.
+func TestTheorem4ConstantRounds(t *testing.T) {
+	lambda := 0.3
+	d := 8 // modest constant; retries cover the rare failures
+	roundsAt := func(n int) int {
+		truth := oracle.RandomBalanced(n, 3, rand.New(rand.NewSource(int64(n))))
+		s := model.NewSession(truth, model.ER)
+		res, err := SortConstRoundER(s, ConstRoundConfig{
+			Lambda:     lambda,
+			D:          d,
+			MaxRetries: 6,
+			Rng:        rand.New(rand.NewSource(int64(n) * 7)),
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got := len(res.Classes); got != 3 {
+			t.Fatalf("n=%d: got %d classes, want 3", n, got)
+		}
+		return s.Stats().Rounds
+	}
+	small := roundsAt(300)
+	large := roundsAt(4800)
+	// Allow slack for odd/even cycle splits and retries, but a
+	// logarithmic or worse growth would blow this out.
+	if large > 3*small+30 {
+		t.Errorf("rounds grew with n: %d at n=300 vs %d at n=4800", small, large)
+	}
+}
+
+// TestConstRoundRetryOnUnluckyDraw: with D=1 failures are common; the
+// retry loop must still converge or fail cleanly, never mis-classify.
+func TestConstRoundRetrySafety(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 10; trial++ {
+		truth := oracle.RandomBalanced(60, 3, rng)
+		s := model.NewSession(truth, model.ER)
+		res, err := SortConstRoundER(s, ConstRoundConfig{
+			Lambda:     0.3,
+			D:          1,
+			MaxRetries: 4,
+			Rng:        rand.New(rand.NewSource(int64(trial))),
+		})
+		if err != nil {
+			if !errors.Is(err, ErrConstRoundFailed) {
+				t.Fatalf("trial %d: unexpected error %v", trial, err)
+			}
+			continue
+		}
+		checkResult(t, res, truth)
+	}
+}
+
+// TestConstRoundStrictSCC: the literal Theorem 3 reading (directed SCC
+// anchors) must agree with the default undirected-component variant.
+func TestConstRoundStrictSCC(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	for trial := 0; trial < 8; trial++ {
+		truth := oracle.RandomBalanced(120, 3, rng)
+		strict := model.NewSession(truth, model.ER)
+		res, err := SortConstRoundER(strict, ConstRoundConfig{
+			Lambda:     0.2,
+			D:          10,
+			MaxRetries: 5,
+			StrictSCC:  true,
+			Rng:        rand.New(rand.NewSource(int64(trial))),
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		checkResult(t, res, truth)
+	}
+}
+
+// TestConstRoundStrictSCCNeverLargerAnchors: directed SCCs are contained
+// in undirected components, so the strict variant can only see smaller or
+// equal anchors — with enough cycles both succeed, and the strict one
+// never spends fewer comparisons on sweeps.
+func TestConstRoundStrictSCCCost(t *testing.T) {
+	truth := oracle.RandomBalanced(200, 2, rand.New(rand.NewSource(26)))
+	run := func(strict bool) int64 {
+		s := model.NewSession(truth, model.ER)
+		_, err := SortConstRoundER(s, ConstRoundConfig{
+			Lambda:     0.3,
+			D:          12,
+			MaxRetries: 5,
+			StrictSCC:  strict,
+			Rng:        rand.New(rand.NewSource(27)),
+		})
+		if err != nil {
+			t.Fatalf("strict=%v: %v", strict, err)
+		}
+		return s.Stats().Comparisons
+	}
+	loose := run(false)
+	strict := run(true)
+	if strict < loose {
+		t.Errorf("strict SCC variant cheaper (%d) than undirected (%d): anchors cannot be larger",
+			strict, loose)
+	}
+}
+
+// TestLambdaHalvingRecipe exercises the paper's remark: when λ is unknown,
+// halve a failing guess until the algorithm succeeds.
+func TestLambdaHalvingRecipe(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	truth := oracle.RandomSizes([]int{30, 70, 100}, rng) // ℓ/n = 0.15
+	s := model.NewSession(truth, model.ER)
+	lambda := 0.4
+	for {
+		res, err := SortConstRoundER(s, ConstRoundConfig{
+			Lambda:     lambda,
+			D:          10,
+			MaxRetries: 1,
+			Rng:        rand.New(rand.NewSource(77)),
+		})
+		if err == nil {
+			checkResult(t, res, truth)
+			return
+		}
+		if !errors.Is(err, ErrConstRoundFailed) {
+			t.Fatal(err)
+		}
+		lambda /= 2
+		if lambda < 1e-3 {
+			t.Fatal("halving recipe never succeeded")
+		}
+	}
+}

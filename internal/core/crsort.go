@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+
+	"ecsort/internal/model"
+)
+
+// SortCR solves equivalence class sorting in the concurrent-read model in
+// O(k + log log n) parallel rounds using n processors (Theorem 1), where k
+// is the number of equivalence classes. It is the two-phased
+// compounding-comparison algorithm of Section 2.1:
+//
+//  1. Start from n singleton answers.
+//  2. Phase 1: while the number of processors per answer is below 4k²,
+//     merge answers in pairs (k² representative tests per merge). Each
+//     iteration's tests form one logical round that the session splits
+//     into ⌈total/n⌉ physical rounds; summed over iterations this is O(k)
+//     rounds.
+//  3. Phase 2: with c·k² processors per answer, merge groups of 2c+1
+//     answers in a single round each ((2c+1)·c·k² ≤ n tests per
+//     iteration), so the answer count decays doubly exponentially and
+//     O(log log n) iterations remain.
+//
+// k must be the true number of classes or an upper bound on it; the output
+// is correct for any k ≥ 1 (k only steers the phase switch and hence the
+// round count). The session must be in CR mode.
+func SortCR(s *model.Session, k int) (Result, error) {
+	if s.Mode() != model.CR {
+		return Result{}, fmt.Errorf("core: SortCR requires a CR session, got %v", s.Mode())
+	}
+	if k < 1 {
+		return Result{}, fmt.Errorf("core: SortCR needs k >= 1, got %d", k)
+	}
+	n := s.N()
+	if n == 0 {
+		return Result{Stats: s.Stats()}, nil
+	}
+	p := n // the model grants one processor per element
+	answers := Singletons(n)
+
+	// Phase 1: pairwise merges until each answer owns >= 4k² processors.
+	for len(answers) > 1 && p/len(answers) < 4*k*k {
+		next, err := mergePairsCR(s, answers)
+		if err != nil {
+			return Result{}, err
+		}
+		answers = next
+	}
+
+	// Phase 2: compounding group merges, one physical round per iteration.
+	for len(answers) > 1 {
+		c := p / (len(answers) * k * k)
+		if c < 2 {
+			c = 2
+		}
+		g := 2*c + 1
+		if g > len(answers) {
+			g = len(answers)
+		}
+		next, err := mergeGroupsCR(s, answers, g)
+		if err != nil {
+			return Result{}, err
+		}
+		answers = next
+	}
+	return Result{Classes: answers[0].Classes, Stats: s.Stats()}, nil
+}
+
+// mergePairsCR merges answers two at a time — (0,1), (2,3), ... — with all
+// tests of the iteration batched into one logical round, mirroring that
+// the merges happen simultaneously on disjoint processor groups.
+func mergePairsCR(s *model.Session, answers []Answer) ([]Answer, error) {
+	return mergeGroupsCR(s, answers, 2)
+}
+
+// mergeGroupsCR partitions answers into consecutive groups of size g and
+// merges each group, batching every group's cross tests into one logical
+// round. A trailing group smaller than g (possibly a single answer) is
+// merged or carried over as-is.
+func mergeGroupsCR(s *model.Session, answers []Answer, g int) ([]Answer, error) {
+	if g < 2 {
+		return nil, fmt.Errorf("core: group size %d < 2", g)
+	}
+	type groupSpan struct {
+		group    []Answer
+		lo, hi   int // half-open span of the batch owned by this group
+		groupIdx int
+	}
+	var batch []model.Pair
+	var spans []groupSpan
+	next := make([]Answer, 0, (len(answers)+g-1)/g)
+	for start := 0; start < len(answers); start += g {
+		end := min(start+g, len(answers))
+		group := answers[start:end]
+		if len(group) == 1 {
+			next = append(next, group[0])
+			continue
+		}
+		lo := len(batch)
+		batch = append(batch, crossPairs(group)...)
+		spans = append(spans, groupSpan{group: group, lo: lo, hi: len(batch), groupIdx: len(next)})
+		next = append(next, Answer{}) // placeholder, filled after execution
+	}
+	res, err := s.Round(batch)
+	if err != nil {
+		return nil, err
+	}
+	for _, sp := range spans {
+		next[sp.groupIdx] = uniteGroup(sp.group, batch[sp.lo:sp.hi], res[sp.lo:sp.hi])
+	}
+	return next, nil
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+
+	"ecsort/internal/model"
+)
+
+// SortER solves equivalence class sorting in the exclusive-read model in
+// O(k log n) parallel rounds using n processors (Theorem 2), where k is
+// the number of equivalence classes. It runs a level-synchronous binary
+// merge tree: at each of the ⌈log n⌉ levels, answers are merged in pairs,
+// each merge taking at most k rounds of disjoint representative tests via
+// the rotation schedule. Merges at one level cover disjoint element sets,
+// so round r of every merge executes as a single parallel round; a level
+// therefore costs max over its merges ≤ k rounds.
+//
+// SortER needs no knowledge of k. The session must be in ER mode.
+func SortER(s *model.Session) (Result, error) {
+	if s.Mode() != model.ER {
+		return Result{}, fmt.Errorf("core: SortER requires an ER session, got %v", s.Mode())
+	}
+	n := s.N()
+	if n == 0 {
+		return Result{Stats: s.Stats()}, nil
+	}
+	answers := Singletons(n)
+	for len(answers) > 1 {
+		merged, err := mergeLevelER(s, answers)
+		if err != nil {
+			return Result{}, err
+		}
+		answers = merged
+	}
+	return Result{Classes: answers[0].Classes, Stats: s.Stats()}, nil
+}
+
+// mergeLevelER merges answers pairwise — (0,1), (2,3), ... — sharing
+// rounds across the level: the i-th rotation round of every active merge
+// is combined into one parallel round of disjoint tests.
+func mergeLevelER(s *model.Session, answers []Answer) ([]Answer, error) {
+	next := make([]Answer, 0, (len(answers)+1)/2)
+	type activeMerge struct {
+		plan *pairPlan
+		slot int
+	}
+	var active []activeMerge
+	for start := 0; start < len(answers); start += 2 {
+		if start+1 == len(answers) {
+			next = append(next, answers[start])
+			continue
+		}
+		active = append(active, activeMerge{
+			plan: newPairPlan(answers[start], answers[start+1]),
+			slot: len(next),
+		})
+		next = append(next, Answer{}) // placeholder
+	}
+	for len(active) > 0 {
+		var batch []model.Pair
+		type span struct {
+			idx    int // index into active
+			lo, hi int
+		}
+		var spans []span
+		still := active[:0]
+		for i := range active {
+			pairs := active[i].plan.next()
+			if pairs == nil {
+				next[active[i].slot] = active[i].plan.result()
+				continue
+			}
+			lo := len(batch)
+			batch = append(batch, pairs...)
+			spans = append(spans, span{idx: len(still), lo: lo, hi: len(batch)})
+			still = append(still, active[i])
+		}
+		if len(batch) == 0 {
+			active = still
+			continue
+		}
+		res, err := s.Round(batch)
+		if err != nil {
+			return nil, err
+		}
+		for _, sp := range spans {
+			still[sp.idx].plan.absorb(batch[sp.lo:sp.hi], res[sp.lo:sp.hi])
+		}
+		active = still
+	}
+	return next, nil
+}

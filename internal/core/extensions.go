@@ -1,0 +1,148 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"ecsort/internal/model"
+)
+
+// This file implements the extensions the paper sketches but does not
+// spell out: running the CR algorithm without knowing k, and running the
+// constant-round algorithm without knowing λ (the halving remark after
+// Theorem 4).
+
+// SortCRUnknownK solves the CR problem with no prior knowledge of the
+// number of classes k. It runs the two-phase compounding algorithm with
+// an adaptive threshold: the phase switch uses the largest class count
+// observed in any answer so far (a lower bound on k that converges to k
+// as answers grow). Because k only steers scheduling, correctness is
+// unconditional; the round count matches SortCR's once the observed count
+// reaches k, giving O(k + log log n) rounds overall.
+func SortCRUnknownK(s *model.Session) (Result, error) {
+	if s.Mode() != model.CR {
+		return Result{}, fmt.Errorf("core: SortCRUnknownK requires a CR session, got %v", s.Mode())
+	}
+	n := s.N()
+	if n == 0 {
+		return Result{Stats: s.Stats()}, nil
+	}
+	p := n
+	answers := Singletons(n)
+	kObs := 1
+
+	observe := func() {
+		for _, a := range answers {
+			if a.K() > kObs {
+				kObs = a.K()
+			}
+		}
+	}
+
+	// Phase 1 with the adaptive threshold 4·kObs².
+	for len(answers) > 1 && p/len(answers) < 4*kObs*kObs {
+		next, err := mergePairsCR(s, answers)
+		if err != nil {
+			return Result{}, err
+		}
+		answers = next
+		observe()
+	}
+	// Phase 2, re-deriving c from the current observation each iteration.
+	for len(answers) > 1 {
+		c := p / (len(answers) * kObs * kObs)
+		if c < 2 {
+			c = 2
+		}
+		g := 2*c + 1
+		if g > len(answers) {
+			g = len(answers)
+		}
+		next, err := mergeGroupsCR(s, answers, g)
+		if err != nil {
+			return Result{}, err
+		}
+		answers = next
+		observe()
+		// The observation may have jumped past the phase-2 invariant
+		// (c ≥ 2); if so, fall back to pairwise merging until processors
+		// per answer catch up again.
+		for len(answers) > 1 && p/len(answers) < 4*kObs*kObs {
+			next, err := mergePairsCR(s, answers)
+			if err != nil {
+				return Result{}, err
+			}
+			answers = next
+			observe()
+		}
+	}
+	return Result{Classes: answers[0].Classes, Stats: s.Stats()}, nil
+}
+
+// AdaptiveConstRoundConfig configures SortConstRoundERAdaptive.
+type AdaptiveConstRoundConfig struct {
+	// StartLambda is the first guess for ℓ/n; it is halved after each
+	// failure, per the paper's remark following Theorem 4. Defaults to
+	// 0.4 when zero.
+	StartLambda float64
+	// MinLambda stops the halving; below it the input's smallest class
+	// is too small for the constant-round approach to pay off. Defaults
+	// to 4/n when zero (a component threshold below one element is
+	// meaningless).
+	MinLambda float64
+	// D and MaxRetries are passed through to each attempt (see
+	// ConstRoundConfig).
+	D          int
+	MaxRetries int
+	// Rng drives the random cycles. Required.
+	Rng *rand.Rand
+}
+
+// ErrAdaptiveExhausted reports that SortConstRoundERAdaptive halved λ down
+// to its floor without succeeding.
+var ErrAdaptiveExhausted = errors.New("core: adaptive constant-round sort exhausted its λ budget")
+
+// SortConstRoundERAdaptive runs the Theorem 4 algorithm without knowing
+// λ: start at StartLambda and halve after every failure. Once the guess
+// drops below the true ℓ/n, an attempt succeeds with high probability, so
+// the total rounds remain independent of n (a function of the final λ
+// only). It returns the λ that succeeded alongside the result.
+func SortConstRoundERAdaptive(s *model.Session, cfg AdaptiveConstRoundConfig) (Result, float64, error) {
+	if cfg.Rng == nil {
+		return Result{}, 0, errors.New("core: AdaptiveConstRoundConfig.Rng is required")
+	}
+	lambda := cfg.StartLambda
+	if lambda == 0 {
+		lambda = 0.4
+	}
+	if lambda <= 0 || lambda > 0.4 {
+		return Result{}, 0, fmt.Errorf("core: StartLambda %v outside (0, 0.4]", lambda)
+	}
+	minLambda := cfg.MinLambda
+	if minLambda == 0 {
+		n := s.N()
+		if n > 0 {
+			minLambda = 4 / float64(n)
+		}
+	}
+	for lambda > 0 {
+		res, err := SortConstRoundER(s, ConstRoundConfig{
+			Lambda:     lambda,
+			D:          cfg.D,
+			MaxRetries: cfg.MaxRetries,
+			Rng:        cfg.Rng,
+		})
+		if err == nil {
+			return res, lambda, nil
+		}
+		if !errors.Is(err, ErrConstRoundFailed) {
+			return Result{}, 0, err
+		}
+		if lambda <= minLambda {
+			break
+		}
+		lambda /= 2
+	}
+	return Result{}, 0, ErrAdaptiveExhausted
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+
+	"ecsort/internal/model"
+)
+
+// Incremental maintains a complete equivalence class sorting answer while
+// elements arrive over time — the online counterpart of the batch sorts,
+// built from the same Answer merge calculus. New elements join as
+// singleton answers and are folded in with the compounding technique:
+// each insert buffers the element, and Flush (or any query) merges all
+// buffered singletons into the main answer with one CR group round.
+//
+// This is the library feature the paper's applications want in steady
+// state: a convention where interns keep arriving, a fleet where machines
+// come online one by one.
+type Incremental struct {
+	session *model.Session
+	answer  Answer
+	pending []Answer
+	seen    map[int]bool
+}
+
+// NewIncremental creates an incremental sorter over the session's
+// elements. Elements must still be drawn from 0..N()-1 (the oracle
+// defines the universe); they may be added in any order, each at most
+// once. The session must be in CR mode.
+func NewIncremental(s *model.Session) (*Incremental, error) {
+	if s.Mode() != model.CR {
+		return nil, fmt.Errorf("core: Incremental requires a CR session, got %v", s.Mode())
+	}
+	return &Incremental{session: s, seen: make(map[int]bool)}, nil
+}
+
+// Add buffers element e for classification. It returns an error if e is
+// out of range or already added.
+func (inc *Incremental) Add(e int) error {
+	if e < 0 || e >= inc.session.N() {
+		return fmt.Errorf("core: element %d out of range [0,%d)", e, inc.session.N())
+	}
+	if inc.seen[e] {
+		return fmt.Errorf("core: element %d added twice", e)
+	}
+	inc.seen[e] = true
+	inc.pending = append(inc.pending, Singleton(e))
+	return nil
+}
+
+// Flush folds all buffered elements into the answer. Buffered singletons
+// and the current answer merge as one CR group — a single logical round
+// of at most (|pending| + k)² representative tests.
+func (inc *Incremental) Flush() error {
+	if len(inc.pending) == 0 {
+		return nil
+	}
+	group := inc.pending
+	if inc.answer.K() > 0 {
+		group = append(group, inc.answer)
+	}
+	merged, err := MergeGroupCR(inc.session, group)
+	if err != nil {
+		return err
+	}
+	inc.answer = merged
+	inc.pending = nil
+	return nil
+}
+
+// Classes returns the current classes over everything added so far,
+// flushing first.
+func (inc *Incremental) Classes() ([][]int, error) {
+	if err := inc.Flush(); err != nil {
+		return nil, err
+	}
+	return inc.answer.Classes, nil
+}
+
+// ClassOf returns the current class of element e (flushing first), or an
+// error if e has not been added.
+func (inc *Incremental) ClassOf(e int) ([]int, error) {
+	if !inc.seen[e] {
+		return nil, fmt.Errorf("core: element %d not added", e)
+	}
+	if err := inc.Flush(); err != nil {
+		return nil, err
+	}
+	for _, cls := range inc.answer.Classes {
+		for _, x := range cls {
+			if x == e {
+				return cls, nil
+			}
+		}
+	}
+	panic("core: element added and flushed but not in any class")
+}
+
+// Size returns how many elements have been added (buffered or merged).
+func (inc *Incremental) Size() int { return len(inc.seen) }
+
+// Stats exposes the underlying session's cost.
+func (inc *Incremental) Stats() model.Stats { return inc.session.Stats() }

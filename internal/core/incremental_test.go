@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ecsort/internal/model"
+	"ecsort/internal/oracle"
+)
+
+func TestIncrementalBasics(t *testing.T) {
+	truth := oracle.NewLabel([]int{0, 1, 0, 1, 2})
+	s := model.NewSession(truth, model.CR)
+	inc, err := NewIncremental(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 5; e++ {
+		if err := inc.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	classes, err := inc.Classes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != 3 {
+		t.Fatalf("classes = %v", classes)
+	}
+	cls, err := inc.ClassOf(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cls) != 2 {
+		t.Fatalf("ClassOf(2) = %v", cls)
+	}
+	if inc.Size() != 5 {
+		t.Fatalf("Size = %d", inc.Size())
+	}
+}
+
+func TestIncrementalErrors(t *testing.T) {
+	truth := oracle.NewLabel([]int{0, 1})
+	if _, err := NewIncremental(model.NewSession(truth, model.ER)); err == nil {
+		t.Fatal("ER session accepted")
+	}
+	s := model.NewSession(truth, model.CR)
+	inc, _ := NewIncremental(s)
+	if err := inc.Add(5); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+	if err := inc.Add(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Add(0); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if _, err := inc.ClassOf(1); err == nil {
+		t.Fatal("un-added element accepted")
+	}
+}
+
+func TestIncrementalInterleavedFlushes(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	truth := oracle.RandomBalanced(100, 7, rng)
+	s := model.NewSession(truth, model.CR)
+	inc, err := NewIncremental(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := rng.Perm(100)
+	for i, e := range order {
+		if err := inc.Add(e); err != nil {
+			t.Fatal(err)
+		}
+		if i%13 == 0 {
+			if err := inc.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	classes, err := inc.Classes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Result{Classes: classes}
+	if !SameClassification(res.Labels(100), truth.Labels()) {
+		t.Fatal("incremental classification wrong")
+	}
+}
+
+// TestIncrementalMatchesBatch: any insertion order and flush pattern must
+// yield the same partition the batch sort produces.
+func TestIncrementalMatchesBatch(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		k := 1 + rng.Intn(min(n, 5))
+		truth := oracle.RandomBalanced(n, k, rng)
+		s := model.NewSession(truth, model.CR)
+		inc, err := NewIncremental(s)
+		if err != nil {
+			return false
+		}
+		for _, e := range rng.Perm(n) {
+			if err := inc.Add(e); err != nil {
+				return false
+			}
+			if rng.Intn(4) == 0 {
+				if err := inc.Flush(); err != nil {
+					return false
+				}
+			}
+		}
+		classes, err := inc.Classes()
+		if err != nil {
+			return false
+		}
+		res := Result{Classes: classes}
+		return SameClassification(res.Labels(n), truth.Labels())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalPartialUniverse: classifying a strict subset of the
+// universe is fine; only added elements appear in classes.
+func TestIncrementalPartialUniverse(t *testing.T) {
+	truth := oracle.NewLabel([]int{0, 0, 1, 1, 2, 2})
+	s := model.NewSession(truth, model.CR)
+	inc, _ := NewIncremental(s)
+	for _, e := range []int{0, 2, 3} {
+		if err := inc.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	classes, err := inc.Classes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range classes {
+		total += len(c)
+	}
+	if total != 3 || len(classes) != 2 {
+		t.Fatalf("classes = %v", classes)
+	}
+}
+
+func TestIncrementalEmptyFlush(t *testing.T) {
+	truth := oracle.NewLabel([]int{0})
+	s := model.NewSession(truth, model.CR)
+	inc, _ := NewIncremental(s)
+	if err := inc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	classes, err := inc.Classes()
+	if err != nil || len(classes) != 0 {
+		t.Fatalf("classes = %v, err = %v", classes, err)
+	}
+}

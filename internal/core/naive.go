@@ -1,0 +1,31 @@
+package core
+
+import "ecsort/internal/model"
+
+// Naive is the straightforward sequential baseline: maintain one
+// representative per discovered class and compare each new element against
+// the representatives in discovery order until it matches or founds a new
+// class. It performs at most n·k comparisons — within the O(n²/ℓ) bound of
+// the sequential literature, since k ≤ n/ℓ — and serves as the comparison
+// baseline for the round-robin regimen and the parallel algorithms.
+func Naive(s *model.Session) (Result, error) {
+	n := s.N()
+	if n == 0 {
+		return Result{Stats: s.Stats()}, nil
+	}
+	classes := [][]int{{0}}
+	for x := 1; x < n; x++ {
+		placed := false
+		for ci := range classes {
+			if s.Compare(classes[ci][0], x) {
+				classes[ci] = append(classes[ci], x)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			classes = append(classes, []int{x})
+		}
+	}
+	return Result{Classes: classes, Stats: s.Stats()}, nil
+}

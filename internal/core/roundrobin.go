@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"ecsort/internal/knowledge"
+	"ecsort/internal/model"
+)
+
+// RoundRobin is the sequential equivalence class sorting regimen of
+// Jayapaul, Munro, Raman, and Satti used for the distribution-based
+// analysis of Section 4: each element x, in cyclic passes, initiates a
+// comparison with the next element y whose relationship to x is unknown,
+// until all equivalence classes are known.
+//
+// "Unknown" is judged against the full knowledge graph (Figure 2): x's
+// fragment must have no recorded relationship with y's fragment. The key
+// property this regimen guarantees — Lemma in [12], relied on by Theorem 7
+// — is that at most 2·min(Y_i, Y_j) tests ever occur between classes of
+// sizes Y_i and Y_j.
+//
+// Every comparison is charged as one sequential round; the quantity of
+// interest here is Stats().Comparisons.
+func RoundRobin(s *model.Session) (Result, error) {
+	n := s.N()
+	if n == 0 {
+		return Result{Stats: s.Stats()}, nil
+	}
+	g := knowledge.New(n)
+	// ptr[x] counts how many cyclic successors of x have been either
+	// tested or skipped; the next candidate is (x + 1 + ptr[x]) mod n.
+	// Pointers only advance, so each element scans each other element at
+	// most once over the whole run.
+	ptr := make([]int, n)
+	active := make([]int, n)
+	for i := range active {
+		active[i] = i
+	}
+	for !g.Complete() {
+		progress := false
+		still := active[:0]
+		for _, x := range active {
+			if g.DoneFor(x) {
+				continue
+			}
+			if roundRobinStep(s, g, ptr, x) {
+				progress = true
+			}
+			still = append(still, x)
+		}
+		active = still
+		if !progress {
+			if !g.Complete() {
+				return Result{}, fmt.Errorf("core: round-robin stalled with %d fragments, %d edges", g.Fragments(), g.Edges())
+			}
+			break
+		}
+	}
+	return Result{Classes: g.Groups(), Stats: s.Stats()}, nil
+}
+
+// roundRobinStep advances x's pointer past known relationships and
+// performs at most one comparison. It reports whether a comparison
+// happened.
+func roundRobinStep(s *model.Session, g *knowledge.Graph, ptr []int, x int) bool {
+	n := g.N()
+	for ptr[x] < n-1 {
+		y := (x + 1 + ptr[x]) % n
+		if _, known := g.Known(x, y); known {
+			ptr[x]++
+			continue
+		}
+		ptr[x]++
+		if s.Compare(x, y) {
+			g.RecordEqual(x, y)
+		} else {
+			g.RecordUnequal(x, y)
+		}
+		return true
+	}
+	return false
+}
+
+// CrossClassAudit runs the round-robin regimen against a truth labeling
+// and returns, for every unordered pair of true classes (i, j), the number
+// of tests performed between them. Tests use the same session; the audit
+// exists so tests can check the 2·min(Y_i, Y_j) lemma that Theorem 7's
+// stochastic-dominance argument rests on.
+func CrossClassAudit(s *model.Session, truth []int) (Result, map[[2]int]int, error) {
+	audit := make(map[[2]int]int)
+	counting := &auditOracle{inner: s, truth: truth, audit: audit}
+	res, err := RoundRobin(model.NewSession(counting, s.Mode(), model.Workers(1)))
+	if err != nil {
+		return Result{}, nil, err
+	}
+	// Replace stats with the inner session's (the outer session double
+	// counts nothing: counting forwards to s.Compare which accounts).
+	res.Stats = s.Stats()
+	return res, audit, nil
+}
+
+// auditOracle forwards comparisons to an underlying session while tallying
+// them per true-class pair.
+type auditOracle struct {
+	inner *model.Session
+	truth []int
+	audit map[[2]int]int
+}
+
+func (a *auditOracle) N() int { return len(a.truth) }
+
+func (a *auditOracle) Same(i, j int) bool {
+	ci, cj := a.truth[i], a.truth[j]
+	if ci > cj {
+		ci, cj = cj, ci
+	}
+	a.audit[[2]int{ci, cj}]++
+	return a.inner.Compare(i, j)
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"ecsort/internal/graphs"
+	"ecsort/internal/model"
+	"ecsort/internal/sched"
+	"ecsort/internal/unionfind"
+)
+
+// SortTwoClassER solves the ER problem in O(1) parallel rounds for inputs
+// promised to have at most two equivalence classes, with no constraint on
+// the smaller class's size. The paper's conclusion notes the k = 2 case
+// of its open problem follows from classic parallel fault diagnosis
+// [4–6]; the reduction implemented here:
+//
+//  1. With k ≤ 2, the larger class has ≥ ⌈n/2⌉ elements, so H_d with
+//     d = d(0.4) seeds it with a connected component of ≥ n/20 vertices
+//     with high probability — test H_d's edges in O(d) rounds.
+//  2. Sweep every remaining element against the largest component in
+//     O(1) rounds. Matched elements share its class; because k ≤ 2, all
+//     unmatched elements must form the other class — no further tests.
+//
+// The "unmatched ⇒ same class" step is exactly where the two-class
+// promise does work a general input cannot: with k ≥ 3 it would lump
+// distinct classes together. If the promise is broken, the returned
+// partition may be wrong; run Certify afterwards when the promise is not
+// trustworthy. ErrConstRoundFailed is reported if the random graph failed
+// to seed the majority class after retries (probability e^{−Ω(n)}).
+func SortTwoClassER(s *model.Session, maxRetries int, rng *rand.Rand) (Result, error) {
+	if s.Mode() != model.ER {
+		return Result{}, fmt.Errorf("core: SortTwoClassER requires an ER session, got %v", s.Mode())
+	}
+	if rng == nil {
+		return Result{}, errors.New("core: SortTwoClassER needs an rng")
+	}
+	n := s.N()
+	if n == 0 {
+		return Result{Stats: s.Stats()}, nil
+	}
+	if n < 3 {
+		return tinySortER(s, n)
+	}
+	const lambda = 0.4 // the majority class is at least n/2 ≥ λn
+	d := graphs.DegreeForLambda(lambda)
+	for attempt := 0; ; attempt++ {
+		res, ok, err := twoClassAttempt(s, n, d, rng)
+		if err != nil {
+			return Result{}, err
+		}
+		if ok {
+			return res, nil
+		}
+		if attempt >= maxRetries {
+			return Result{}, ErrConstRoundFailed
+		}
+	}
+}
+
+func twoClassAttempt(s *model.Session, n, d int, rng *rand.Rand) (Result, bool, error) {
+	h := graphs.NewHamiltonian(n, d, rng)
+	dsu := unionfind.New(n)
+	var edges []model.Pair
+	var results []bool
+	for _, round := range h.ERRounds() {
+		res, err := s.Round(round)
+		if err != nil {
+			return Result{}, false, err
+		}
+		edges = append(edges, round...)
+		results = append(results, res...)
+	}
+	for i, e := range edges {
+		if results[i] {
+			dsu.Union(e.A, e.B)
+		}
+	}
+	comps := graphs.ComponentsFromEqualities(n, edges, results)
+	anchor := comps[0]
+	// The majority anchor must be large; λn/8 with λ=0.4 is n/20.
+	if len(anchor) < max(1, n/20) {
+		return Result{}, false, nil
+	}
+	inAnchor := make([]bool, n)
+	for _, e := range anchor {
+		inAnchor[e] = true
+	}
+	var targets []int
+	for e := 0; e < n; e++ {
+		if !inAnchor[e] {
+			targets = append(targets, e)
+		}
+	}
+	var others []int
+	for _, round := range sched.Sweep(anchor, targets) {
+		res, err := s.Round(round)
+		if err != nil {
+			return Result{}, false, err
+		}
+		for i, eq := range res {
+			if eq {
+				dsu.Union(round[i].A, round[i].B)
+			} else {
+				others = append(others, round[i].B)
+			}
+		}
+	}
+	// Two-class promise: everything that failed the sweep is one class.
+	for i := 1; i < len(others); i++ {
+		dsu.Union(others[0], others[i])
+	}
+	return Result{Classes: dsu.Groups(), Stats: s.Stats()}, true, nil
+}

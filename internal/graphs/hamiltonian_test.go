@@ -1,0 +1,244 @@
+package graphs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ecsort/internal/model"
+)
+
+func TestEdgesCountAndForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h := NewHamiltonian(10, 3, rng)
+	edges := h.Edges()
+	if len(edges) != 30 {
+		t.Fatalf("edges = %d, want 30", len(edges))
+	}
+	// Each cycle visits every vertex exactly once as a source and once as
+	// a destination.
+	for c := 0; c < 3; c++ {
+		src := map[int]int{}
+		dst := map[int]int{}
+		for _, e := range edges[c*10 : (c+1)*10] {
+			src[e.A]++
+			dst[e.B]++
+		}
+		for v := 0; v < 10; v++ {
+			if src[v] != 1 || dst[v] != 1 {
+				t.Fatalf("cycle %d: vertex %d has src=%d dst=%d", c, v, src[v], dst[v])
+			}
+		}
+	}
+}
+
+func TestERRoundsDisjointAndComplete(t *testing.T) {
+	f := func(seed int64, nRaw, dRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + int(nRaw)%30
+		d := 1 + int(dRaw)%4
+		h := NewHamiltonian(n, d, rng)
+		rounds := h.ERRounds()
+		// Round budget: 2 per even cycle, 3 per odd cycle.
+		maxRounds := 2 * d
+		if n%2 == 1 {
+			maxRounds = 3 * d
+		}
+		if len(rounds) > maxRounds {
+			return false
+		}
+		total := 0
+		for _, round := range rounds {
+			used := map[int]bool{}
+			for _, p := range round {
+				if p.A == p.B || used[p.A] || used[p.B] {
+					return false
+				}
+				used[p.A] = true
+				used[p.B] = true
+				total++
+			}
+		}
+		// Every edge of every cycle appears exactly once overall.
+		return total == n*d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestERRoundsCoverEdgeSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewHamiltonian(9, 2, rng)
+	want := map[[2]int]int{}
+	for _, e := range h.Edges() {
+		a, b := e.A, e.B
+		if a > b {
+			a, b = b, a
+		}
+		want[[2]int{a, b}]++
+	}
+	got := map[[2]int]int{}
+	for _, round := range h.ERRounds() {
+		for _, p := range round {
+			a, b := p.A, p.B
+			if a > b {
+				a, b = b, a
+			}
+			got[[2]int{a, b}]++
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("distinct edges: got %d want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("edge %v: got %d want %d", k, got[k], v)
+		}
+	}
+}
+
+func TestComponentsFromEqualities(t *testing.T) {
+	edges := []model.Pair{{A: 0, B: 1}, {A: 1, B: 2}, {A: 3, B: 4}, {A: 2, B: 3}}
+	results := []bool{true, true, true, false}
+	comps := ComponentsFromEqualities(6, edges, results)
+	if len(comps) != 3 {
+		t.Fatalf("components = %v, want 3 groups", comps)
+	}
+	if len(comps[0]) != 3 || comps[0][0] != 0 {
+		t.Fatalf("largest component = %v, want [0 1 2]", comps[0])
+	}
+	if len(comps[1]) != 2 || comps[1][0] != 3 {
+		t.Fatalf("second component = %v, want [3 4]", comps[1])
+	}
+}
+
+func TestComponentsSortedBySize(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(40)
+		var edges []model.Pair
+		var results []bool
+		for i := 0; i < n; i++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a == b {
+				continue
+			}
+			edges = append(edges, model.Pair{A: a, B: b})
+			results = append(results, rng.Intn(2) == 0)
+		}
+		comps := ComponentsFromEqualities(n, edges, results)
+		covered := 0
+		for i, c := range comps {
+			covered += len(c)
+			if i > 0 && len(comps[i-1]) < len(c) {
+				return false
+			}
+		}
+		return covered == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegreeForLambda(t *testing.T) {
+	// d(λ) must be finite, positive, and decreasing in λ.
+	prev := int(1 << 30)
+	for _, l := range []float64{0.05, 0.1, 0.2, 0.3, 0.4} {
+		d := DegreeForLambda(l)
+		if d < 1 {
+			t.Fatalf("d(%v) = %d", l, d)
+		}
+		if d > prev {
+			t.Fatalf("d(%v) = %d not decreasing (prev %d)", l, d, prev)
+		}
+		prev = d
+	}
+	// Spot value: λ=0.4 → 8·1.4·ln2/0.16 ≈ 48.5, +1 slack → 50.
+	if d := DegreeForLambda(0.4); d != 50 {
+		t.Errorf("d(0.4) = %d, want 50", d)
+	}
+}
+
+func TestDegreeForLambdaPanics(t *testing.T) {
+	for _, l := range []float64{0, -1, 0.41, 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("DegreeForLambda(%v) did not panic", l)
+				}
+			}()
+			DegreeForLambda(l)
+		}()
+	}
+}
+
+func TestNewHamiltonianPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("n=2 did not panic")
+			}
+		}()
+		NewHamiltonian(2, 1, rng)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("d=0 did not panic")
+			}
+		}()
+		NewHamiltonian(5, 0, rng)
+	}()
+}
+
+// TestLargeSubsetHasBigComponent empirically exercises Theorem 3: with
+// d = d(λ) cycles, a random class of size λn should contain a connected
+// component of size ≥ λn/8 (we check the undirected relaxation the
+// algorithm actually uses).
+func TestLargeSubsetHasBigComponent(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 300
+	lambda := 0.3
+	d := DegreeForLambda(lambda)
+	size := int(lambda * float64(n))
+	for trial := 0; trial < 5; trial++ {
+		h := NewHamiltonian(n, d, rng)
+		// Random subset W of size λn.
+		perm := rng.Perm(n)
+		inW := make([]bool, n)
+		for _, v := range perm[:size] {
+			inW[v] = true
+		}
+		// Keep only edges inside W.
+		var edges []model.Pair
+		var results []bool
+		for _, e := range h.Edges() {
+			if inW[e.A] && inW[e.B] {
+				edges = append(edges, e)
+				results = append(results, true)
+			}
+		}
+		comps := ComponentsFromEqualities(n, edges, results)
+		// comps[0] is the largest; subtract the singletons outside W.
+		best := 0
+		for _, c := range comps {
+			if len(c) > best && inW[c[0]] {
+				sz := 0
+				for _, v := range c {
+					if inW[v] {
+						sz++
+					}
+				}
+				if sz > best {
+					best = sz
+				}
+			}
+		}
+		if best < size/8 {
+			t.Fatalf("trial %d: largest component in W has %d vertices, want >= %d", trial, best, size/8)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package graphs
+
+import (
+	"sort"
+
+	"ecsort/internal/model"
+)
+
+// StronglyConnectedComponents computes the SCCs of the directed graph on
+// n vertices given by edges, using Tarjan's algorithm (iterative, so deep
+// cycle unions cannot overflow the goroutine stack). Components are
+// returned largest first, ties broken by smallest member; members are
+// sorted ascending.
+//
+// Theorem 3 is stated for strongly connected components of the directed
+// H_d induced on a vertex subset. Because equivalence is symmetric, the
+// algorithm of Theorem 4 may use plain connected components of the
+// "equal" edges (every directed cycle edge whose test answered true is
+// traversable both ways); this routine exists to validate that reading —
+// on symmetric-closure inputs the two notions coincide — and to support
+// the directed analysis directly.
+func StronglyConnectedComponents(n int, edges []model.Pair) [][]int {
+	adj := make([][]int, n)
+	for _, e := range edges {
+		adj[e.A] = append(adj[e.A], e.B)
+	}
+
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		stack   []int // Tarjan stack
+		counter int
+		comps   [][]int
+	)
+
+	// Iterative DFS frame: vertex and position within its adjacency list.
+	type frame struct {
+		v, i int
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		work := []frame{{v: root}}
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			v := f.v
+			if f.i == 0 {
+				index[v] = counter
+				low[v] = counter
+				counter++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			for f.i < len(adj[v]) {
+				w := adj[v][f.i]
+				f.i++
+				if index[w] == unvisited {
+					work = append(work, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// v is finished: pop a component if v is a root.
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sortInts(comp)
+				comps = append(comps, comp)
+			}
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				parent := work[len(work)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+		}
+	}
+	sortBySizeDescStable(comps)
+	return comps
+}
+
+func sortInts(xs []int) { sort.Ints(xs) }
+
+func sortBySizeDescStable(groups [][]int) {
+	sort.Slice(groups, func(i, j int) bool {
+		if len(groups[i]) != len(groups[j]) {
+			return len(groups[i]) > len(groups[j])
+		}
+		return groups[i][0] < groups[j][0]
+	})
+}

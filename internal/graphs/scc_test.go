@@ -1,0 +1,220 @@
+package graphs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ecsort/internal/model"
+	"ecsort/internal/unionfind"
+)
+
+func pairs(es ...[2]int) []model.Pair {
+	out := make([]model.Pair, len(es))
+	for i, e := range es {
+		out[i] = model.Pair{A: e[0], B: e[1]}
+	}
+	return out
+}
+
+func TestSCCSimpleCycle(t *testing.T) {
+	comps := StronglyConnectedComponents(4, pairs([2]int{0, 1}, [2]int{1, 2}, [2]int{2, 0}))
+	if len(comps) != 2 {
+		t.Fatalf("comps = %v", comps)
+	}
+	if len(comps[0]) != 3 || comps[0][0] != 0 || comps[0][1] != 1 || comps[0][2] != 2 {
+		t.Fatalf("big component = %v", comps[0])
+	}
+	if len(comps[1]) != 1 || comps[1][0] != 3 {
+		t.Fatalf("singleton = %v", comps[1])
+	}
+}
+
+func TestSCCDAGIsAllSingletons(t *testing.T) {
+	comps := StronglyConnectedComponents(4, pairs([2]int{0, 1}, [2]int{1, 2}, [2]int{2, 3}))
+	if len(comps) != 4 {
+		t.Fatalf("DAG should give 4 singletons, got %v", comps)
+	}
+}
+
+func TestSCCTwoCycles(t *testing.T) {
+	comps := StronglyConnectedComponents(6, pairs(
+		[2]int{0, 1}, [2]int{1, 0},
+		[2]int{2, 3}, [2]int{3, 4}, [2]int{4, 2},
+		[2]int{1, 2}, // bridge, one direction only
+	))
+	if len(comps) != 3 {
+		t.Fatalf("comps = %v", comps)
+	}
+	if len(comps[0]) != 3 || comps[0][0] != 2 {
+		t.Fatalf("largest = %v", comps[0])
+	}
+}
+
+func TestSCCEmptyAndSelfFree(t *testing.T) {
+	if comps := StronglyConnectedComponents(0, nil); len(comps) != 0 {
+		t.Fatalf("empty graph: %v", comps)
+	}
+	if comps := StronglyConnectedComponents(3, nil); len(comps) != 3 {
+		t.Fatalf("edgeless graph: %v", comps)
+	}
+}
+
+func TestSCCDeepPathNoOverflow(t *testing.T) {
+	// A long two-way path is a single SCC and would blow a recursive
+	// Tarjan's stack at this depth.
+	const n = 200000
+	es := make([]model.Pair, 0, 2*(n-1))
+	for i := 0; i+1 < n; i++ {
+		es = append(es, model.Pair{A: i, B: i + 1}, model.Pair{A: i + 1, B: i})
+	}
+	comps := StronglyConnectedComponents(n, es)
+	if len(comps) != 1 || len(comps[0]) != n {
+		t.Fatalf("got %d components, largest %d", len(comps), len(comps[0]))
+	}
+}
+
+// TestSCCMatchesComponentsOnSymmetricGraphs: on symmetric edge sets, SCCs
+// and plain connected components coincide — the fact the Theorem 4
+// implementation relies on when it uses union-find on "equal" edges.
+func TestSCCMatchesComponentsOnSymmetricGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		var es []model.Pair
+		dsu := unionfind.New(n)
+		for i := 0; i < n; i++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a == b {
+				continue
+			}
+			es = append(es, model.Pair{A: a, B: b}, model.Pair{A: b, B: a})
+			dsu.Union(a, b)
+		}
+		scc := StronglyConnectedComponents(n, es)
+		want := dsu.Groups()
+		if len(scc) != len(want) {
+			return false
+		}
+		// Compare as label vectors.
+		lab1 := make([]int, n)
+		for ci, c := range scc {
+			for _, v := range c {
+				lab1[v] = ci
+			}
+		}
+		lab2 := dsu.Labels()
+		fwd := map[int]int{}
+		for i := 0; i < n; i++ {
+			if v, ok := fwd[lab1[i]]; ok {
+				if v != lab2[i] {
+					return false
+				}
+			} else {
+				fwd[lab1[i]] = lab2[i]
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSCCPartition: components always partition the vertex set.
+func TestSCCPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		var es []model.Pair
+		for i := 0; i < 2*n; i++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				es = append(es, model.Pair{A: a, B: b})
+			}
+		}
+		comps := StronglyConnectedComponents(n, es)
+		seen := make([]bool, n)
+		count := 0
+		for _, c := range comps {
+			for _, v := range c {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+				count++
+			}
+		}
+		return count == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSCCMutualReachability: two vertices share a component iff they
+// reach each other (verified by brute-force BFS on small graphs).
+func TestSCCMutualReachability(t *testing.T) {
+	reach := func(n int, adj [][]int, from int) []bool {
+		seen := make([]bool, n)
+		queue := []int{from}
+		seen[from] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range adj[v] {
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		return seen
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		var es []model.Pair
+		adj := make([][]int, n)
+		for i := 0; i < n+rng.Intn(2*n); i++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a == b {
+				continue
+			}
+			es = append(es, model.Pair{A: a, B: b})
+			adj[a] = append(adj[a], b)
+		}
+		comps := StronglyConnectedComponents(n, es)
+		label := make([]int, n)
+		for ci, c := range comps {
+			for _, v := range c {
+				label[v] = ci
+			}
+		}
+		for a := 0; a < n; a++ {
+			ra := reach(n, adj, a)
+			for b := 0; b < n; b++ {
+				rb := reach(n, adj, b)
+				mutual := ra[b] && rb[a]
+				if mutual != (label[a] == label[b]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSCCOnHamiltonianUnion: H_d itself is one big SCC (each cycle alone
+// is already strongly connected).
+func TestSCCOnHamiltonianUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	h := NewHamiltonian(50, 2, rng)
+	comps := StronglyConnectedComponents(50, h.Edges())
+	if len(comps) != 1 || len(comps[0]) != 50 {
+		t.Fatalf("H_d not strongly connected: %d comps", len(comps))
+	}
+}

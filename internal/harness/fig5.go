@@ -1,0 +1,157 @@
+// Package harness runs the paper's experiments and regenerates its
+// quantitative artifacts: every Figure 5 series (Section 5), the Figure 1
+// merge-schedule table, the round-complexity validations of Theorems 1, 2
+// and 4, the lower-bound sweeps of Theorems 5 and 6, and the stochastic
+// dominance audit of Theorem 7. Each runner returns plain data structures;
+// render.go turns them into the tables the tools print.
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ecsort/internal/core"
+	"ecsort/internal/dist"
+	"ecsort/internal/model"
+	"ecsort/internal/oracle"
+	"ecsort/internal/stats"
+)
+
+// Fig5Point is one size of a Figure 5 series: the comparison counts of
+// `Trials` independent inputs of n elements.
+type Fig5Point struct {
+	N           int
+	Comparisons []int64
+}
+
+// Fig5Series is one parameter setting of one distribution — one panel
+// line of Figure 5.
+type Fig5Series struct {
+	Distribution string
+	Points       []Fig5Point
+	// Fit is the least-squares line through all (n, comparisons) pairs,
+	// present when the paper fits one (all distributions except zeta
+	// with s < 2).
+	Fit *stats.Fit
+	// LogLogSlope estimates the growth exponent; ≈1 for the linear
+	// regimes and visibly >1 for zeta with small s.
+	LogLogSlope float64
+}
+
+// Fig5Config controls a Figure 5 run.
+type Fig5Config struct {
+	Sizes  []int
+	Trials int
+	Seed   int64
+	// FitLine requests the least-squares fit (the paper omits it for
+	// zeta with s < 2).
+	FitLine bool
+}
+
+// PaperSizes returns the element counts of the paper's experiments:
+// 10,000 to 200,000 in steps of 10,000 (divided by 10 for zeta, per
+// Section 5). scale shrinks everything proportionally for quick runs;
+// scale=1 reproduces the paper exactly.
+func PaperSizes(zeta bool, scale int) []int {
+	if scale < 1 {
+		scale = 1
+	}
+	base := 10000
+	if zeta {
+		base = 1000
+	}
+	base /= scale
+	if base < 1 {
+		base = 1
+	}
+	sizes := make([]int, 20)
+	for i := range sizes {
+		sizes[i] = base * (i + 1)
+	}
+	return sizes
+}
+
+// RunFig5Series samples class labels from d and runs the round-robin
+// regimen of Jayapaul et al., exactly as Section 5 does, recording total
+// comparisons for every (size, trial).
+func RunFig5Series(d dist.Distribution, cfg Fig5Config) (Fig5Series, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	series := Fig5Series{Distribution: d.Name()}
+	var xs, ys []float64
+	for _, n := range cfg.Sizes {
+		point := Fig5Point{N: n}
+		for trial := 0; trial < cfg.Trials; trial++ {
+			labels := dist.Labels(d, n, rng)
+			s := model.NewSession(oracle.NewLabel(labels), model.ER, model.Workers(1))
+			res, err := core.RoundRobin(s)
+			if err != nil {
+				return Fig5Series{}, fmt.Errorf("fig5 %s n=%d trial=%d: %w", d.Name(), n, trial, err)
+			}
+			point.Comparisons = append(point.Comparisons, res.Stats.Comparisons)
+			xs = append(xs, float64(n))
+			ys = append(ys, float64(res.Stats.Comparisons))
+		}
+		series.Points = append(series.Points, point)
+	}
+	if len(cfg.Sizes) >= 2 {
+		series.LogLogSlope = stats.LogLogSlope(xs, ys)
+		if cfg.FitLine {
+			fit := stats.LeastSquares(xs, ys)
+			series.Fit = &fit
+		}
+	}
+	return series, nil
+}
+
+// Fig5Panel groups the series of one distribution family, mirroring one
+// panel of Figure 5.
+type Fig5Panel struct {
+	Family string
+	Series []Fig5Series
+}
+
+// Fig5Defaults enumerates the exact parameter grid of Section 5:
+// uniform k ∈ {10,25,100}; geometric p ∈ {1/2,1/10,1/50};
+// Poisson λ ∈ {1,5,25}; zeta s ∈ {1.1,1.5,2,2.5}.
+func Fig5Defaults() map[string][]dist.Distribution {
+	return map[string][]dist.Distribution{
+		"uniform": {dist.NewUniform(10), dist.NewUniform(25), dist.NewUniform(100)},
+		"geometric": {
+			dist.NewGeometric(1.0 / 2), dist.NewGeometric(1.0 / 10), dist.NewGeometric(1.0 / 50),
+		},
+		"poisson": {dist.NewPoisson(1), dist.NewPoisson(5), dist.NewPoisson(25)},
+		"zeta": {
+			dist.NewZeta(1.1), dist.NewZeta(1.5), dist.NewZeta(2), dist.NewZeta(2.5),
+		},
+	}
+}
+
+// zetaNeedsFit reports whether the paper fits a line for this zeta
+// parameter (s ≥ 2 only).
+func zetaNeedsFit(d dist.Distribution) bool {
+	z, ok := d.(dist.Zeta)
+	return !ok || z.S >= 2
+}
+
+// RunFig5Panel runs the full series list of one family.
+func RunFig5Panel(family string, scale, trials int, seed int64) (Fig5Panel, error) {
+	dists, ok := Fig5Defaults()[family]
+	if !ok {
+		return Fig5Panel{}, fmt.Errorf("harness: unknown fig5 family %q", family)
+	}
+	panel := Fig5Panel{Family: family}
+	for i, d := range dists {
+		cfg := Fig5Config{
+			Sizes:   PaperSizes(family == "zeta", scale),
+			Trials:  trials,
+			Seed:    seed + int64(i)*1000003,
+			FitLine: zetaNeedsFit(d),
+		}
+		s, err := RunFig5Series(d, cfg)
+		if err != nil {
+			return Fig5Panel{}, err
+		}
+		panel.Series = append(panel.Series, s)
+	}
+	return panel, nil
+}

@@ -1,0 +1,100 @@
+package harness
+
+// Figure 1 of the paper tabulates, iteration by iteration, how the
+// two-phase CR algorithm compounds answers: how many answers remain, how
+// many processors each owns, how large an answer can be, how many rounds
+// the iteration needs, and by what factor the answer count drops. This
+// file regenerates that table for any (n, k) from the algorithm's control
+// flow, using worst-case class counts — the same quantities the figure
+// tracks.
+
+// F1Row is one loop iteration of the Figure 1 table.
+type F1Row struct {
+	Phase          int // 1 = pairwise while loop, 2 = compounding while loop
+	Answers        int // answers at the start of the iteration
+	ProcsPerAnswer int
+	MaxAnswerSize  int   // elements per answer (capped at n)
+	MaxClasses     int   // ≤ min(size, k)
+	Comparisons    int64 // worst-case equivalence tests this iteration
+	Rounds         int   // ⌈Comparisons / n⌉ physical rounds
+	Reduction      int   // answers merged into one
+}
+
+// Figure1Schedule regenerates the Figure 1 table for n elements and k
+// classes. It is purely arithmetic — no comparisons are performed — and
+// mirrors SortCR's control flow exactly.
+func Figure1Schedule(n, k int) []F1Row {
+	if n < 1 || k < 1 {
+		return nil
+	}
+	var rows []F1Row
+	answers := n
+	sizeCap := 1
+	classCap := 1
+
+	ceilDiv := func(a, b int64) int64 { return (a + b - 1) / b }
+
+	// Phase 1: pairwise merges until each answer holds ≥ 4k² processors.
+	for answers > 1 && n/answers < 4*k*k {
+		merges := int64(answers / 2)
+		comps := merges * int64(classCap) * int64(classCap)
+		rounds := int(ceilDiv(comps, int64(n)))
+		if comps == 0 {
+			rounds = 0
+		}
+		rows = append(rows, F1Row{
+			Phase:          1,
+			Answers:        answers,
+			ProcsPerAnswer: n / answers,
+			MaxAnswerSize:  sizeCap,
+			MaxClasses:     classCap,
+			Comparisons:    comps,
+			Rounds:         rounds,
+			Reduction:      2,
+		})
+		answers = (answers + 1) / 2
+		if sizeCap < n {
+			sizeCap = min(2*sizeCap, n)
+		}
+		classCap = min(sizeCap, k)
+	}
+
+	// Phase 2: compounding merges of groups of 2c+1 answers.
+	for answers > 1 {
+		c := n / (answers * k * k)
+		if c < 2 {
+			c = 2
+		}
+		g := min(2*c+1, answers)
+		groups := int64((answers + g - 1) / g)
+		perGroup := int64(g*(g-1)/2) * int64(classCap) * int64(classCap)
+		comps := groups * perGroup
+		rows = append(rows, F1Row{
+			Phase:          2,
+			Answers:        answers,
+			ProcsPerAnswer: n / answers,
+			MaxAnswerSize:  sizeCap,
+			MaxClasses:     classCap,
+			Comparisons:    comps,
+			Rounds:         int(ceilDiv(comps, int64(n))),
+			Reduction:      g,
+		})
+		answers = (answers + g - 1) / g
+		sizeCap = min(sizeCap*g, n)
+		classCap = min(sizeCap, k)
+	}
+	return rows
+}
+
+// Figure1Totals sums the rounds of a schedule, split by phase — the
+// quantities Lemmas 1 and 2 bound by O(k) and O(log log n).
+func Figure1Totals(rows []F1Row) (phase1Rounds, phase2Rounds int) {
+	for _, r := range rows {
+		if r.Phase == 1 {
+			phase1Rounds += r.Rounds
+		} else {
+			phase2Rounds += r.Rounds
+		}
+	}
+	return phase1Rounds, phase2Rounds
+}

@@ -1,0 +1,350 @@
+package harness
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"ecsort/internal/dist"
+)
+
+func TestPaperSizes(t *testing.T) {
+	sizes := PaperSizes(false, 1)
+	if len(sizes) != 20 || sizes[0] != 10000 || sizes[19] != 200000 {
+		t.Fatalf("non-zeta sizes = %v", sizes)
+	}
+	zsizes := PaperSizes(true, 1)
+	if zsizes[0] != 1000 || zsizes[19] != 20000 {
+		t.Fatalf("zeta sizes = %v", zsizes)
+	}
+	scaled := PaperSizes(false, 10)
+	if scaled[0] != 1000 || scaled[19] != 20000 {
+		t.Fatalf("scaled sizes = %v", scaled)
+	}
+}
+
+func TestFig5UniformLinearity(t *testing.T) {
+	cfg := Fig5Config{
+		Sizes:   []int{1000, 2000, 3000, 4000, 5000},
+		Trials:  3,
+		Seed:    1,
+		FitLine: true,
+	}
+	series, err := RunFig5Series(dist.NewUniform(10), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series.Fit == nil {
+		t.Fatal("no fit produced")
+	}
+	if series.Fit.R2 < 0.999 {
+		t.Errorf("uniform k=10 fit R² = %v, want ≈1 (paper: points on the line)", series.Fit.R2)
+	}
+	if series.Fit.MaxRelResidual > 0.05 {
+		t.Errorf("uniform residuals %v too wide", series.Fit.MaxRelResidual)
+	}
+	if math.Abs(series.LogLogSlope-1) > 0.1 {
+		t.Errorf("growth exponent %v, want ≈1", series.LogLogSlope)
+	}
+}
+
+func TestFig5SlopeOrderingUniform(t *testing.T) {
+	cfg := Fig5Config{Sizes: []int{2000, 4000, 6000}, Trials: 2, Seed: 2, FitLine: true}
+	var slopes []float64
+	for _, k := range []int{10, 25, 100} {
+		s, err := RunFig5Series(dist.NewUniform(k), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slopes = append(slopes, s.Fit.Slope)
+	}
+	if !(slopes[0] < slopes[1] && slopes[1] < slopes[2]) {
+		t.Errorf("uniform slopes not increasing in k: %v", slopes)
+	}
+}
+
+func TestFig5ZetaSuperlinearity(t *testing.T) {
+	cfg := Fig5Config{Sizes: []int{500, 1000, 2000, 4000}, Trials: 2, Seed: 3}
+	shallow, err := RunFig5Series(dist.NewZeta(1.1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steepOK, err := RunFig5Series(dist.NewZeta(2.5), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shallow.LogLogSlope < 1.15 {
+		t.Errorf("zeta s=1.1 exponent %v, expected clearly super-linear", shallow.LogLogSlope)
+	}
+	if steepOK.LogLogSlope > 1.15 {
+		t.Errorf("zeta s=2.5 exponent %v, expected near-linear", steepOK.LogLogSlope)
+	}
+	if shallow.Fit != nil {
+		t.Error("zeta s=1.1 must not get a fit line")
+	}
+}
+
+func TestRunFig5PanelUnknownFamily(t *testing.T) {
+	if _, err := RunFig5Panel("cauchy", 1, 1, 1); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}
+
+func TestFig5DefaultsComplete(t *testing.T) {
+	d := Fig5Defaults()
+	want := map[string]int{"uniform": 3, "geometric": 3, "poisson": 3, "zeta": 4}
+	for fam, count := range want {
+		if len(d[fam]) != count {
+			t.Errorf("family %s has %d settings, want %d", fam, len(d[fam]), count)
+		}
+	}
+}
+
+func TestRoundsCRFlatInN(t *testing.T) {
+	series, err := RunRoundsCR(8, []int{512, 2048, 8192}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := series.Points[0].Rounds
+	last := series.Points[len(series.Points)-1].Rounds
+	if last > 2*first+10 {
+		t.Errorf("CR rounds grew with n: %d → %d", first, last)
+	}
+}
+
+func TestRoundsERLogarithmic(t *testing.T) {
+	series, err := RunRoundsER(4, []int{256, 1024, 4096}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(series.Points); i++ {
+		if series.Points[i].Rounds <= series.Points[i-1].Rounds {
+			t.Errorf("ER rounds not increasing with n: %+v", series.Points)
+		}
+	}
+	// Growth per 4× size step should be roughly additive (∝ log n), not
+	// multiplicative.
+	d1 := series.Points[1].Rounds - series.Points[0].Rounds
+	d2 := series.Points[2].Rounds - series.Points[1].Rounds
+	if d2 > 3*d1+10 {
+		t.Errorf("ER round growth looks super-logarithmic: deltas %d, %d", d1, d2)
+	}
+}
+
+func TestRoundsConstFlat(t *testing.T) {
+	series, err := RunRoundsConst(0.3, 8, 3, []int{300, 1200, 4800}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := series.Points[0].Rounds
+	last := series.Points[len(series.Points)-1].Rounds
+	if last > 3*first+30 {
+		t.Errorf("const-round rounds grew with n: %d → %d", first, last)
+	}
+}
+
+func TestAdversaryEqualSweep(t *testing.T) {
+	series, err := RunAdversaryEqual(96, []int{2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range series.Points {
+		if p.NormalizedNew < 1.0/64 {
+			t.Errorf("f=%d: normalized count %.4f below Lemma 3 constant 1/64", p.Param, p.NormalizedNew)
+		}
+	}
+	// The new normalization should be far flatter than the old one.
+	newSpread := series.Points[2].NormalizedNew / series.Points[0].NormalizedNew
+	oldSpread := series.Points[2].NormalizedOld / series.Points[0].NormalizedOld
+	if oldSpread < 2*newSpread {
+		t.Errorf("old-bound normalization (spread %.2f) not clearly worse than new (%.2f)",
+			oldSpread, newSpread)
+	}
+}
+
+func TestAdversaryEqualRejectsBadF(t *testing.T) {
+	if _, err := RunAdversaryEqual(10, []int{3}); err == nil {
+		t.Fatal("f=3 with n=10 accepted")
+	}
+}
+
+func TestAdversarySmallestSweep(t *testing.T) {
+	series, err := RunAdversarySmallest(120, []int{2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range series.Points {
+		if p.Comparisons <= 0 {
+			t.Errorf("l=%d: no forced comparisons recorded", p.Param)
+		}
+	}
+}
+
+func TestDominanceHolds(t *testing.T) {
+	for _, d := range []dist.Distribution{
+		dist.NewUniform(10),
+		dist.NewGeometric(0.1),
+		dist.NewPoisson(5),
+		dist.NewZeta(1.5),
+		dist.NewZeta(2.5),
+	} {
+		rep, err := RunDominance(d, 600, 4, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Violations != 0 {
+			t.Errorf("%s: %d Theorem 7 violations", d.Name(), rep.Violations)
+		}
+		if rep.MeanRatio > 1 {
+			t.Errorf("%s: mean ratio %v > 1", d.Name(), rep.MeanRatio)
+		}
+	}
+}
+
+func TestDominanceTheoryBound(t *testing.T) {
+	rep, err := RunDominance(dist.NewUniform(10), 100, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2.0 * 100 * 4.5; rep.TheoryMeanBound != want {
+		t.Errorf("theory bound %v, want %v", rep.TheoryMeanBound, want)
+	}
+	zrep, err := RunDominance(dist.NewZeta(1.5), 100, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(zrep.TheoryMeanBound, 1) {
+		t.Errorf("zeta s=1.5 theory bound %v, want +Inf", zrep.TheoryMeanBound)
+	}
+}
+
+func TestFigure1ScheduleShape(t *testing.T) {
+	rows := Figure1Schedule(1<<16, 4)
+	if len(rows) == 0 {
+		t.Fatal("empty schedule")
+	}
+	// Phases appear in order and answers strictly decrease.
+	lastPhase := 1
+	for i, r := range rows {
+		if r.Phase < lastPhase {
+			t.Fatalf("row %d: phase went backwards", i)
+		}
+		lastPhase = r.Phase
+		if i > 0 && r.Answers >= rows[i-1].Answers {
+			t.Fatalf("answers not decreasing: %+v", rows)
+		}
+	}
+	// Last iteration ends with a single answer.
+	last := rows[len(rows)-1]
+	if (last.Answers+last.Reduction-1)/last.Reduction != 1 {
+		t.Fatalf("final row does not reach one answer: %+v", last)
+	}
+	p1, p2 := Figure1Totals(rows)
+	if p1 == 0 || p2 == 0 {
+		t.Fatalf("totals p1=%d p2=%d, want both phases present at this scale", p1, p2)
+	}
+	// Lemma 2: phase 2 rounds ≈ iterations, O(log log n).
+	if p2 > 12 {
+		t.Errorf("phase 2 rounds = %d, want O(log log n) ≈ small", p2)
+	}
+}
+
+// TestFigure1PredictsActualRounds: the schedule table is derived from
+// SortCR's control flow with worst-case class counts, so a real run on a
+// balanced input must use at most the predicted physical rounds (plus
+// nothing — the prediction is a true upper bound per iteration).
+func TestFigure1PredictsActualRounds(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{
+		{1 << 10, 2}, {1 << 12, 4}, {1 << 14, 8},
+	} {
+		rows := Figure1Schedule(tc.n, tc.k)
+		predicted := 0
+		for _, r := range rows {
+			predicted += r.Rounds
+		}
+		series, err := RunRoundsCR(tc.k, []int{tc.n}, int64(tc.n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		actual := series.Points[0].Rounds
+		if actual > predicted {
+			t.Errorf("n=%d k=%d: actual %d rounds exceed Figure 1 prediction %d",
+				tc.n, tc.k, actual, predicted)
+		}
+		// And the prediction is not wildly loose either (same control
+		// flow, so within a small factor).
+		if predicted > 4*actual+8 {
+			t.Errorf("n=%d k=%d: prediction %d far above actual %d",
+				tc.n, tc.k, predicted, actual)
+		}
+	}
+}
+
+func TestFigure1Degenerate(t *testing.T) {
+	if rows := Figure1Schedule(0, 3); rows != nil {
+		t.Fatal("n=0 should be empty")
+	}
+	if rows := Figure1Schedule(1, 1); len(rows) != 0 {
+		t.Fatalf("n=1 schedule = %v", rows)
+	}
+}
+
+func TestRenderersProduceOutput(t *testing.T) {
+	var buf bytes.Buffer
+
+	panel, err := RunFig5Panel("uniform", 100, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderFig5(&buf, panel); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "uniform(k=10)") {
+		t.Error("fig5 render missing series header")
+	}
+
+	buf.Reset()
+	rs, err := RunRoundsCR(4, []int{64, 256}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderRounds(&buf, rs, "note"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SortCR") {
+		t.Error("rounds render missing algorithm")
+	}
+
+	buf.Reset()
+	lb, err := RunAdversaryEqual(48, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderLB(&buf, lb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "equal-size") {
+		t.Error("lb render missing kind")
+	}
+
+	buf.Reset()
+	rep, err := RunDominance(dist.NewUniform(5), 200, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderDominance(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "violations: 0/2") {
+		t.Errorf("dominance render unexpected: %s", buf.String())
+	}
+
+	buf.Reset()
+	if err := RenderFigure1(&buf, 4096, 3, Figure1Schedule(4096, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "phase 1 rounds") {
+		t.Error("figure1 render missing totals")
+	}
+}

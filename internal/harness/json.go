@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Report is the JSON envelope bundling a whole experiment run — the
+// machine-readable counterpart of the rendered tables, for archiving runs
+// and diffing reproductions.
+type Report struct {
+	// Paper identifies what is being reproduced.
+	Paper string `json:"paper"`
+	// GeneratedAt stamps the run (RFC 3339).
+	GeneratedAt string `json:"generated_at"`
+	// Seed makes the run replayable.
+	Seed int64 `json:"seed"`
+
+	Fig5      []Fig5Panel         `json:"fig5,omitempty"`
+	Rounds    []RoundsSeries      `json:"rounds,omitempty"`
+	LowerBnds []LBSeries          `json:"lower_bounds,omitempty"`
+	Dominance []DominanceReport   `json:"dominance,omitempty"`
+	ZetaSweep []ZetaExponentPoint `json:"zeta_exponents,omitempty"`
+	Figure1   []F1Row             `json:"figure1,omitempty"`
+}
+
+// NewReport creates an empty report stamped now.
+func NewReport(seed int64) *Report {
+	return &Report{
+		Paper:       "Devanny, Goodrich, Jetviroj: Parallel Equivalence Class Sorting (SPAA 2016)",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Seed:        seed,
+	}
+}
+
+// WriteJSON serializes the report, indented for direct archiving.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport parses a previously written report.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"fmt"
+
+	"ecsort/internal/adversary"
+	"ecsort/internal/core"
+	"ecsort/internal/model"
+)
+
+// LBPoint is one adversary run: the comparisons an algorithm was forced
+// to spend, and that count normalized by the theorem's predicted shape.
+type LBPoint struct {
+	N int
+	// Param is f (equal-size sweep) or ℓ (smallest-class sweep).
+	Param int
+	// Comparisons is the total spent to finish sorting (equal-size), or
+	// the count at the first scc marking (smallest-class).
+	Comparisons int64
+	// NormalizedNew is Comparisons·Param/n² — flat across the sweep if
+	// the new Ω(n²/Param) bound is the right shape.
+	NormalizedNew float64
+	// NormalizedOld is Comparisons·Param²/n² — grows linearly in Param
+	// under the new bound, flat only if the old Ω(n²/Param²) bound were
+	// tight.
+	NormalizedOld float64
+}
+
+// LBSeries is a sweep over the class-size parameter at fixed n.
+type LBSeries struct {
+	Kind   string // "equal-size" or "smallest-class"
+	Points []LBPoint
+}
+
+func newLBPoint(n, param int, comparisons int64) LBPoint {
+	n2 := float64(n) * float64(n)
+	return LBPoint{
+		N:             n,
+		Param:         param,
+		Comparisons:   comparisons,
+		NormalizedNew: float64(comparisons) * float64(param) / n2,
+		NormalizedOld: float64(comparisons) * float64(param) * float64(param) / n2,
+	}
+}
+
+// RunAdversaryEqual sweeps the Theorem 5 adversary: for each f, the
+// round-robin algorithm sorts n elements against the adaptive adversary
+// and the forced comparisons are recorded. Every f must divide n.
+func RunAdversaryEqual(n int, fs []int) (LBSeries, error) {
+	out := LBSeries{Kind: "equal-size"}
+	for _, f := range fs {
+		if n%f != 0 {
+			return LBSeries{}, fmt.Errorf("lower bound sweep: f=%d does not divide n=%d", f, n)
+		}
+		adv := adversary.NewEqualSize(n, f)
+		s := model.NewSession(adv, model.ER, model.Workers(1))
+		res, err := core.RoundRobin(s)
+		if err != nil {
+			return LBSeries{}, fmt.Errorf("adversary equal f=%d: %w", f, err)
+		}
+		if err := adv.Audit(); err != nil {
+			return LBSeries{}, err
+		}
+		out.Points = append(out.Points, newLBPoint(n, f, res.Stats.Comparisons))
+	}
+	return out, nil
+}
+
+// RunAdversarySmallest sweeps the Theorem 6 adversary: for each ℓ, the
+// recorded cost is the comparison count at the moment the first element
+// of the protected smallest class was marked — before which no algorithm
+// can correctly identify a smallest-class member.
+func RunAdversarySmallest(n int, ls []int) (LBSeries, error) {
+	out := LBSeries{Kind: "smallest-class"}
+	for _, l := range ls {
+		adv := adversary.NewSmallestClass(n, l)
+		s := model.NewSession(adv, model.ER, model.Workers(1))
+		if _, err := core.RoundRobin(s); err != nil {
+			return LBSeries{}, fmt.Errorf("adversary smallest l=%d: %w", l, err)
+		}
+		if err := adv.Audit(); err != nil {
+			return LBSeries{}, err
+		}
+		mark := adv.FirstSCCMark()
+		if mark == 0 {
+			return LBSeries{}, fmt.Errorf("adversary smallest l=%d: scc never marked", l)
+		}
+		out.Points = append(out.Points, newLBPoint(n, l, mark))
+	}
+	return out, nil
+}

@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+
+	"ecsort/internal/core"
+	"ecsort/internal/model"
+	"ecsort/internal/oracle"
+)
+
+// Processor-scaling experiment: Valiant's model grants n processors, and
+// the paper's round bounds assume that. This sweep simulates p < n
+// processors — the session splits wide rounds into ⌈width/p⌉ physical
+// rounds — and records how rounds degrade, the Brent's-theorem picture
+// rounds ≤ O(ideal + work/p).
+
+// ProcsPoint is one (algorithm, p) cell of the sweep.
+type ProcsPoint struct {
+	Algorithm   string
+	Processors  int
+	Rounds      int
+	Comparisons int64
+}
+
+// RunProcessorSweep sorts one fixed input repeatedly under different
+// processor budgets, for both parallel algorithms.
+func RunProcessorSweep(n, k int, procs []int, seed int64) ([]ProcsPoint, error) {
+	truth := oracle.RandomBalanced(n, k, rand.New(rand.NewSource(seed)))
+	var out []ProcsPoint
+	for _, p := range procs {
+		cr := model.NewSession(truth, model.CR, model.Processors(p))
+		if _, err := core.SortCR(cr, k); err != nil {
+			return nil, fmt.Errorf("procs sweep CR p=%d: %w", p, err)
+		}
+		out = append(out, ProcsPoint{
+			Algorithm:   "SortCR",
+			Processors:  p,
+			Rounds:      cr.Stats().Rounds,
+			Comparisons: cr.Stats().Comparisons,
+		})
+		er := model.NewSession(truth, model.ER, model.Processors(p))
+		if _, err := core.SortER(er); err != nil {
+			return nil, fmt.Errorf("procs sweep ER p=%d: %w", p, err)
+		}
+		out = append(out, ProcsPoint{
+			Algorithm:   "SortER",
+			Processors:  p,
+			Rounds:      er.Stats().Rounds,
+			Comparisons: er.Stats().Comparisons,
+		})
+	}
+	return out, nil
+}
+
+// RenderProcs writes the processor sweep as a table.
+func RenderProcs(w io.Writer, n, k int, points []ProcsPoint) error {
+	fmt.Fprintf(w, "\n== Processor scaling · n=%d, k=%d ==\n", n, k)
+	fmt.Fprintln(w, "rounds under p < n processors (wide rounds split into ⌈width/p⌉):")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "algorithm\tp\trounds\tcomparisons\trounds·p/comparisons")
+	for _, pt := range points {
+		eff := float64(pt.Rounds) * float64(pt.Processors) / float64(pt.Comparisons)
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.2f\n",
+			pt.Algorithm, pt.Processors, pt.Rounds, pt.Comparisons, eff)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,58 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestProcessorSweep(t *testing.T) {
+	n := 1024
+	points, err := RunProcessorSweep(n, 4, []int{n, n / 4, n / 16}, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Per algorithm: comparisons are budget-independent; rounds never
+	// decrease as p shrinks; with the smallest p, rounds approach
+	// work/p (Brent).
+	byAlgo := map[string][]ProcsPoint{}
+	for _, pt := range points {
+		byAlgo[pt.Algorithm] = append(byAlgo[pt.Algorithm], pt)
+	}
+	for algo, pts := range byAlgo {
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Comparisons != pts[0].Comparisons {
+				t.Errorf("%s: comparisons changed with p: %d vs %d",
+					algo, pts[i].Comparisons, pts[0].Comparisons)
+			}
+			if pts[i].Rounds < pts[i-1].Rounds {
+				t.Errorf("%s: rounds decreased when p shrank: %+v", algo, pts)
+			}
+		}
+		last := pts[len(pts)-1]
+		minRounds := int(last.Comparisons) / last.Processors
+		if last.Rounds < minRounds {
+			t.Errorf("%s: %d rounds below the work/p floor %d", algo, last.Rounds, minRounds)
+		}
+		if last.Rounds > 3*minRounds+64 {
+			t.Errorf("%s: %d rounds far above the Brent bound ≈ %d", algo, last.Rounds, minRounds)
+		}
+	}
+}
+
+func TestRenderProcs(t *testing.T) {
+	points, err := RunProcessorSweep(256, 4, []int{256, 64}, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RenderProcs(&buf, 256, 4, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Processor scaling") {
+		t.Fatalf("render output: %s", buf.String())
+	}
+}

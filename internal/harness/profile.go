@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"ecsort/internal/core"
+	"ecsort/internal/model"
+	"ecsort/internal/oracle"
+)
+
+// Round profiles: a per-round view of how the parallel algorithms spend
+// their comparison budget over time — the phase structure of Figure 1
+// made visible on a live run. Each bar is one physical round, scaled to
+// the processor budget.
+
+// RoundProfile is the recorded per-round width trace of one run.
+type RoundProfile struct {
+	Algorithm string
+	N, K      int
+	Widths    []int
+}
+
+// RunRoundProfile executes one algorithm with round logging enabled.
+// algorithm is "cr", "er", or "const".
+func RunRoundProfile(algorithm string, n, k int, seed int64) (RoundProfile, error) {
+	truth := oracle.RandomBalanced(n, k, rand.New(rand.NewSource(seed)))
+	prof := RoundProfile{N: n, K: k}
+	switch algorithm {
+	case "cr":
+		prof.Algorithm = "SortCR"
+		s := model.NewSession(truth, model.CR, model.WithRoundLog())
+		if _, err := core.SortCR(s, k); err != nil {
+			return RoundProfile{}, err
+		}
+		prof.Widths = s.RoundLog()
+	case "er":
+		prof.Algorithm = "SortER"
+		s := model.NewSession(truth, model.ER, model.WithRoundLog())
+		if _, err := core.SortER(s); err != nil {
+			return RoundProfile{}, err
+		}
+		prof.Widths = s.RoundLog()
+	case "const":
+		prof.Algorithm = "SortConstRoundER"
+		s := model.NewSession(truth, model.ER, model.WithRoundLog())
+		_, err := core.SortConstRoundER(s, core.ConstRoundConfig{
+			Lambda:     0.8 / float64(k),
+			D:          8,
+			MaxRetries: 8,
+			Rng:        rand.New(rand.NewSource(seed ^ 0x5bd1e995)),
+		})
+		if err != nil {
+			return RoundProfile{}, err
+		}
+		prof.Widths = s.RoundLog()
+	default:
+		return RoundProfile{}, fmt.Errorf("harness: unknown algorithm %q", algorithm)
+	}
+	return prof, nil
+}
+
+// RenderRoundProfile writes the trace as a bar per round (width scaled to
+// 60 columns of '█').
+func RenderRoundProfile(w io.Writer, prof RoundProfile) error {
+	fmt.Fprintf(w, "\n== Round profile · %s (n=%d, k=%d) — %d rounds ==\n",
+		prof.Algorithm, prof.N, prof.K, len(prof.Widths))
+	maxW := 1
+	for _, width := range prof.Widths {
+		if width > maxW {
+			maxW = width
+		}
+	}
+	const cols = 60
+	for i, width := range prof.Widths {
+		bar := (width*cols + maxW - 1) / maxW
+		if _, err := fmt.Fprintf(w, "%4d %7d %s\n", i, width, strings.Repeat("█", bar)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRoundProfileCR(t *testing.T) {
+	prof, err := RunRoundProfile("cr", 2048, 4, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Algorithm != "SortCR" || len(prof.Widths) == 0 {
+		t.Fatalf("profile = %+v", prof)
+	}
+	// Width trace must sum to the comparison count and never exceed n.
+	total := 0
+	for _, w := range prof.Widths {
+		if w < 1 || w > 2048 {
+			t.Fatalf("round width %d out of range", w)
+		}
+		total += w
+	}
+	if total == 0 {
+		t.Fatal("empty trace")
+	}
+}
+
+func TestRoundProfileAllAlgorithms(t *testing.T) {
+	for _, algo := range []string{"cr", "er", "const"} {
+		prof, err := RunRoundProfile(algo, 512, 4, 20)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if len(prof.Widths) == 0 {
+			t.Fatalf("%s: empty profile", algo)
+		}
+	}
+	if _, err := RunRoundProfile("bogus", 64, 2, 1); err == nil {
+		t.Fatal("bogus algorithm accepted")
+	}
+}
+
+func TestRenderRoundProfile(t *testing.T) {
+	prof := RoundProfile{Algorithm: "SortCR", N: 16, K: 2, Widths: []int{8, 16, 4}}
+	var buf bytes.Buffer
+	if err := RenderRoundProfile(&buf, prof); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "3 rounds") || !strings.Contains(out, "█") {
+		t.Fatalf("render output:\n%s", out)
+	}
+}
+
+func TestJSONReportRoundTrip(t *testing.T) {
+	rep := NewReport(99)
+	rows := Figure1Schedule(1024, 2)
+	rep.Figure1 = rows
+	series, err := RunRoundsCR(2, []int{64, 128}, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Rounds = []RoundsSeries{series}
+	sweep := []ZetaExponentPoint{{S: 2, Exponent: 1.1}}
+	rep.ZetaSweep = sweep
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Seed != 99 || len(back.Figure1) != len(rows) || len(back.Rounds) != 1 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if back.Rounds[0].Algorithm != "SortCR" || len(back.Rounds[0].Points) != 2 {
+		t.Fatalf("rounds series mangled: %+v", back.Rounds[0])
+	}
+	if back.ZetaSweep[0].S != 2 {
+		t.Fatalf("zeta sweep mangled: %+v", back.ZetaSweep)
+	}
+	if !strings.Contains(back.Paper, "SPAA 2016") {
+		t.Fatalf("paper field: %q", back.Paper)
+	}
+}
+
+func TestJSONReportRejectsGarbage(t *testing.T) {
+	if _, err := ReadReport(strings.NewReader("{nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

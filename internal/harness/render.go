@@ -1,0 +1,109 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+
+	"ecsort/internal/stats"
+)
+
+// RenderFig5 writes a Figure 5 panel as a text table: one row per input
+// size with per-trial spread, followed by the fit line when present.
+func RenderFig5(w io.Writer, panel Fig5Panel) error {
+	for _, series := range panel.Series {
+		fmt.Fprintf(w, "\n== Figure 5 · %s ==\n", series.Distribution)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "n\tmean comparisons\tmin\tmax\tspread")
+		for _, p := range series.Points {
+			xs := make([]float64, len(p.Comparisons))
+			for i, c := range p.Comparisons {
+				xs[i] = float64(c)
+			}
+			s := stats.Summarize(xs)
+			fmt.Fprintf(tw, "%d\t%.0f\t%.0f\t%.0f\t%.2f%%\n",
+				p.N, s.Mean, s.Min, s.Max, 100*s.RelSpread)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		if series.Fit != nil {
+			fmt.Fprintf(w, "best fit: comparisons ≈ %.4f·n %+.1f   (R²=%.6f, max residual %.2f%%)\n",
+				series.Fit.Slope, series.Fit.Intercept, series.Fit.R2, 100*series.Fit.MaxRelResidual)
+		} else {
+			fmt.Fprintf(w, "no fit line (paper omits fits for zeta s<2; growth is super-linear)\n")
+		}
+		fmt.Fprintf(w, "log–log growth exponent: %.3f\n", series.LogLogSlope)
+	}
+	return nil
+}
+
+// RenderRounds writes a round-complexity sweep.
+func RenderRounds(w io.Writer, series RoundsSeries, note string) error {
+	fmt.Fprintf(w, "\n== Rounds · %s ==\n", series.Algorithm)
+	if note != "" {
+		fmt.Fprintf(w, "%s\n", note)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "n\tk\trounds\tcomparisons\trounds/log2(n)\trounds/k")
+	for _, p := range series.Points {
+		logN := math.Log2(float64(p.N))
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%.2f\t%.2f\n",
+			p.N, p.K, p.Rounds, p.Comparisons,
+			float64(p.Rounds)/logN, float64(p.Rounds)/float64(p.K))
+	}
+	return tw.Flush()
+}
+
+// RenderLB writes a lower-bound sweep: the NormalizedNew column should be
+// roughly flat (the paper's Ω(n²/f) shape) while NormalizedOld climbs.
+func RenderLB(w io.Writer, series LBSeries) error {
+	fmt.Fprintf(w, "\n== Lower bound · %s adversary ==\n", series.Kind)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "n\tparam\tforced comparisons\tC·p/n² (new bound, ~flat)\tC·p²/n² (old bound, climbs)")
+	for _, p := range series.Points {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%.4f\t%.4f\n",
+			p.N, p.Param, p.Comparisons, p.NormalizedNew, p.NormalizedOld)
+	}
+	return tw.Flush()
+}
+
+// RenderDominance writes a Theorem 7 audit.
+func RenderDominance(w io.Writer, rep DominanceReport) error {
+	fmt.Fprintf(w, "\n== Theorem 7 dominance · %s (n=%d) ==\n", rep.Distribution, rep.N)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "trial\tcomparisons\tbound 2·ΣV̂+(n−1)\tholds")
+	for i, t := range rep.Trials {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%v\n", i, t.Comparisons, t.Bound, t.Holds)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "violations: %d/%d, mean comparisons/bound ratio: %.3f\n",
+		rep.Violations, len(rep.Trials), rep.MeanRatio)
+	if !math.IsInf(rep.TheoryMeanBound, 1) {
+		fmt.Fprintf(w, "theory mean bound 2·n·E[D_N]: %.0f\n", rep.TheoryMeanBound)
+	} else {
+		fmt.Fprintf(w, "theory mean bound diverges (zeta with s ≤ 2)\n")
+	}
+	return nil
+}
+
+// RenderFigure1 writes the Figure 1 merge-schedule table.
+func RenderFigure1(w io.Writer, n, k int, rows []F1Row) error {
+	fmt.Fprintf(w, "\n== Figure 1 schedule · n=%d, k=%d ==\n", n, k)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "phase\tanswers\tprocs/answer\tanswer size ≤\tclasses ≤\tcomparisons ≤\trounds\treduction")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			r.Phase, r.Answers, r.ProcsPerAnswer, r.MaxAnswerSize,
+			r.MaxClasses, r.Comparisons, r.Rounds, r.Reduction)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	p1, p2 := Figure1Totals(rows)
+	fmt.Fprintf(w, "phase 1 rounds: %d (Lemma 1: O(k))   phase 2 rounds: %d (Lemma 2: O(log log n))\n", p1, p2)
+	return nil
+}

@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ecsort/internal/core"
+	"ecsort/internal/model"
+	"ecsort/internal/oracle"
+)
+
+// RoundsPoint records the cost of one parallel sort run.
+type RoundsPoint struct {
+	N           int
+	K           int
+	Rounds      int
+	Comparisons int64
+}
+
+// RoundsSeries is a sweep of one algorithm over input sizes, validating a
+// round-complexity theorem.
+type RoundsSeries struct {
+	Algorithm string
+	Points    []RoundsPoint
+}
+
+// RunRoundsCR sweeps the Theorem 1 CR algorithm over sizes at fixed k.
+// Expected shape: rounds flat in n (the k term dominates the log log n
+// term at these scales).
+func RunRoundsCR(k int, sizes []int, seed int64) (RoundsSeries, error) {
+	rng := rand.New(rand.NewSource(seed))
+	out := RoundsSeries{Algorithm: "SortCR"}
+	for _, n := range sizes {
+		truth := oracle.RandomBalanced(n, min(k, n), rng)
+		s := model.NewSession(truth, model.CR)
+		if _, err := core.SortCR(s, min(k, n)); err != nil {
+			return RoundsSeries{}, fmt.Errorf("rounds-cr n=%d: %w", n, err)
+		}
+		st := s.Stats()
+		out.Points = append(out.Points, RoundsPoint{N: n, K: k, Rounds: st.Rounds, Comparisons: st.Comparisons})
+	}
+	return out, nil
+}
+
+// RunRoundsER sweeps the Theorem 2 ER algorithm. Expected shape: rounds
+// grow ∝ k·log n.
+func RunRoundsER(k int, sizes []int, seed int64) (RoundsSeries, error) {
+	rng := rand.New(rand.NewSource(seed))
+	out := RoundsSeries{Algorithm: "SortER"}
+	for _, n := range sizes {
+		truth := oracle.RandomBalanced(n, min(k, n), rng)
+		s := model.NewSession(truth, model.ER)
+		if _, err := core.SortER(s); err != nil {
+			return RoundsSeries{}, fmt.Errorf("rounds-er n=%d: %w", n, err)
+		}
+		st := s.Stats()
+		out.Points = append(out.Points, RoundsPoint{N: n, K: k, Rounds: st.Rounds, Comparisons: st.Comparisons})
+	}
+	return out, nil
+}
+
+// RunRoundsConst sweeps the Theorem 4 constant-round ER algorithm at
+// fixed λ and cycle count d. Expected shape: rounds independent of n.
+func RunRoundsConst(lambda float64, d, k int, sizes []int, seed int64) (RoundsSeries, error) {
+	out := RoundsSeries{Algorithm: "SortConstRoundER"}
+	for _, n := range sizes {
+		truth := oracle.RandomBalanced(n, k, rand.New(rand.NewSource(seed+int64(n))))
+		s := model.NewSession(truth, model.ER)
+		_, err := core.SortConstRoundER(s, core.ConstRoundConfig{
+			Lambda:     lambda,
+			D:          d,
+			MaxRetries: 8,
+			Rng:        rand.New(rand.NewSource(seed ^ int64(n)*2654435761)),
+		})
+		if err != nil {
+			return RoundsSeries{}, fmt.Errorf("rounds-const n=%d: %w", n, err)
+		}
+		st := s.Stats()
+		out.Points = append(out.Points, RoundsPoint{N: n, K: k, Rounds: st.Rounds, Comparisons: st.Comparisons})
+	}
+	return out, nil
+}

@@ -1,0 +1,58 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"ecsort/internal/dist"
+)
+
+// The paper leaves open whether the round-robin regimen's comparison count
+// can be bounded away from O(n²) for zeta distributions with s < 2. This
+// explorer maps the empirical growth exponent as a function of s, the
+// experiment Section 5's "how total comparison counts change as parameters
+// of the distributions change" question suggests.
+
+// ZetaExponentPoint is one s-value of the sweep: the fitted log–log
+// growth exponent of comparisons vs n.
+type ZetaExponentPoint struct {
+	S        float64
+	Exponent float64
+}
+
+// RunZetaExponentSweep measures the empirical exponent for each s,
+// running the round-robin regimen over the given sizes with `trials`
+// repetitions each.
+func RunZetaExponentSweep(ss []float64, sizes []int, trials int, seed int64) ([]ZetaExponentPoint, error) {
+	out := make([]ZetaExponentPoint, 0, len(ss))
+	for i, s := range ss {
+		series, err := RunFig5Series(dist.NewZeta(s), Fig5Config{
+			Sizes:  sizes,
+			Trials: trials,
+			Seed:   seed + int64(i)*7919,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ZetaExponentPoint{S: s, Exponent: series.LogLogSlope})
+	}
+	return out, nil
+}
+
+// RenderZetaExponents writes the sweep as a table. Expected shape: the
+// exponent decreases toward 1 as s grows, crossing into "essentially
+// linear" around s = 2 (where Theorem 9 proves linear expectation).
+func RenderZetaExponents(w io.Writer, sweep []ZetaExponentPoint) error {
+	fmt.Fprintf(w, "\n== Zeta growth exponents (open problem: s < 2) ==\n")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "s\tempirical exponent of comparisons ~ n^e")
+	for _, p := range sweep {
+		marker := ""
+		if p.S >= 2 {
+			marker = "  (linear in expectation: Thm 9)"
+		}
+		fmt.Fprintf(tw, "%.2f\t%.3f%s\n", p.S, p.Exponent, marker)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,63 @@
+package knowledge
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkKnowledgeUniform measures the merge/edge workload the
+// round-robin regimen generates on a balanced-k input.
+func BenchmarkKnowledgeUniform(b *testing.B) {
+	const n, k = 4096, 16
+	rng := rand.New(rand.NewSource(1))
+	truth := make([]int, n)
+	for i := range truth {
+		truth[i] = rng.Intn(k)
+	}
+	type op struct {
+		a, b  int
+		equal bool
+	}
+	ops := make([]op, 0, 4*n)
+	for len(ops) < cap(ops) {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			ops = append(ops, op{a, b, truth[a] == truth[b]})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := New(n)
+		for _, o := range ops {
+			if o.equal {
+				g.RecordEqual(o.a, o.b)
+			} else if same, known := g.Known(o.a, o.b); !same && !known {
+				g.RecordUnequal(o.a, o.b)
+			}
+		}
+	}
+}
+
+// BenchmarkKnownLookup measures the hot-path knowledge query.
+func BenchmarkKnownLookup(b *testing.B) {
+	const n = 1024
+	g := New(n)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2*n; i++ {
+		a, c := rng.Intn(n), rng.Intn(n)
+		if a == c {
+			continue
+		}
+		if same, known := g.Known(a, c); !same && !known {
+			if rng.Intn(3) == 0 {
+				g.RecordEqual(a, c)
+			} else {
+				g.RecordUnequal(a, c)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Known(i%n, (i*7+1)%n)
+	}
+}

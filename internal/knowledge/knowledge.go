@@ -1,0 +1,154 @@
+// Package knowledge maintains the state of an ECS algorithm's knowledge as
+// the graph of Figure 2 of the paper: each vertex is a "fragment" (a set of
+// elements known pairwise equivalent), and an edge joins two fragments
+// known to be in different classes. Testing two elements equal contracts
+// their fragments; testing them unequal adds an edge. The algorithm has
+// finished exactly when the graph is a clique, at which point the fragments
+// are the equivalence classes.
+//
+// The implementation keeps enemy sets exact under contraction: when two
+// fragments merge, their enemy sets are united (small-to-large) and every
+// enemy's own set is rekeyed to the surviving root, so Known is always an
+// O(1) lookup and the edge count is never stale.
+package knowledge
+
+import (
+	"fmt"
+
+	"ecsort/internal/unionfind"
+)
+
+// Graph tracks fragments and known-unequal edges over elements 0..n-1.
+type Graph struct {
+	dsu     *unionfind.DSU
+	enemies []map[int]struct{} // valid only at DSU roots
+	edges   int                // number of distinct fragment-pair edges
+}
+
+// New returns a knowledge graph with n singleton fragments and no edges.
+func New(n int) *Graph {
+	g := &Graph{
+		dsu:     unionfind.New(n),
+		enemies: make([]map[int]struct{}, n),
+	}
+	return g
+}
+
+// N returns the number of elements.
+func (g *Graph) N() int { return g.dsu.Len() }
+
+// Fragments returns the current number of fragments.
+func (g *Graph) Fragments() int { return g.dsu.Sets() }
+
+// Edges returns the number of distinct fragment pairs known unequal.
+func (g *Graph) Edges() int { return g.edges }
+
+// Find returns the fragment root of element x.
+func (g *Graph) Find(x int) int { return g.dsu.Find(x) }
+
+// Known reports the graph's knowledge about elements a and b:
+// same == true means they are in one fragment; otherwise known == true
+// means their fragments have an inequality edge. (same, known) == (false,
+// false) means the relationship is still unknown.
+func (g *Graph) Known(a, b int) (same, known bool) {
+	ra, rb := g.dsu.Find(a), g.dsu.Find(b)
+	if ra == rb {
+		return true, true
+	}
+	if g.enemies[ra] != nil {
+		if _, ok := g.enemies[ra][rb]; ok {
+			return false, true
+		}
+	}
+	return false, false
+}
+
+// RecordUnequal adds the inequality edge between the fragments of a and b.
+// It panics if the fragments are already known equal (an oracle or
+// algorithm inconsistency).
+func (g *Graph) RecordUnequal(a, b int) {
+	ra, rb := g.dsu.Find(a), g.dsu.Find(b)
+	if ra == rb {
+		panic(fmt.Sprintf("knowledge: elements %d and %d recorded unequal but already merged", a, b))
+	}
+	if g.addEdge(ra, rb) {
+		g.edges++
+	}
+}
+
+// addEdge inserts the undirected edge (ra, rb) between roots and reports
+// whether it was new.
+func (g *Graph) addEdge(ra, rb int) bool {
+	if g.enemies[ra] == nil {
+		g.enemies[ra] = make(map[int]struct{})
+	}
+	if _, ok := g.enemies[ra][rb]; ok {
+		return false
+	}
+	g.enemies[ra][rb] = struct{}{}
+	if g.enemies[rb] == nil {
+		g.enemies[rb] = make(map[int]struct{})
+	}
+	g.enemies[rb][ra] = struct{}{}
+	return true
+}
+
+// RecordEqual contracts the fragments of a and b. It panics if the
+// fragments are known unequal (an oracle or algorithm inconsistency).
+// Contracting fragments that are already one fragment is a no-op.
+func (g *Graph) RecordEqual(a, b int) {
+	ra, rb := g.dsu.Find(a), g.dsu.Find(b)
+	if ra == rb {
+		return
+	}
+	if g.enemies[ra] != nil {
+		if _, ok := g.enemies[ra][rb]; ok {
+			panic(fmt.Sprintf("knowledge: elements %d and %d recorded equal but known unequal", a, b))
+		}
+	}
+	root, _ := g.dsu.Union(ra, rb)
+	absorbed := ra
+	if root == ra {
+		absorbed = rb
+	}
+	// Rekey: every enemy of the absorbed root must now point at the
+	// surviving root; duplicate edges (enemy knew both halves) collapse.
+	for e := range g.enemies[absorbed] {
+		delete(g.enemies[e], absorbed)
+		if _, dup := g.enemies[e][root]; dup {
+			g.edges-- // the two parallel edges collapse into one
+			continue
+		}
+		g.enemies[e][root] = struct{}{}
+		if g.enemies[root] == nil {
+			g.enemies[root] = make(map[int]struct{})
+		}
+		g.enemies[root][e] = struct{}{}
+	}
+	g.enemies[absorbed] = nil
+}
+
+// DegreeOf returns the number of fragments known unequal to x's fragment.
+func (g *Graph) DegreeOf(x int) int {
+	return len(g.enemies[g.dsu.Find(x)])
+}
+
+// DoneFor reports whether x's fragment has a known relationship to every
+// other fragment, i.e. x can learn nothing more.
+func (g *Graph) DoneFor(x int) bool {
+	return g.DegreeOf(x) == g.dsu.Sets()-1
+}
+
+// Complete reports whether the knowledge graph is a clique on the current
+// fragments, i.e. the equivalence classes are fully determined.
+func (g *Graph) Complete() bool {
+	m := g.dsu.Sets()
+	return g.edges == m*(m-1)/2
+}
+
+// Groups returns the current fragments as element-index groups ordered by
+// smallest member.
+func (g *Graph) Groups() [][]int { return g.dsu.Groups() }
+
+// Labels returns a canonical fragment labeling (see unionfind.DSU.Labels).
+func (g *Graph) Labels() []int { return g.dsu.Labels() }

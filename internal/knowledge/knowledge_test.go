@@ -1,0 +1,265 @@
+package knowledge
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFreshGraph(t *testing.T) {
+	g := New(4)
+	if g.N() != 4 || g.Fragments() != 4 || g.Edges() != 0 {
+		t.Fatalf("fresh graph state wrong: n=%d frag=%d edges=%d", g.N(), g.Fragments(), g.Edges())
+	}
+	if same, known := g.Known(0, 1); same || known {
+		t.Fatal("fresh graph should know nothing")
+	}
+	if g.Complete() {
+		t.Fatal("graph with 4 fragments and no edges cannot be complete")
+	}
+}
+
+func TestRecordUnequal(t *testing.T) {
+	g := New(3)
+	g.RecordUnequal(0, 1)
+	if same, known := g.Known(0, 1); same || !known {
+		t.Fatal("0-1 should be known unequal")
+	}
+	if g.Edges() != 1 {
+		t.Fatalf("Edges = %d, want 1", g.Edges())
+	}
+	// Re-recording is idempotent.
+	g.RecordUnequal(1, 0)
+	if g.Edges() != 1 {
+		t.Fatalf("Edges after duplicate = %d, want 1", g.Edges())
+	}
+}
+
+func TestRecordEqualMergesKnowledge(t *testing.T) {
+	g := New(4)
+	g.RecordUnequal(0, 2)
+	g.RecordEqual(0, 1)
+	// 1 inherits 0's enemies.
+	if same, known := g.Known(1, 2); same || !known {
+		t.Fatal("1-2 should be known unequal after merging 0 and 1")
+	}
+	if g.Fragments() != 3 {
+		t.Fatalf("Fragments = %d, want 3", g.Fragments())
+	}
+}
+
+func TestEdgeCollapseOnMerge(t *testing.T) {
+	g := New(4)
+	g.RecordUnequal(0, 2)
+	g.RecordUnequal(1, 2)
+	if g.Edges() != 2 {
+		t.Fatalf("Edges = %d, want 2", g.Edges())
+	}
+	g.RecordEqual(0, 1) // both enemies of 2 merge: parallel edges collapse
+	if g.Edges() != 1 {
+		t.Fatalf("Edges after collapse = %d, want 1", g.Edges())
+	}
+}
+
+func TestCompleteAndDone(t *testing.T) {
+	g := New(4)
+	g.RecordEqual(0, 1)
+	g.RecordEqual(2, 3)
+	if g.Complete() {
+		t.Fatal("two fragments with no edge are not complete")
+	}
+	if g.DoneFor(0) {
+		t.Fatal("0 should not be done yet")
+	}
+	g.RecordUnequal(0, 2)
+	if !g.Complete() {
+		t.Fatal("two fragments joined by an edge are complete")
+	}
+	if !g.DoneFor(0) || !g.DoneFor(3) {
+		t.Fatal("everyone should be done once complete")
+	}
+}
+
+func TestInconsistencyPanics(t *testing.T) {
+	t.Run("equal after unequal", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		g := New(2)
+		g.RecordUnequal(0, 1)
+		g.RecordEqual(0, 1)
+	})
+	t.Run("unequal after equal", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		g := New(2)
+		g.RecordEqual(0, 1)
+		g.RecordUnequal(0, 1)
+	})
+}
+
+func TestRecordEqualIdempotent(t *testing.T) {
+	g := New(3)
+	g.RecordEqual(0, 1)
+	g.RecordEqual(1, 0) // same fragment: no-op
+	if g.Fragments() != 2 {
+		t.Fatalf("Fragments = %d, want 2", g.Fragments())
+	}
+}
+
+// mirror tracks pairwise knowledge naively for cross-checking.
+type mirror struct {
+	n       int
+	label   []int
+	unequal map[[2]int]bool // by element pair, canonical order
+}
+
+func newMirror(n int) *mirror {
+	m := &mirror{n: n, label: make([]int, n), unequal: map[[2]int]bool{}}
+	for i := range m.label {
+		m.label[i] = i
+	}
+	return m
+}
+
+func (m *mirror) key(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+func (m *mirror) knownUnequal(a, b int) bool {
+	// Any recorded unequal pair between the two fragments counts.
+	for i := 0; i < m.n; i++ {
+		if m.label[i] != m.label[a] {
+			continue
+		}
+		for j := 0; j < m.n; j++ {
+			if m.label[j] == m.label[b] && m.unequal[m.key(i, j)] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (m *mirror) recordEqual(a, b int) {
+	la, lb := m.label[a], m.label[b]
+	if la == lb {
+		return
+	}
+	for i, l := range m.label {
+		if l == lb {
+			m.label[i] = la
+		}
+	}
+}
+
+func (m *mirror) recordUnequal(a, b int) { m.unequal[m.key(a, b)] = true }
+
+// TestQuickAgainstMirror replays random consistent operation sequences on
+// the graph and a naive mirror, then checks Known agrees everywhere.
+func TestQuickAgainstMirror(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		// Hidden truth drives consistent answers.
+		truth := make([]int, n)
+		for i := range truth {
+			truth[i] = rng.Intn(3)
+		}
+		g := New(n)
+		m := newMirror(n)
+		for step := 0; step < 100; step++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a == b {
+				continue
+			}
+			if truth[a] == truth[b] {
+				g.RecordEqual(a, b)
+				m.recordEqual(a, b)
+			} else {
+				if same, _ := g.Known(a, b); same {
+					return false // graph disagrees with truth
+				}
+				g.RecordUnequal(a, b)
+				m.recordUnequal(a, b)
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				same, known := g.Known(i, j)
+				mSame := m.label[i] == m.label[j]
+				mKnown := mSame || m.knownUnequal(i, j)
+				if same != mSame || known != mKnown {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEdgeCountMatchesDistinctPairs checks Edges always equals the number
+// of distinct fragment pairs known unequal.
+func TestEdgeCountMatchesDistinctPairs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(16)
+		truth := make([]int, n)
+		for i := range truth {
+			truth[i] = rng.Intn(4)
+		}
+		g := New(n)
+		for step := 0; step < 80; step++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a == b {
+				continue
+			}
+			if truth[a] == truth[b] {
+				g.RecordEqual(a, b)
+			} else {
+				g.RecordUnequal(a, b)
+			}
+		}
+		distinct := map[[2]int]bool{}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if _, known := g.Known(i, j); known && g.Find(i) != g.Find(j) {
+					ri, rj := g.Find(i), g.Find(j)
+					if ri > rj {
+						ri, rj = rj, ri
+					}
+					distinct[[2]int{ri, rj}] = true
+				}
+			}
+		}
+		return g.Edges() == len(distinct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupsAndLabels(t *testing.T) {
+	g := New(5)
+	g.RecordEqual(0, 3)
+	g.RecordEqual(1, 4)
+	groups := g.Groups()
+	if len(groups) != 3 {
+		t.Fatalf("groups = %v, want 3 groups", groups)
+	}
+	labels := g.Labels()
+	if labels[0] != labels[3] || labels[1] != labels[4] || labels[0] == labels[1] {
+		t.Fatalf("labels = %v", labels)
+	}
+}

@@ -1,0 +1,103 @@
+// Package majority implements the classic equality-comparison algorithms
+// the paper positions ECS against (Section 1.1): the Boyer–Moore MJRTY
+// majority vote and a mode (largest equivalence class) finder. Both run
+// on the same Session substrate as the sorting algorithms, so their
+// comparison counts are directly comparable — and, as the paper notes,
+// neither yields an efficient parallel ECS algorithm: they locate one
+// class, not all of them.
+package majority
+
+import (
+	"ecsort/internal/knowledge"
+	"ecsort/internal/model"
+)
+
+// Majority finds an element of the strict-majority class (> n/2 members)
+// using Boyer–Moore MJRTY plus a verification pass, all with equivalence
+// tests. It returns the candidate element, the exact size of its class,
+// and whether that class is a strict majority. The pairing phase costs at
+// most n−1 comparisons and verification at most n−1 more.
+func Majority(s *model.Session) (candidate, size int, isMajority bool) {
+	n := s.N()
+	if n == 0 {
+		return -1, 0, false
+	}
+	// Phase 1: MJRTY vote. Maintain a candidate with a counter; equal
+	// elements increment, unequal decrement (and replace at zero).
+	candidate = 0
+	count := 1
+	for x := 1; x < n; x++ {
+		if count == 0 {
+			candidate = x
+			count = 1
+			continue
+		}
+		if s.Compare(candidate, x) {
+			count++
+		} else {
+			count--
+		}
+	}
+	// Phase 2: verify by counting the candidate's class exactly.
+	size = 1
+	for x := 0; x < n; x++ {
+		if x == candidate {
+			continue
+		}
+		if s.Compare(candidate, x) {
+			size++
+		}
+	}
+	return candidate, size, size > n/2
+}
+
+// Mode finds an element of the largest equivalence class and its size,
+// using a pairing-and-knowledge strategy: run the round-robin knowledge
+// build until the largest fragment can no longer be beaten by any
+// undecided pool. For simplicity and exactness it completes the
+// classification (the ECS lower bounds say finding the mode is not
+// substantially cheaper than sorting when classes are balanced), so its
+// cost mirrors the round-robin regimen's.
+func Mode(s *model.Session) (candidate, size int) {
+	n := s.N()
+	if n == 0 {
+		return -1, 0
+	}
+	g := knowledge.New(n)
+	// Pair up elements round-robin until knowledge is complete (same
+	// regimen as core.RoundRobin, restated here to avoid an import
+	// cycle; the cost profile is identical).
+	ptr := make([]int, n)
+	for !g.Complete() {
+		progress := false
+		for x := 0; x < n; x++ {
+			if g.DoneFor(x) {
+				continue
+			}
+			for ptr[x] < n-1 {
+				y := (x + 1 + ptr[x]) % n
+				ptr[x]++
+				if _, known := g.Known(x, y); known {
+					continue
+				}
+				if s.Compare(x, y) {
+					g.RecordEqual(x, y)
+				} else {
+					g.RecordUnequal(x, y)
+				}
+				progress = true
+				break
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	for _, group := range g.Groups() {
+		if len(group) > size {
+			size = len(group)
+			candidate = group[0]
+		}
+	}
+	return candidate, size
+}

@@ -1,0 +1,147 @@
+package majority
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ecsort/internal/model"
+	"ecsort/internal/oracle"
+)
+
+func TestMajorityPresent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// 60 of class 0, 40 split among others.
+	truth := oracle.RandomSizes([]int{60, 25, 15}, rng)
+	s := model.NewSession(truth, model.ER)
+	cand, size, isMaj := Majority(s)
+	if !isMaj {
+		t.Fatal("majority not detected")
+	}
+	if size != 60 {
+		t.Fatalf("size = %d, want 60", size)
+	}
+	if truth.Labels()[cand] != truth.Labels()[0] {
+		// class 0 elements were shuffled; compare by size instead.
+		counts := map[int]int{}
+		for _, l := range truth.Labels() {
+			counts[l]++
+		}
+		if counts[truth.Labels()[cand]] != 60 {
+			t.Fatal("candidate not in the majority class")
+		}
+	}
+	// Cost: at most 2(n−1).
+	if c := s.Stats().Comparisons; c > 2*99 {
+		t.Fatalf("comparisons = %d > 2(n−1)", c)
+	}
+}
+
+func TestMajorityAbsent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	truth := oracle.RandomSizes([]int{50, 50}, rng)
+	s := model.NewSession(truth, model.ER)
+	_, size, isMaj := Majority(s)
+	if isMaj {
+		t.Fatalf("false majority of size %d on a 50/50 split", size)
+	}
+}
+
+func TestMajorityEmptyAndSingle(t *testing.T) {
+	s := model.NewSession(oracle.NewLabel(nil), model.ER)
+	if c, _, m := Majority(s); c != -1 || m {
+		t.Fatal("empty input mishandled")
+	}
+	s = model.NewSession(oracle.NewLabel([]int{9}), model.ER)
+	c, size, m := Majority(s)
+	if c != 0 || size != 1 || !m {
+		t.Fatalf("single element: c=%d size=%d maj=%v", c, size, m)
+	}
+}
+
+// TestMajorityQuick: MJRTY must identify the majority whenever one
+// exists, for arbitrary class profiles.
+func TestMajorityQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = rng.Intn(3)
+		}
+		counts := map[int]int{}
+		for _, l := range labels {
+			counts[l]++
+		}
+		best, bestL := 0, -1
+		for l, c := range counts {
+			if c > best {
+				best, bestL = c, l
+			}
+		}
+		truth := oracle.NewLabel(labels)
+		s := model.NewSession(truth, model.ER)
+		cand, size, isMaj := Majority(s)
+		if best > n/2 {
+			return isMaj && labels[cand] == bestL && size == best
+		}
+		// No majority: the report must say so (candidate's true count
+		// must match the returned size regardless).
+		return !isMaj && size == counts[labels[cand]]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeFindsLargestClass(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	truth := oracle.RandomSizes([]int{7, 30, 12, 1}, rng)
+	s := model.NewSession(truth, model.ER)
+	cand, size := Mode(s)
+	if size != 30 {
+		t.Fatalf("mode size = %d, want 30", size)
+	}
+	counts := map[int]int{}
+	for _, l := range truth.Labels() {
+		counts[l]++
+	}
+	if counts[truth.Labels()[cand]] != 30 {
+		t.Fatal("candidate not in the largest class")
+	}
+}
+
+func TestModeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = rng.Intn(4)
+		}
+		counts := map[int]int{}
+		for _, l := range labels {
+			counts[l]++
+		}
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		truth := oracle.NewLabel(labels)
+		s := model.NewSession(truth, model.ER)
+		cand, size := Mode(s)
+		return size == best && counts[labels[cand]] == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeEmpty(t *testing.T) {
+	s := model.NewSession(oracle.NewLabel(nil), model.ER)
+	if c, size := Mode(s); c != -1 || size != 0 {
+		t.Fatalf("empty mode: c=%d size=%d", c, size)
+	}
+}

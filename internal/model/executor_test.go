@@ -1,0 +1,86 @@
+package model
+
+import "testing"
+
+// flipExecutor answers the opposite of the oracle, proving the executor
+// path is actually taken.
+type flipExecutor struct{ o Oracle }
+
+func (f flipExecutor) ExecuteRound(pairs []Pair) []bool {
+	out := make([]bool, len(pairs))
+	for i, p := range pairs {
+		out[i] = !f.o.Same(p.A, p.B)
+	}
+	return out
+}
+
+func TestWithExecutorRoutesRounds(t *testing.T) {
+	o := parityOracle{n: 4}
+	s := NewSession(o, CR, WithExecutor(flipExecutor{o}))
+	res, err := s.Round([]Pair{{0, 2}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] || !res[1] {
+		t.Fatalf("executor not consulted: %v", res)
+	}
+	// Compare bypasses the executor by design.
+	if !s.Compare(0, 2) {
+		t.Fatal("Compare should use the oracle directly")
+	}
+}
+
+func TestExecutorRespectsBudgetSplits(t *testing.T) {
+	o := parityOracle{n: 16}
+	calls := 0
+	s := NewSession(o, ER, Processors(2), WithExecutor(executorFunc(func(pairs []Pair) []bool {
+		calls++
+		if len(pairs) > 2 {
+			t.Fatalf("executor saw %d pairs, budget is 2", len(pairs))
+		}
+		out := make([]bool, len(pairs))
+		for i, p := range pairs {
+			out[i] = o.Same(p.A, p.B)
+		}
+		return out
+	})))
+	if _, err := s.Round([]Pair{{0, 1}, {2, 3}, {4, 5}, {6, 7}, {8, 9}}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 { // ceil(5/2)
+		t.Fatalf("executor calls = %d, want 3", calls)
+	}
+}
+
+type executorFunc func(pairs []Pair) []bool
+
+func (f executorFunc) ExecuteRound(pairs []Pair) []bool { return f(pairs) }
+
+func TestRoundLog(t *testing.T) {
+	o := parityOracle{n: 8}
+	s := NewSession(o, ER, Processors(2), WithRoundLog())
+	if _, err := s.Round([]Pair{{0, 1}, {2, 3}, {4, 5}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Compare(0, 2)
+	log := s.RoundLog()
+	want := []int{2, 1, 1}
+	if len(log) != len(want) {
+		t.Fatalf("log = %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log = %v, want %v", log, want)
+		}
+	}
+}
+
+func TestRoundLogOffByDefault(t *testing.T) {
+	s := NewSession(parityOracle{n: 4}, ER)
+	if _, err := s.Round([]Pair{{0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.RoundLog()) != 0 {
+		t.Fatal("round log recorded without WithRoundLog")
+	}
+}

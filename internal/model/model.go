@@ -1,0 +1,298 @@
+// Package model implements Valiant's parallel comparison model for the
+// equivalence class sorting problem.
+//
+// In this model the only operation that costs anything is an equivalence
+// test between two elements; all bookkeeping between comparison rounds is
+// free. A Session wraps an Oracle (the ground truth, or an adaptive
+// adversary) and executes batches of tests as parallel rounds, charging one
+// round per batch and one comparison per test. The session enforces the
+// rules of the variant being run:
+//
+//   - ER (exclusive read): each element may appear in at most one
+//     comparison per round, because the elements themselves perform the
+//     tests (e.g. agents running a secret-handshake protocol).
+//   - CR (concurrent read): an element may appear in any number of
+//     comparisons per round, because elements are passive objects (e.g.
+//     graphs being tested for isomorphism).
+//
+// A Session can also enforce the p-processor budget of the model: a logical
+// round with more than p comparisons is split into ⌈m/p⌉ physical rounds.
+package model
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Mode selects the read-concurrency rule of the comparison model.
+type Mode int
+
+const (
+	// ER is the exclusive-read variant: disjoint comparisons per round.
+	ER Mode = iota
+	// CR is the concurrent-read variant: arbitrary comparisons per round.
+	CR
+)
+
+// String returns "ER" or "CR".
+func (m Mode) String() string {
+	switch m {
+	case ER:
+		return "ER"
+	case CR:
+		return "CR"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Oracle answers equivalence tests over elements 0..N()-1.
+//
+// Implementations must be safe for concurrent use by multiple goroutines;
+// a Session may issue the tests of one round in parallel. Adaptive oracles
+// (lower-bound adversaries) typically serialize internally with a mutex and
+// should be run with Workers(1) for reproducible answers.
+type Oracle interface {
+	// N returns the number of elements.
+	N() int
+	// Same reports whether elements i and j are in the same equivalence
+	// class. It is never called with i == j.
+	Same(i, j int) bool
+}
+
+// Pair is a single equivalence test between elements A and B.
+type Pair struct {
+	A, B int
+}
+
+// Stats summarizes the cost charged to a session so far.
+type Stats struct {
+	// Comparisons is the total number of equivalence tests executed.
+	Comparisons int64
+	// Rounds is the number of physical parallel rounds executed.
+	// Sequential Compare calls count one round each.
+	Rounds int
+	// MaxRoundSize is the largest number of comparisons in one physical
+	// round.
+	MaxRoundSize int
+}
+
+// Errors reported by Session.Round for malformed batches. These indicate a
+// bug in the calling algorithm, not a property of the input.
+var (
+	ErrOutOfRange  = errors.New("model: element index out of range")
+	ErrSelfCompare = errors.New("model: element compared with itself")
+	ErrERConflict  = errors.New("model: element used twice in one ER round")
+)
+
+// Option configures a Session.
+type Option func(*Session)
+
+// Executor runs the tests of one physical round and returns the answers
+// in order. Custom executors let a session delegate execution to an
+// external substrate — e.g. a simulated distributed agent network that
+// performs real pairwise protocols — while the session keeps accounting
+// and rule enforcement. The executor is called with at most one round's
+// tests at a time; it may run them concurrently.
+type Executor interface {
+	ExecuteRound(pairs []Pair) []bool
+}
+
+// WithExecutor routes round execution through e instead of calling the
+// oracle directly. The oracle is still consulted for N() and by Compare.
+func WithExecutor(e Executor) Option {
+	return func(s *Session) { s.executor = e }
+}
+
+// WithRoundLog records the size of every physical round, retrievable via
+// RoundLog. Off by default (long sequential runs would log one entry per
+// comparison).
+func WithRoundLog() Option {
+	return func(s *Session) { s.logRounds = true }
+}
+
+// Processors caps the number of comparisons per physical round at p. A
+// logical round with more comparisons is split into ⌈m/p⌉ physical rounds
+// (the split preserves ER-disjointness). p <= 0 means "n processors", the
+// paper's default.
+func Processors(p int) Option {
+	return func(s *Session) { s.procs = p }
+}
+
+// Workers sets the number of goroutines used to execute the tests of one
+// round. The default is runtime.GOMAXPROCS(0). Use Workers(1) when the
+// oracle's answers depend on query order (adaptive adversaries).
+func Workers(w int) Option {
+	return func(s *Session) {
+		if w > 0 {
+			s.workers = w
+		}
+	}
+}
+
+// Session executes equivalence tests against an Oracle under the rules of
+// Valiant's model, accounting rounds and comparisons.
+//
+// A Session is not safe for concurrent use: algorithms issue rounds one at
+// a time (the parallelism is inside a round, not across rounds).
+type Session struct {
+	oracle   Oracle
+	mode     Mode
+	n        int
+	procs    int
+	workers  int
+	executor Executor
+
+	logRounds bool
+	roundLog  []int
+
+	stats Stats
+
+	// scratch for ER-disjointness checks, reused across rounds.
+	lastUsed []int // lastUsed[e] == round stamp when e last appeared
+	stamp    int
+}
+
+// NewSession creates a session over the given oracle and mode.
+func NewSession(o Oracle, mode Mode, opts ...Option) *Session {
+	s := &Session{
+		oracle:  o,
+		mode:    mode,
+		n:       o.N(),
+		workers: runtime.GOMAXPROCS(0),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.procs <= 0 {
+		s.procs = s.n
+	}
+	if s.procs < 1 {
+		s.procs = 1
+	}
+	s.lastUsed = make([]int, s.n)
+	for i := range s.lastUsed {
+		s.lastUsed[i] = -1
+	}
+	return s
+}
+
+// Mode returns the session's read-concurrency mode.
+func (s *Session) Mode() Mode { return s.mode }
+
+// N returns the number of elements in the underlying oracle.
+func (s *Session) N() int { return s.n }
+
+// Stats returns the cost accounted so far.
+func (s *Session) Stats() Stats { return s.stats }
+
+// Round executes one logical round of equivalence tests and returns the
+// answers, results[i] corresponding to pairs[i]. In ER mode every element
+// may appear at most once in pairs. If the batch exceeds the processor
+// budget it is split into several physical rounds. An empty batch costs
+// nothing.
+func (s *Session) Round(pairs []Pair) ([]bool, error) {
+	if len(pairs) == 0 {
+		return nil, nil
+	}
+	if err := s.validate(pairs); err != nil {
+		return nil, err
+	}
+	results := make([]bool, len(pairs))
+	for start := 0; start < len(pairs); start += s.procs {
+		end := min(start+s.procs, len(pairs))
+		s.execute(pairs[start:end], results[start:end])
+		s.stats.Rounds++
+		s.stats.Comparisons += int64(end - start)
+		if end-start > s.stats.MaxRoundSize {
+			s.stats.MaxRoundSize = end - start
+		}
+		if s.logRounds {
+			s.roundLog = append(s.roundLog, end-start)
+		}
+	}
+	return results, nil
+}
+
+// RoundLog returns the sizes of all physical rounds executed so far, in
+// order. Empty unless the session was built WithRoundLog. The returned
+// slice is owned by the session; callers must not modify it.
+func (s *Session) RoundLog() []int { return s.roundLog }
+
+// Compare executes a single sequential equivalence test, charged as one
+// comparison in its own round. It panics on out-of-range or self
+// comparisons, which are always caller bugs.
+func (s *Session) Compare(i, j int) bool {
+	if i < 0 || i >= s.n || j < 0 || j >= s.n {
+		panic(ErrOutOfRange)
+	}
+	if i == j {
+		panic(ErrSelfCompare)
+	}
+	s.stats.Rounds++
+	s.stats.Comparisons++
+	if s.stats.MaxRoundSize < 1 {
+		s.stats.MaxRoundSize = 1
+	}
+	if s.logRounds {
+		s.roundLog = append(s.roundLog, 1)
+	}
+	return s.oracle.Same(i, j)
+}
+
+func (s *Session) validate(pairs []Pair) error {
+	s.stamp++
+	for _, p := range pairs {
+		if p.A < 0 || p.A >= s.n || p.B < 0 || p.B >= s.n {
+			return fmt.Errorf("%w: pair (%d,%d), n=%d", ErrOutOfRange, p.A, p.B, s.n)
+		}
+		if p.A == p.B {
+			return fmt.Errorf("%w: element %d", ErrSelfCompare, p.A)
+		}
+		if s.mode == ER {
+			if s.lastUsed[p.A] == s.stamp {
+				return fmt.Errorf("%w: element %d", ErrERConflict, p.A)
+			}
+			if s.lastUsed[p.B] == s.stamp {
+				return fmt.Errorf("%w: element %d", ErrERConflict, p.B)
+			}
+			s.lastUsed[p.A] = s.stamp
+			s.lastUsed[p.B] = s.stamp
+		}
+	}
+	return nil
+}
+
+// execute runs the tests of one physical round, in parallel across the
+// session's worker goroutines (or via the custom executor, if set).
+func (s *Session) execute(pairs []Pair, out []bool) {
+	if s.executor != nil {
+		copy(out, s.executor.ExecuteRound(pairs))
+		return
+	}
+	w := s.workers
+	if w > len(pairs) {
+		w = len(pairs)
+	}
+	if w <= 1 {
+		for i, p := range pairs {
+			out[i] = s.oracle.Same(p.A, p.B)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (len(pairs) + w - 1) / w
+	for start := 0; start < len(pairs); start += chunk {
+		end := min(start+chunk, len(pairs))
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = s.oracle.Same(pairs[i].A, pairs[i].B)
+			}
+		}(start, end)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,217 @@
+package model
+
+import (
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// parityOracle puts even and odd elements in two classes.
+type parityOracle struct{ n int }
+
+func (o parityOracle) N() int             { return o.n }
+func (o parityOracle) Same(i, j int) bool { return i%2 == j%2 }
+
+// countingOracle records how many times Same is invoked.
+type countingOracle struct {
+	n     int
+	calls int64
+}
+
+func (o *countingOracle) N() int { return o.n }
+func (o *countingOracle) Same(i, j int) bool {
+	atomic.AddInt64(&o.calls, 1)
+	return false
+}
+
+func TestRoundAnswers(t *testing.T) {
+	s := NewSession(parityOracle{n: 10}, CR)
+	res, err := s.Round([]Pair{{0, 2}, {0, 1}, {3, 5}, {4, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, true, false}
+	for i := range want {
+		if res[i] != want[i] {
+			t.Fatalf("res = %v, want %v", res, want)
+		}
+	}
+}
+
+func TestEmptyRoundIsFree(t *testing.T) {
+	s := NewSession(parityOracle{n: 4}, ER)
+	if _, err := s.Round(nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Rounds != 0 || st.Comparisons != 0 {
+		t.Fatalf("empty round charged cost: %+v", st)
+	}
+}
+
+func TestERConflictDetected(t *testing.T) {
+	s := NewSession(parityOracle{n: 10}, ER)
+	_, err := s.Round([]Pair{{0, 1}, {1, 2}})
+	if !errors.Is(err, ErrERConflict) {
+		t.Fatalf("err = %v, want ErrERConflict", err)
+	}
+}
+
+func TestCRAllowsReuse(t *testing.T) {
+	s := NewSession(parityOracle{n: 10}, CR)
+	if _, err := s.Round([]Pair{{0, 1}, {1, 2}, {0, 2}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	s := NewSession(parityOracle{n: 4}, CR)
+	if _, err := s.Round([]Pair{{0, 4}}); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("err = %v, want ErrOutOfRange", err)
+	}
+	if _, err := s.Round([]Pair{{-1, 0}}); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("err = %v, want ErrOutOfRange", err)
+	}
+	if _, err := s.Round([]Pair{{2, 2}}); !errors.Is(err, ErrSelfCompare) {
+		t.Fatalf("err = %v, want ErrSelfCompare", err)
+	}
+}
+
+func TestFailedRoundChargesNothing(t *testing.T) {
+	s := NewSession(parityOracle{n: 4}, ER)
+	s.Round([]Pair{{0, 1}, {1, 2}}) //nolint:errcheck // intentionally invalid
+	if st := s.Stats(); st.Rounds != 0 || st.Comparisons != 0 {
+		t.Fatalf("invalid round charged cost: %+v", st)
+	}
+}
+
+func TestProcessorBudgetSplitsRounds(t *testing.T) {
+	o := &countingOracle{n: 100}
+	s := NewSession(o, ER, Processors(3))
+	pairs := []Pair{{0, 1}, {2, 3}, {4, 5}, {6, 7}, {8, 9}, {10, 11}, {12, 13}}
+	if _, err := s.Round(pairs); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Rounds != 3 { // ceil(7/3)
+		t.Errorf("Rounds = %d, want 3", st.Rounds)
+	}
+	if st.Comparisons != 7 {
+		t.Errorf("Comparisons = %d, want 7", st.Comparisons)
+	}
+	if st.MaxRoundSize != 3 {
+		t.Errorf("MaxRoundSize = %d, want 3", st.MaxRoundSize)
+	}
+	if o.calls != 7 {
+		t.Errorf("oracle calls = %d, want 7", o.calls)
+	}
+}
+
+func TestDefaultBudgetIsN(t *testing.T) {
+	o := &countingOracle{n: 8}
+	s := NewSession(o, CR)
+	pairs := make([]Pair, 0, 12)
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8 && len(pairs) < 12; j++ {
+			pairs = append(pairs, Pair{i, j})
+		}
+	}
+	if _, err := s.Round(pairs); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Rounds != 2 { // 12 comparisons, budget 8
+		t.Errorf("Rounds = %d, want 2", st.Rounds)
+	}
+}
+
+func TestCompareCharges(t *testing.T) {
+	s := NewSession(parityOracle{n: 6}, ER)
+	if !s.Compare(0, 2) {
+		t.Error("Compare(0,2) = false, want true")
+	}
+	if s.Compare(0, 1) {
+		t.Error("Compare(0,1) = true, want false")
+	}
+	st := s.Stats()
+	if st.Comparisons != 2 || st.Rounds != 2 {
+		t.Errorf("stats = %+v, want 2 comparisons in 2 rounds", st)
+	}
+}
+
+func TestComparePanics(t *testing.T) {
+	s := NewSession(parityOracle{n: 3}, ER)
+	for _, tc := range []struct{ i, j int }{{0, 3}, {-1, 1}, {2, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Compare(%d,%d) did not panic", tc.i, tc.j)
+				}
+			}()
+			s.Compare(tc.i, tc.j)
+		}()
+	}
+}
+
+// TestParallelExecutionMatchesSequential checks that worker parallelism
+// never changes answers or their order.
+func TestParallelExecutionMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 16 + rng.Intn(64)
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = rng.Intn(4)
+		}
+		oracle := labelOracle{labels}
+		var pairs []Pair
+		for len(pairs) < 200 {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				pairs = append(pairs, Pair{a, b})
+			}
+		}
+		seq := NewSession(oracle, CR, Workers(1), Processors(1<<20))
+		par := NewSession(oracle, CR, Workers(8), Processors(1<<20))
+		r1, err1 := seq.Round(pairs)
+		r2, err2 := par.Round(pairs)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range r1 {
+			if r1[i] != r2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type labelOracle struct{ labels []int }
+
+func (o labelOracle) N() int             { return len(o.labels) }
+func (o labelOracle) Same(i, j int) bool { return o.labels[i] == o.labels[j] }
+
+func TestModeString(t *testing.T) {
+	if ER.String() != "ER" || CR.String() != "CR" {
+		t.Errorf("Mode strings wrong: %v %v", ER, CR)
+	}
+	if Mode(7).String() != "Mode(7)" {
+		t.Errorf("unknown mode string: %v", Mode(7))
+	}
+}
+
+// TestERStampReset ensures an element used in round r can be used again in
+// round r+1 (the conflict check is per-round).
+func TestERStampReset(t *testing.T) {
+	s := NewSession(parityOracle{n: 4}, ER)
+	if _, err := s.Round([]Pair{{0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Round([]Pair{{0, 2}}); err != nil {
+		t.Fatalf("element reuse across rounds rejected: %v", err)
+	}
+}

@@ -1,0 +1,61 @@
+package model
+
+// Recorder wraps an Oracle and keeps a transcript of every test, grouped
+// by the order queries arrive. It exists for tests and post-hoc analysis:
+// verifying ER-exclusivity externally, replaying runs, or counting
+// repeated pairs (a well-formed algorithm never re-asks a settled pair).
+//
+// Recorder serializes queries with no mutex of its own — wrap it before
+// handing it to a Session and run with Workers(1), or guard externally.
+type Recorder struct {
+	inner Oracle
+	// Log is the transcript in arrival order.
+	Log []RecordedTest
+	// pairCount tracks how many times each unordered pair was asked.
+	pairCount map[[2]int]int
+}
+
+// RecordedTest is one answered equivalence test.
+type RecordedTest struct {
+	A, B   int
+	Answer bool
+}
+
+// NewRecorder wraps an oracle.
+func NewRecorder(o Oracle) *Recorder {
+	return &Recorder{inner: o, pairCount: make(map[[2]int]int)}
+}
+
+// N implements Oracle.
+func (r *Recorder) N() int { return r.inner.N() }
+
+// Same implements Oracle, recording the test.
+func (r *Recorder) Same(i, j int) bool {
+	ans := r.inner.Same(i, j)
+	r.Log = append(r.Log, RecordedTest{A: i, B: j, Answer: ans})
+	a, b := i, j
+	if a > b {
+		a, b = b, a
+	}
+	r.pairCount[[2]int{a, b}]++
+	return ans
+}
+
+// Tests returns the number of tests recorded.
+func (r *Recorder) Tests() int { return len(r.Log) }
+
+// RepeatedPairs returns the unordered pairs that were asked more than
+// once, with their ask counts. An algorithm that tracks its knowledge
+// correctly never repeats a pair.
+func (r *Recorder) RepeatedPairs() map[[2]int]int {
+	out := make(map[[2]int]int)
+	for p, c := range r.pairCount {
+		if c > 1 {
+			out[p] = c
+		}
+	}
+	return out
+}
+
+// DistinctPairs returns how many distinct unordered pairs were tested.
+func (r *Recorder) DistinctPairs() int { return len(r.pairCount) }

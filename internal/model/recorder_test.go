@@ -1,0 +1,41 @@
+package model
+
+import (
+	"testing"
+)
+
+func TestRecorderTranscript(t *testing.T) {
+	r := NewRecorder(parityOracle{n: 6})
+	s := NewSession(r, ER, Workers(1))
+	if _, err := s.Round([]Pair{{0, 2}, {1, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Compare(0, 1)
+	if r.Tests() != 3 {
+		t.Fatalf("Tests = %d, want 3", r.Tests())
+	}
+	if !r.Log[0].Answer || !r.Log[1].Answer || r.Log[2].Answer {
+		t.Fatalf("log answers wrong: %+v", r.Log)
+	}
+	if r.DistinctPairs() != 3 {
+		t.Fatalf("DistinctPairs = %d", r.DistinctPairs())
+	}
+	if len(r.RepeatedPairs()) != 0 {
+		t.Fatalf("unexpected repeats: %v", r.RepeatedPairs())
+	}
+}
+
+func TestRecorderDetectsRepeats(t *testing.T) {
+	r := NewRecorder(parityOracle{n: 4})
+	s := NewSession(r, CR, Workers(1))
+	if _, err := s.Round([]Pair{{0, 1}, {1, 0}, {0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	reps := r.RepeatedPairs()
+	if reps[[2]int{0, 1}] != 3 {
+		t.Fatalf("repeats = %v, want {0 1}:3", reps)
+	}
+	if r.DistinctPairs() != 1 {
+		t.Fatalf("DistinctPairs = %d, want 1", r.DistinctPairs())
+	}
+}

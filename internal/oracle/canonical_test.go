@@ -1,0 +1,162 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestCanonicalMatchesIsomorphic: certificates agree with the reference
+// isomorphism tester on random graph pairs (both positive and negative
+// cases).
+func TestCanonicalMatchesIsomorphic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := RandomGraph(n, 0.5, rng)
+		var b *Graph
+		if rng.Intn(2) == 0 {
+			b = a.Permute(rng.Perm(n)) // isomorphic copy
+		} else {
+			b = RandomGraph(n, 0.5, rng) // probably different
+		}
+		return (Canonical(a) == Canonical(b)) == Isomorphic(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCanonicalInvariantUnderPermutation: every permuted copy yields the
+// identical certificate.
+func TestCanonicalInvariantUnderPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(9)
+		g := RandomGraph(n, 0.4, rng)
+		want := Canonical(g)
+		for p := 0; p < 5; p++ {
+			if got := Canonical(g.Permute(rng.Perm(n))); got != want {
+				t.Fatalf("trial %d: certificate changed under relabeling", trial)
+			}
+		}
+	}
+}
+
+func TestCanonicalHardPair(t *testing.T) {
+	// C6 vs 2×K3 share all degree data; certificates must differ.
+	c6 := NewGraph(6)
+	for i := 0; i < 6; i++ {
+		c6.AddEdge(i, (i+1)%6)
+	}
+	twoTri := NewGraph(6)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}} {
+		twoTri.AddEdge(e[0], e[1])
+	}
+	if Canonical(c6) == Canonical(twoTri) {
+		t.Fatal("C6 and 2×K3 share a certificate")
+	}
+}
+
+func TestCanonicalEmptyAndTiny(t *testing.T) {
+	if Canonical(NewGraph(0)) != Canonical(NewGraph(0)) {
+		t.Fatal("empty graphs disagree")
+	}
+	if Canonical(NewGraph(1)) == Canonical(NewGraph(2)) {
+		t.Fatal("different orders collide")
+	}
+	e2 := NewGraph(2)
+	k2 := NewGraph(2)
+	k2.AddEdge(0, 1)
+	if Canonical(e2) == Canonical(k2) {
+		t.Fatal("edge vs non-edge collide")
+	}
+}
+
+func TestGraphIsoCachedMatchesUncached(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	labels := []int{0, 1, 2, 0, 1, 2, 0}
+	plain := RandomGraphCollection(labels, 9, rng)
+	graphs := make([]*Graph, plain.N())
+	for i := range graphs {
+		graphs[i] = plain.Graph(i)
+	}
+	cached := NewGraphIsoCached(graphs)
+	if cached.N() != plain.N() {
+		t.Fatal("sizes differ")
+	}
+	for i := 0; i < plain.N(); i++ {
+		for j := i + 1; j < plain.N(); j++ {
+			if cached.Same(i, j) != plain.Same(i, j) {
+				t.Fatalf("cached Same(%d,%d) disagrees with isomorphism test", i, j)
+			}
+		}
+	}
+	if cached.Graph(0) != graphs[0] {
+		t.Fatal("Graph accessor wrong")
+	}
+}
+
+// TestCanonicalRegularGraphs exercises the branch-and-bound on symmetric
+// inputs where WL gives no discrimination (all one color).
+func TestCanonicalRegularGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	// Cycles C8 under relabeling.
+	c8 := NewGraph(8)
+	for i := 0; i < 8; i++ {
+		c8.AddEdge(i, (i+1)%8)
+	}
+	if Canonical(c8) != Canonical(c8.Permute(rng.Perm(8))) {
+		t.Fatal("C8 certificate not invariant")
+	}
+	// C8 vs 2×C4: both 2-regular on 8 vertices.
+	twoC4 := NewGraph(8)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {4, 5}, {5, 6}, {6, 7}, {7, 4}} {
+		twoC4.AddEdge(e[0], e[1])
+	}
+	if Canonical(c8) == Canonical(twoC4) {
+		t.Fatal("C8 and 2×C4 collide")
+	}
+}
+
+func BenchmarkCanonical(b *testing.B) {
+	rng := rand.New(rand.NewSource(104))
+	g := RandomGraph(12, 0.5, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Canonical(g)
+	}
+}
+
+func BenchmarkCachedVsUncachedSort(b *testing.B) {
+	rng := rand.New(rand.NewSource(105))
+	labels := make([]int, 60)
+	for i := range labels {
+		labels[i] = i % 4
+	}
+	plain := RandomGraphCollection(labels, 10, rng)
+	graphs := make([]*Graph, plain.N())
+	for i := range graphs {
+		graphs[i] = plain.Graph(i)
+	}
+	b.Run("uncached-allpairs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for x := 0; x < 20; x++ {
+				for y := x + 1; y < 20; y++ {
+					plain.Same(x, y)
+				}
+			}
+		}
+	})
+	b.Run("cached-allpairs", func(b *testing.B) {
+		cached := NewGraphIsoCached(graphs)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for x := 0; x < 20; x++ {
+				for y := x + 1; y < 20; y++ {
+					cached.Same(x, y)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package oracle
+
+import (
+	"math/bits"
+	"math/rand"
+)
+
+// Fault simulates the generalized fault diagnosis application: each of n
+// computers carries a hidden malware state — the set of worms infecting
+// it, stored as a bitmask. A pairwise test models the mutual probe of the
+// paper: each worm present on one machine can detect only its own kind on
+// the other, so the two machines jointly learn exactly whether their
+// infection sets are identical, and nothing about which worms differ.
+type Fault struct {
+	states []uint64
+}
+
+// NewFault builds the oracle from explicit worm bitmasks.
+func NewFault(states []uint64) *Fault {
+	cp := make([]uint64, len(states))
+	copy(cp, states)
+	return &Fault{states: cp}
+}
+
+// RandomInfections infects each of n computers independently: every one
+// of numWorms worms (numWorms ≤ 64) infects each machine with probability
+// p. The number of distinct malware states k is then at most 2^numWorms,
+// concentrated around the typical infection patterns.
+func RandomInfections(n, numWorms int, p float64, rng *rand.Rand) *Fault {
+	if numWorms < 0 || numWorms > 64 {
+		panic("oracle: numWorms must be in [0, 64]")
+	}
+	states := make([]uint64, n)
+	for i := range states {
+		var s uint64
+		for w := 0; w < numWorms; w++ {
+			if rng.Float64() < p {
+				s |= 1 << uint(w)
+			}
+		}
+		states[i] = s
+	}
+	return &Fault{states: states}
+}
+
+// N implements model.Oracle.
+func (f *Fault) N() int { return len(f.states) }
+
+// Same implements model.Oracle: the mutual probe succeeds exactly when
+// the infection sets coincide (empty symmetric difference).
+func (f *Fault) Same(i, j int) bool {
+	return f.states[i]^f.states[j] == 0
+}
+
+// States returns a copy of the infection bitmasks.
+func (f *Fault) States() []uint64 {
+	cp := make([]uint64, len(f.states))
+	copy(cp, f.states)
+	return cp
+}
+
+// NumStates returns the number of distinct malware states present.
+func (f *Fault) NumStates() int {
+	seen := make(map[uint64]struct{}, len(f.states))
+	for _, s := range f.states {
+		seen[s] = struct{}{}
+	}
+	return len(seen)
+}
+
+// InfectionLoad returns the total number of (machine, worm) infections —
+// a convenience for reporting in examples.
+func (f *Fault) InfectionLoad() int {
+	total := 0
+	for _, s := range f.states {
+		total += bits.OnesCount64(s)
+	}
+	return total
+}
+
+// TruthLabels converts the hidden states into class labels, for test
+// verification only (a real diagnosis scenario has no access to this).
+func (f *Fault) TruthLabels() []int {
+	id := make(map[uint64]int)
+	labels := make([]int, len(f.states))
+	for i, s := range f.states {
+		l, ok := id[s]
+		if !ok {
+			l = len(id)
+			id[s] = l
+		}
+		labels[i] = l
+	}
+	return labels
+}

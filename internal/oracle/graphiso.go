@@ -1,0 +1,304 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Graph is a small simple undirected graph used by the graph-mining
+// oracle. Vertices are 0..N-1.
+type Graph struct {
+	n   int
+	adj [][]bool
+	m   int
+}
+
+// NewGraph returns an empty graph on n vertices.
+func NewGraph(n int) *Graph {
+	g := &Graph{n: n, adj: make([][]bool, n)}
+	for i := range g.adj {
+		g.adj[i] = make([]bool, n)
+	}
+	return g
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return g.n }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return g.m }
+
+// AddEdge inserts the undirected edge (u, v); loops and duplicates are
+// rejected with a panic (caller bug).
+func (g *Graph) AddEdge(u, v int) {
+	if u == v {
+		panic("oracle: self-loop")
+	}
+	if g.adj[u][v] {
+		panic(fmt.Sprintf("oracle: duplicate edge (%d,%d)", u, v))
+	}
+	g.adj[u][v] = true
+	g.adj[v][u] = true
+	g.m++
+}
+
+// HasEdge reports whether (u, v) is an edge.
+func (g *Graph) HasEdge(u, v int) bool { return g.adj[u][v] }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int) int {
+	d := 0
+	for _, e := range g.adj[v] {
+		if e {
+			d++
+		}
+	}
+	return d
+}
+
+// Permute returns an isomorphic copy of g with vertex i of the copy
+// playing the role of perm[i] of g.
+func (g *Graph) Permute(perm []int) *Graph {
+	if len(perm) != g.n {
+		panic("oracle: bad permutation length")
+	}
+	out := NewGraph(g.n)
+	for u := 0; u < g.n; u++ {
+		for v := u + 1; v < g.n; v++ {
+			if g.adj[perm[u]][perm[v]] {
+				out.AddEdge(u, v)
+			}
+		}
+	}
+	return out
+}
+
+// RandomGraph draws G(n, p): each possible edge present independently
+// with probability p.
+func RandomGraph(n int, p float64, rng *rand.Rand) *Graph {
+	g := NewGraph(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// Isomorphic decides whether a and b are isomorphic, using cheap
+// invariants, Weisfeiler–Leman (1-dimensional) color refinement, and a
+// color-guided backtracking search. Intended for the small graphs a
+// graph-mining comparison handles; exact for all inputs.
+func Isomorphic(a, b *Graph) bool {
+	if a.n != b.n || a.m != b.m {
+		return false
+	}
+	if a.n == 0 {
+		return true
+	}
+	ca, cb, ok := jointRefine(a, b)
+	if !ok {
+		return false
+	}
+	return matchBacktrack(a, b, ca, cb)
+}
+
+// jointRefine runs WL-1 refinement on both graphs with a shared color
+// dictionary. It reports false when the stable color histograms differ
+// (a certificate of non-isomorphism).
+func jointRefine(a, b *Graph) (ca, cb []int, ok bool) {
+	ca = make([]int, a.n)
+	cb = make([]int, b.n)
+	for i := 0; i < a.n; i++ {
+		ca[i] = a.Degree(i)
+		cb[i] = b.Degree(i)
+	}
+	if !sameHistogram(ca, cb) {
+		return nil, nil, false
+	}
+	for iter := 0; iter < a.n; iter++ {
+		dict := make(map[string]int)
+		na := refineOnce(a, ca, dict)
+		nb := refineOnce(b, cb, dict)
+		if !sameHistogram(na, nb) {
+			return nil, nil, false
+		}
+		if countColors(na) == countColors(ca) {
+			return na, nb, true
+		}
+		ca, cb = na, nb
+	}
+	return ca, cb, true
+}
+
+func refineOnce(g *Graph, colors []int, dict map[string]int) []int {
+	out := make([]int, g.n)
+	var sb strings.Builder
+	for v := 0; v < g.n; v++ {
+		neigh := make([]int, 0, g.n)
+		for u := 0; u < g.n; u++ {
+			if g.adj[v][u] {
+				neigh = append(neigh, colors[u])
+			}
+		}
+		sort.Ints(neigh)
+		sb.Reset()
+		sb.WriteString(strconv.Itoa(colors[v]))
+		for _, c := range neigh {
+			sb.WriteByte('|')
+			sb.WriteString(strconv.Itoa(c))
+		}
+		sig := sb.String()
+		id, okc := dict[sig]
+		if !okc {
+			id = len(dict)
+			dict[sig] = id
+		}
+		out[v] = id
+	}
+	return out
+}
+
+func sameHistogram(a, b []int) bool {
+	ha := map[int]int{}
+	for _, c := range a {
+		ha[c]++
+	}
+	for _, c := range b {
+		ha[c]--
+	}
+	for _, v := range ha {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func countColors(colors []int) int {
+	seen := map[int]struct{}{}
+	for _, c := range colors {
+		seen[c] = struct{}{}
+	}
+	return len(seen)
+}
+
+// matchBacktrack searches for a color-respecting isomorphism a → b,
+// mapping the most constrained (rarest color) vertices first.
+func matchBacktrack(a, b *Graph, ca, cb []int) bool {
+	n := a.n
+	// Candidates of each b-vertex color.
+	byColor := map[int][]int{}
+	for v, c := range cb {
+		byColor[c] = append(byColor[c], v)
+	}
+	// Order a's vertices by ascending color-class size, then by
+	// descending degree for earlier pruning.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		vi, vj := order[i], order[j]
+		si, sj := len(byColor[ca[vi]]), len(byColor[ca[vj]])
+		if si != sj {
+			return si < sj
+		}
+		return a.Degree(vi) > a.Degree(vj)
+	})
+	mapped := make([]int, n) // a-vertex -> b-vertex
+	for i := range mapped {
+		mapped[i] = -1
+	}
+	usedB := make([]bool, n)
+	var rec func(depth int) bool
+	rec = func(depth int) bool {
+		if depth == n {
+			return true
+		}
+		v := order[depth]
+		for _, w := range byColor[ca[v]] {
+			if usedB[w] {
+				continue
+			}
+			okMap := true
+			for d := 0; d < depth; d++ {
+				u := order[d]
+				if a.adj[v][u] != b.adj[w][mapped[u]] {
+					okMap = false
+					break
+				}
+			}
+			if !okMap {
+				continue
+			}
+			mapped[v] = w
+			usedB[w] = true
+			if rec(depth + 1) {
+				return true
+			}
+			mapped[v] = -1
+			usedB[w] = false
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// GraphIso is the graph-mining oracle: a collection of graphs whose
+// equivalence relation is graph isomorphism. Same(i, j) performs a real
+// isomorphism test, the nontrivial-but-feasible comparison the paper's
+// third application describes.
+type GraphIso struct {
+	graphs []*Graph
+}
+
+// NewGraphIso wraps a collection of graphs.
+func NewGraphIso(graphs []*Graph) *GraphIso {
+	return &GraphIso{graphs: graphs}
+}
+
+// RandomGraphCollection builds a collection realizing the given class
+// labels: one random base graph per class (pairwise non-isomorphic by
+// construction, retrying collisions) and a freshly permuted copy of the
+// appropriate base graph per element.
+func RandomGraphCollection(labels []int, vertices int, rng *rand.Rand) *GraphIso {
+	bases := map[int]*Graph{}
+	var baseList []*Graph
+	for _, l := range labels {
+		if _, ok := bases[l]; ok {
+			continue
+		}
+	retry:
+		for {
+			cand := RandomGraph(vertices, 0.5, rng)
+			for _, prev := range baseList {
+				if Isomorphic(prev, cand) {
+					continue retry
+				}
+			}
+			bases[l] = cand
+			baseList = append(baseList, cand)
+			break
+		}
+	}
+	graphs := make([]*Graph, len(labels))
+	for i, l := range labels {
+		graphs[i] = bases[l].Permute(rng.Perm(vertices))
+	}
+	return &GraphIso{graphs: graphs}
+}
+
+// N implements model.Oracle.
+func (o *GraphIso) N() int { return len(o.graphs) }
+
+// Same implements model.Oracle via an isomorphism test.
+func (o *GraphIso) Same(i, j int) bool { return Isomorphic(o.graphs[i], o.graphs[j]) }
+
+// Graph returns the i-th graph of the collection.
+func (o *GraphIso) Graph(i int) *Graph { return o.graphs[i] }

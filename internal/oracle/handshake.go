@@ -1,0 +1,111 @@
+package oracle
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"math/rand"
+)
+
+// Handshake simulates the cryptographic secret-handshake application: n
+// agents each belong to a hidden group and share that group's secret key.
+// An equivalence test runs a two-party challenge–response protocol between
+// two agent goroutines over channels: each agent draws a nonce, the nonces
+// are exchanged, and each side sends HMAC-SHA256(groupKey, nonce_low ‖
+// nonce_high). The tags match exactly when the agents hold the same group
+// key, and a tag reveals nothing about the key beyond that equality —
+// the zero-knowledge property the ECS analysis needs.
+//
+// The protocol outcome is deterministic for a given pair (same group or
+// not), so Handshake is a drop-in, if slower, replacement for Label in
+// every algorithm.
+type Handshake struct {
+	keys [][]byte // per agent, its group key
+	// nonceSeed differentiates nonces across pairs; answers do not
+	// depend on nonce values, so plain deterministic derivation is fine
+	// and keeps runs reproducible.
+	nonceSeed uint64
+}
+
+// NewHandshake enrolls n agents with group memberships given by labels;
+// agents with equal labels receive the same group key, derived from a
+// master secret seeded by seed.
+func NewHandshake(labels []int, seed int64) *Handshake {
+	master := make([]byte, 32)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range master {
+		master[i] = byte(rng.Intn(256))
+	}
+	groupKey := make(map[int][]byte)
+	h := &Handshake{keys: make([][]byte, len(labels)), nonceSeed: uint64(seed) * 0x9e3779b97f4a7c15}
+	for i, l := range labels {
+		key, ok := groupKey[l]
+		if !ok {
+			mac := hmac.New(sha256.New, master)
+			var buf [8]byte
+			binary.BigEndian.PutUint64(buf[:], uint64(l))
+			mac.Write(buf[:])
+			key = mac.Sum(nil)
+			groupKey[l] = key
+		}
+		h.keys[i] = key
+	}
+	return h
+}
+
+// N implements model.Oracle.
+func (h *Handshake) N() int { return len(h.keys) }
+
+// Same implements model.Oracle by running the handshake protocol between
+// two agent goroutines connected by channels.
+func (h *Handshake) Same(i, j int) bool {
+	type message struct {
+		nonce [8]byte
+		tag   []byte
+	}
+	iToJ := make(chan message, 1)
+	jToI := make(chan message, 1)
+	result := make(chan bool, 2)
+
+	agent := func(key []byte, nonce [8]byte, send, recv chan message) {
+		// Phase 1: exchange nonces.
+		send <- message{nonce: nonce}
+		peer := <-recv
+		// Phase 2: both sides MAC the canonically ordered transcript.
+		lo, hi := nonce, peer.nonce
+		if string(lo[:]) > string(hi[:]) {
+			lo, hi = hi, lo
+		}
+		mac := hmac.New(sha256.New, key)
+		mac.Write([]byte("ecsort-secret-handshake-v1"))
+		mac.Write(lo[:])
+		mac.Write(hi[:])
+		tag := mac.Sum(nil)
+		send <- message{tag: tag}
+		peerTag := <-recv
+		result <- hmac.Equal(tag, peerTag.tag)
+	}
+
+	go agent(h.keys[i], h.nonce(i, j, 0), iToJ, jToI)
+	go agent(h.keys[j], h.nonce(i, j, 1), jToI, iToJ)
+	a, b := <-result, <-result
+	if a != b {
+		// Both sides compare the same two tags; disagreement is
+		// impossible unless the protocol is broken.
+		panic("oracle: handshake sides disagree")
+	}
+	return a
+}
+
+// nonce derives a per-(pair, side) nonce deterministically.
+func (h *Handshake) nonce(i, j, side int) [8]byte {
+	v := h.nonceSeed
+	v ^= uint64(i+1) * 0xbf58476d1ce4e5b9
+	v ^= uint64(j+1) * 0x94d049bb133111eb
+	v ^= uint64(side+1) * 0xd6e8feb86659fd93
+	v ^= v >> 31
+	v *= 0xff51afd7ed558ccd
+	var out [8]byte
+	binary.BigEndian.PutUint64(out[:], v)
+	return out
+}

@@ -1,0 +1,64 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"ecsort/internal/model"
+)
+
+func BenchmarkRotation(b *testing.B) {
+	a := make([]int, 64)
+	c := make([]int, 100)
+	for i := range a {
+		a[i] = i
+	}
+	for i := range c {
+		c[i] = 1000 + i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Rotation(a, c)
+	}
+}
+
+func BenchmarkAllPairs(b *testing.B) {
+	elems := make([]int, 128)
+	for i := range elems {
+		elems[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AllPairs(elems)
+	}
+}
+
+func BenchmarkGreedy(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pairs := make([]model.Pair, 0, 2000)
+	for len(pairs) < cap(pairs) {
+		a, c := rng.Intn(500), rng.Intn(500)
+		if a != c {
+			pairs = append(pairs, model.Pair{A: a, B: c})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Greedy(pairs)
+	}
+}
+
+func BenchmarkSweep(b *testing.B) {
+	team := make([]int, 50)
+	targets := make([]int, 1000)
+	for i := range team {
+		team[i] = 10000 + i
+	}
+	for i := range targets {
+		targets[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sweep(team, targets)
+	}
+}

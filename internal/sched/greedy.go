@@ -1,0 +1,62 @@
+package sched
+
+import "ecsort/internal/model"
+
+// Greedy decomposes an arbitrary multiset of desired tests into ER rounds
+// of vertex-disjoint pairs, first-fit: each test lands in the earliest
+// round where both endpoints are still free. For a test set of maximum
+// element degree Δ this uses at most 2Δ−1 rounds (first-fit edge coloring
+// of a multigraph), which is within a factor ~2 of the optimum Δ.
+//
+// The structured schedules (Rotation, AllPairs, Sweep) are preferred when
+// they apply — they hit the optimum exactly — but Greedy handles the
+// irregular leftover sets that adaptive algorithms generate.
+func Greedy(pairs []model.Pair) [][]model.Pair {
+	if len(pairs) == 0 {
+		return nil
+	}
+	// usedAt[e] lists rounds where e is busy, as a bitset grown on
+	// demand; degrees here are small so a simple map of round sets is
+	// plenty.
+	usedAt := make(map[int]map[int]bool)
+	busy := func(e, round int) bool { return usedAt[e][round] }
+	reserve := func(e, round int) {
+		if usedAt[e] == nil {
+			usedAt[e] = make(map[int]bool)
+		}
+		usedAt[e][round] = true
+	}
+	var rounds [][]model.Pair
+	for _, p := range pairs {
+		r := 0
+		for busy(p.A, r) || busy(p.B, r) {
+			r++
+		}
+		if r == len(rounds) {
+			rounds = append(rounds, nil)
+		}
+		rounds[r] = append(rounds[r], p)
+		reserve(p.A, r)
+		reserve(p.B, r)
+	}
+	return rounds
+}
+
+// MaxDegree returns the maximum number of tests any single element
+// appears in — the trivial lower bound on the number of ER rounds any
+// decomposition of pairs needs.
+func MaxDegree(pairs []model.Pair) int {
+	deg := make(map[int]int)
+	best := 0
+	for _, p := range pairs {
+		deg[p.A]++
+		deg[p.B]++
+		if deg[p.A] > best {
+			best = deg[p.A]
+		}
+		if deg[p.B] > best {
+			best = deg[p.B]
+		}
+	}
+	return best
+}

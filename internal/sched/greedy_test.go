@@ -1,0 +1,111 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ecsort/internal/model"
+)
+
+func TestGreedyEmpty(t *testing.T) {
+	if Greedy(nil) != nil {
+		t.Fatal("empty input should give nil")
+	}
+}
+
+func TestGreedySingle(t *testing.T) {
+	rounds := Greedy([]model.Pair{{A: 1, B: 2}})
+	if len(rounds) != 1 || len(rounds[0]) != 1 {
+		t.Fatalf("rounds = %v", rounds)
+	}
+}
+
+func TestGreedyStar(t *testing.T) {
+	// A star forces one round per edge (center degree = Δ).
+	star := []model.Pair{{A: 0, B: 1}, {A: 0, B: 2}, {A: 0, B: 3}, {A: 0, B: 4}}
+	rounds := Greedy(star)
+	if len(rounds) != 4 {
+		t.Fatalf("star rounds = %d, want 4", len(rounds))
+	}
+}
+
+func TestGreedyMatchingFitsOneRound(t *testing.T) {
+	matching := []model.Pair{{A: 0, B: 1}, {A: 2, B: 3}, {A: 4, B: 5}}
+	rounds := Greedy(matching)
+	if len(rounds) != 1 {
+		t.Fatalf("disjoint matching used %d rounds", len(rounds))
+	}
+}
+
+// TestGreedyProperties: disjointness within rounds, exact multiset
+// coverage, and the 2Δ−1 first-fit bound.
+func TestGreedyProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		m := rng.Intn(80)
+		var ps []model.Pair
+		for i := 0; i < m; i++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				ps = append(ps, model.Pair{A: a, B: b})
+			}
+		}
+		rounds := Greedy(ps)
+		total := 0
+		for _, round := range rounds {
+			used := map[int]bool{}
+			for _, p := range round {
+				if used[p.A] || used[p.B] {
+					return false
+				}
+				used[p.A] = true
+				used[p.B] = true
+				total++
+			}
+		}
+		if total != len(ps) {
+			return false
+		}
+		if delta := MaxDegree(ps); len(rounds) > 0 && len(rounds) > 2*delta-1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxDegree(t *testing.T) {
+	if d := MaxDegree(nil); d != 0 {
+		t.Fatalf("empty degree = %d", d)
+	}
+	ps := []model.Pair{{A: 0, B: 1}, {A: 0, B: 2}, {A: 1, B: 2}, {A: 0, B: 3}}
+	if d := MaxDegree(ps); d != 3 {
+		t.Fatalf("degree = %d, want 3 (vertex 0)", d)
+	}
+}
+
+// TestGreedyNeverBelowLowerBound: rounds ≥ Δ always.
+func TestGreedyLowerBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		var ps []model.Pair
+		for i := 0; i < rng.Intn(50); i++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				ps = append(ps, model.Pair{A: a, B: b})
+			}
+		}
+		if len(ps) == 0 {
+			return true
+		}
+		return len(Greedy(ps)) >= MaxDegree(ps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+// Package stats provides the small statistical toolkit behind the paper's
+// Section 5 analysis: least-squares line fits with goodness-of-fit
+// measures (the "best fit lines" of Figure 5) and basic summaries.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fit is a least-squares line y = Slope·x + Intercept with goodness
+// measures over the fitted points.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	// R2 is the coefficient of determination.
+	R2 float64
+	// MaxRelResidual is max |y − ŷ| / ŷ over the points — the paper
+	// remarks the zeta s=2 data varies "by as much as 10%" around its
+	// fit, while the other distributions are visually on the line.
+	MaxRelResidual float64
+}
+
+// LeastSquares fits a line to the points (x[i], y[i]). It panics if the
+// slices differ in length or fewer than 2 points are given, or if all x
+// are identical.
+func LeastSquares(x, y []float64) Fit {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("stats: mismatched lengths %d vs %d", len(x), len(y)))
+	}
+	if len(x) < 2 {
+		panic("stats: need at least 2 points")
+	}
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy float64
+	for i := range x {
+		dx := x[i] - mx
+		sxx += dx * dx
+		sxy += dx * (y[i] - my)
+	}
+	if sxx == 0 {
+		panic("stats: degenerate fit, all x identical")
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+	var ssRes, ssTot, maxRel float64
+	for i := range x {
+		pred := slope*x[i] + intercept
+		r := y[i] - pred
+		ssRes += r * r
+		d := y[i] - my
+		ssTot += d * d
+		if pred != 0 {
+			if rel := math.Abs(r / pred); rel > maxRel {
+				maxRel = rel
+			}
+		}
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return Fit{Slope: slope, Intercept: intercept, R2: r2, MaxRelResidual: maxRel}
+}
+
+// Predict evaluates the fitted line at x.
+func (f Fit) Predict(x float64) float64 { return f.Slope*x + f.Intercept }
+
+// Summary holds basic sample statistics.
+type Summary struct {
+	N              int
+	Mean, Std      float64
+	Min, Max       float64
+	RelSpread      float64 // (Max − Min) / Mean, 0 if Mean == 0
+	StdOverMean    float64 // coefficient of variation, 0 if Mean == 0
+	Sum            float64
+	SumIsOverflown bool
+}
+
+// Summarize computes summary statistics of xs. It panics on an empty
+// sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	for _, v := range xs {
+		s.Sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = s.Sum / float64(len(xs))
+	var ss float64
+	for _, v := range xs {
+		d := v - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	if s.Mean != 0 {
+		s.RelSpread = (s.Max - s.Min) / s.Mean
+		s.StdOverMean = s.Std / s.Mean
+	}
+	s.SumIsOverflown = math.IsInf(s.Sum, 0)
+	return s
+}
+
+// LogLogSlope estimates the exponent b of a power law y ≈ a·x^b by a
+// least-squares fit in log–log space. Used to check super-linearity of
+// the zeta s < 2 series and the n²/f shape of the lower-bound sweeps.
+// All inputs must be positive.
+func LogLogSlope(x, y []float64) float64 {
+	lx := make([]float64, len(x))
+	ly := make([]float64, len(y))
+	for i := range x {
+		if x[i] <= 0 || y[i] <= 0 {
+			panic("stats: log-log fit needs positive data")
+		}
+		lx[i] = math.Log(x[i])
+		ly[i] = math.Log(y[i])
+	}
+	return LeastSquares(lx, ly).Slope
+}

@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactLine(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{3, 5, 7, 9, 11} // y = 2x + 1
+	f := LeastSquares(x, y)
+	if math.Abs(f.Slope-2) > 1e-12 || math.Abs(f.Intercept-1) > 1e-12 {
+		t.Fatalf("fit = %+v, want slope 2 intercept 1", f)
+	}
+	if f.R2 < 1-1e-12 {
+		t.Fatalf("R2 = %v, want 1", f.R2)
+	}
+	if f.MaxRelResidual > 1e-12 {
+		t.Fatalf("MaxRelResidual = %v, want 0", f.MaxRelResidual)
+	}
+	if p := f.Predict(10); math.Abs(p-21) > 1e-12 {
+		t.Fatalf("Predict(10) = %v, want 21", p)
+	}
+}
+
+func TestNoisyLineR2(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	var x, y []float64
+	for i := 1; i <= 50; i++ {
+		x = append(x, float64(i))
+		y = append(y, 3*float64(i)+10+rng.NormFloat64())
+	}
+	f := LeastSquares(x, y)
+	if math.Abs(f.Slope-3) > 0.1 {
+		t.Errorf("slope = %v, want ≈3", f.Slope)
+	}
+	if f.R2 < 0.99 {
+		t.Errorf("R2 = %v, want > 0.99", f.R2)
+	}
+}
+
+func TestLeastSquaresPanics(t *testing.T) {
+	cases := []func(){
+		func() { LeastSquares([]float64{1}, []float64{1}) },
+		func() { LeastSquares([]float64{1, 2}, []float64{1}) },
+		func() { LeastSquares([]float64{2, 2, 2}, []float64{1, 2, 3}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestFitRecoversRandomLines: property test that noiseless lines are
+// recovered exactly (up to float error).
+func TestFitRecoversRandomLines(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		slope := rng.Float64()*20 - 10
+		intercept := rng.Float64()*100 - 50
+		var x, y []float64
+		for i := 0; i < 10; i++ {
+			xi := rng.Float64() * 1000
+			x = append(x, xi)
+			y = append(y, slope*xi+intercept)
+		}
+		// Guard the degenerate all-equal-x case.
+		allSame := true
+		for _, xi := range x {
+			if xi != x[0] {
+				allSame = false
+			}
+		}
+		if allSame {
+			return true
+		}
+		fit := LeastSquares(x, y)
+		return math.Abs(fit.Slope-slope) < 1e-6 && math.Abs(fit.Intercept-intercept) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Sample std of this classic data set is sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); math.Abs(s.Std-want) > 1e-12 {
+		t.Fatalf("Std = %v, want %v", s.Std, want)
+	}
+	if math.Abs(s.RelSpread-7.0/5.0) > 1e-12 {
+		t.Fatalf("RelSpread = %v", s.RelSpread)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3})
+	if s.Std != 0 || s.Mean != 3 || s.Min != 3 || s.Max != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestLogLogSlope(t *testing.T) {
+	// y = 5·x² should give slope 2.
+	var x, y []float64
+	for i := 1; i <= 20; i++ {
+		x = append(x, float64(i))
+		y = append(y, 5*float64(i)*float64(i))
+	}
+	if got := LogLogSlope(x, y); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("slope = %v, want 2", got)
+	}
+	// y = 3·x^1.5.
+	y = y[:0]
+	for i := 1; i <= 20; i++ {
+		y = append(y, 3*math.Pow(float64(i), 1.5))
+	}
+	if got := LogLogSlope(x, y); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("slope = %v, want 1.5", got)
+	}
+}
+
+func TestLogLogSlopePanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	LogLogSlope([]float64{1, 0}, []float64{1, 2})
+}

@@ -1,0 +1,115 @@
+// Package unionfind provides a disjoint-set (union–find) data structure
+// with union by size and path compression.
+//
+// Every algorithm in this repository maintains its knowledge of "which
+// elements are known equivalent" as a union–find forest: testing two
+// elements equal contracts their sets, exactly as in the knowledge graph of
+// Figure 2 of the paper.
+package unionfind
+
+import "sort"
+
+// DSU is a disjoint-set forest over the integers 0..n-1.
+// The zero value is not usable; call New.
+type DSU struct {
+	parent []int
+	size   []int
+	sets   int
+}
+
+// New returns a DSU with n singleton sets, one per element 0..n-1.
+func New(n int) *DSU {
+	d := &DSU{
+		parent: make([]int, n),
+		size:   make([]int, n),
+		sets:   n,
+	}
+	for i := range d.parent {
+		d.parent[i] = i
+		d.size[i] = 1
+	}
+	return d
+}
+
+// Len returns the number of elements in the universe.
+func (d *DSU) Len() int { return len(d.parent) }
+
+// Sets returns the current number of disjoint sets.
+func (d *DSU) Sets() int { return d.sets }
+
+// Find returns the canonical representative of x's set.
+func (d *DSU) Find(x int) int {
+	root := x
+	for d.parent[root] != root {
+		root = d.parent[root]
+	}
+	// Path compression: point everything on the walk directly at the root.
+	for d.parent[x] != root {
+		d.parent[x], x = root, d.parent[x]
+	}
+	return root
+}
+
+// Union merges the sets containing a and b and returns the representative
+// of the merged set. It reports whether a merge actually happened (false if
+// a and b were already in the same set).
+func (d *DSU) Union(a, b int) (root int, merged bool) {
+	ra, rb := d.Find(a), d.Find(b)
+	if ra == rb {
+		return ra, false
+	}
+	if d.size[ra] < d.size[rb] {
+		ra, rb = rb, ra
+	}
+	d.parent[rb] = ra
+	d.size[ra] += d.size[rb]
+	d.sets--
+	return ra, true
+}
+
+// Same reports whether a and b are in the same set.
+func (d *DSU) Same(a, b int) bool { return d.Find(a) == d.Find(b) }
+
+// SizeOf returns the size of the set containing x.
+func (d *DSU) SizeOf(x int) int { return d.size[d.Find(x)] }
+
+// Groups returns the current sets as slices of element indices. Elements
+// within a group appear in increasing order, and groups are ordered by
+// their smallest element. The result is freshly allocated.
+func (d *DSU) Groups() [][]int {
+	n := len(d.parent)
+	members := make(map[int][]int, d.sets)
+	for i := 0; i < n; i++ {
+		r := d.Find(i)
+		members[r] = append(members[r], i)
+	}
+	groups := make([][]int, 0, len(members))
+	for _, g := range members {
+		groups = append(groups, g)
+	}
+	// Members were appended in increasing element order, so g[0] is each
+	// group's smallest member; order groups by it.
+	sort.Slice(groups, func(i, j int) bool { return groups[i][0] < groups[j][0] })
+	return groups
+}
+
+// Labels returns a canonical labeling of the elements: two elements receive
+// the same label iff they are in the same set, and labels are assigned
+// 0,1,2,... in order of first appearance.
+func (d *DSU) Labels() []int {
+	n := len(d.parent)
+	labels := make([]int, n)
+	next := 0
+	seen := make(map[int]int, d.sets)
+	for i := 0; i < n; i++ {
+		r := d.Find(i)
+		l, ok := seen[r]
+		if !ok {
+			l = next
+			next++
+			seen[r] = l
+		}
+		labels[i] = l
+	}
+	return labels
+}

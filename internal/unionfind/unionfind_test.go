@@ -1,0 +1,214 @@
+package unionfind
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSingletons(t *testing.T) {
+	d := New(5)
+	if d.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", d.Len())
+	}
+	if d.Sets() != 5 {
+		t.Fatalf("Sets = %d, want 5", d.Sets())
+	}
+	for i := 0; i < 5; i++ {
+		if r := d.Find(i); r != i {
+			t.Errorf("Find(%d) = %d, want %d", i, r, i)
+		}
+		if s := d.SizeOf(i); s != 1 {
+			t.Errorf("SizeOf(%d) = %d, want 1", i, s)
+		}
+	}
+}
+
+func TestUnionBasics(t *testing.T) {
+	d := New(4)
+	if _, merged := d.Union(0, 1); !merged {
+		t.Fatal("Union(0,1) did not merge")
+	}
+	if _, merged := d.Union(0, 1); merged {
+		t.Fatal("second Union(0,1) reported a merge")
+	}
+	if !d.Same(0, 1) {
+		t.Error("0 and 1 should be together")
+	}
+	if d.Same(0, 2) {
+		t.Error("0 and 2 should be apart")
+	}
+	if d.Sets() != 3 {
+		t.Errorf("Sets = %d, want 3", d.Sets())
+	}
+	if d.SizeOf(1) != 2 {
+		t.Errorf("SizeOf(1) = %d, want 2", d.SizeOf(1))
+	}
+}
+
+func TestUnionReturnsRoot(t *testing.T) {
+	d := New(6)
+	r, _ := d.Union(2, 3)
+	if d.Find(2) != r || d.Find(3) != r {
+		t.Errorf("Union root %d is not the root of both members", r)
+	}
+}
+
+func TestGroupsOrdering(t *testing.T) {
+	d := New(6)
+	d.Union(5, 1)
+	d.Union(2, 4)
+	groups := d.Groups()
+	want := [][]int{{0}, {1, 5}, {2, 4}, {3}}
+	if len(groups) != len(want) {
+		t.Fatalf("got %d groups, want %d: %v", len(groups), len(want), groups)
+	}
+	for i := range want {
+		if len(groups[i]) != len(want[i]) {
+			t.Fatalf("group %d = %v, want %v", i, groups[i], want[i])
+		}
+		for j := range want[i] {
+			if groups[i][j] != want[i][j] {
+				t.Fatalf("group %d = %v, want %v", i, groups[i], want[i])
+			}
+		}
+	}
+}
+
+func TestLabelsCanonical(t *testing.T) {
+	d := New(5)
+	d.Union(0, 4)
+	d.Union(1, 3)
+	labels := d.Labels()
+	want := []int{0, 1, 2, 1, 0}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("Labels = %v, want %v", labels, want)
+		}
+	}
+}
+
+// naivePartition mirrors DSU semantics with an O(n²) relabeling scheme.
+type naivePartition struct{ label []int }
+
+func newNaive(n int) *naivePartition {
+	p := &naivePartition{label: make([]int, n)}
+	for i := range p.label {
+		p.label[i] = i
+	}
+	return p
+}
+
+func (p *naivePartition) union(a, b int) {
+	la, lb := p.label[a], p.label[b]
+	if la == lb {
+		return
+	}
+	for i, l := range p.label {
+		if l == lb {
+			p.label[i] = la
+		}
+	}
+}
+
+func (p *naivePartition) same(a, b int) bool { return p.label[a] == p.label[b] }
+
+func (p *naivePartition) sets() int {
+	seen := map[int]bool{}
+	for _, l := range p.label {
+		seen[l] = true
+	}
+	return len(seen)
+}
+
+// TestQuickAgainstNaive drives random union sequences through both the DSU
+// and a naive partition and checks they always agree on Same, Sets, and
+// set sizes.
+func TestQuickAgainstNaive(t *testing.T) {
+	f := func(seed int64, opsRaw []uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		d := New(n)
+		p := newNaive(n)
+		for _, op := range opsRaw {
+			a := int(op) % n
+			b := int(op>>8) % n
+			if a == b {
+				continue
+			}
+			d.Union(a, b)
+			p.union(a, b)
+		}
+		if d.Sets() != p.sets() {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if d.Same(i, j) != p.same(i, j) {
+					return false
+				}
+			}
+			sz := 0
+			for j := 0; j < n; j++ {
+				if p.same(i, j) {
+					sz++
+				}
+			}
+			if d.SizeOf(i) != sz {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupsPartition checks Groups always returns a partition of 0..n-1.
+func TestGroupsPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		d := New(n)
+		for i := 0; i < n; i++ {
+			d.Union(rng.Intn(n), rng.Intn(n)%n)
+		}
+		seen := make([]bool, n)
+		count := 0
+		for _, g := range d.Groups() {
+			for _, e := range g {
+				if seen[e] {
+					return false
+				}
+				seen[e] = true
+				count++
+			}
+		}
+		return count == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfUnionIsNoop(t *testing.T) {
+	d := New(3)
+	if _, merged := d.Union(1, 1); merged {
+		t.Fatal("Union(x,x) must not merge")
+	}
+	if d.Sets() != 3 {
+		t.Fatalf("Sets = %d, want 3", d.Sets())
+	}
+}
+
+func BenchmarkUnionFind(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 1 << 16
+	for i := 0; i < b.N; i++ {
+		d := New(n)
+		for j := 0; j < n; j++ {
+			d.Union(rng.Intn(n), rng.Intn(n))
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module ecsort
+
+go 1.24

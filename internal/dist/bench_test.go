@@ -1,0 +1,61 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+	"unsafe"
+)
+
+// benchDists covers each sampler implementation: direct Intn (uniform),
+// closed-form inverse CDF (geometric), alias table (Poisson), head
+// table + rejection tail (zeta, both a tail-heavy and a head-heavy
+// exponent).
+func benchDists() []Distribution {
+	return []Distribution{
+		NewUniform(100),
+		NewGeometric(0.1),
+		NewPoisson(25),
+		NewZeta(1.5),
+		NewZeta(2.5),
+	}
+}
+
+// BenchmarkSample measures single-draw throughput per sampler.
+func BenchmarkSample(b *testing.B) {
+	for _, d := range benchDists() {
+		b.Run(d.Name(), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			acc := 0
+			for i := 0; i < b.N; i++ {
+				acc += d.Sample(rng)
+			}
+			sink = acc
+		})
+	}
+}
+
+// BenchmarkLabels compares the serial and goroutine-parallel fill paths
+// at n = 2²⁰ (the large-n sweep regime of the Figure 5 harness). On a
+// multi-core machine the parallel path should win clearly; both paths
+// produce identical output for a given seed (see
+// TestLabelsParallelSerialAgree).
+func BenchmarkLabels(b *testing.B) {
+	const n = 1 << 20
+	out := make([]int, n)
+	for _, d := range benchDists() {
+		for _, mode := range []struct {
+			name     string
+			parallel bool
+		}{{"serial", false}, {"parallel", true}} {
+			b.Run(d.Name()+"/"+mode.name, func(b *testing.B) {
+				rng := rand.New(rand.NewSource(1))
+				b.SetBytes(n * int64(unsafe.Sizeof(int(0))))
+				for i := 0; i < b.N; i++ {
+					fillLabels(d, out, rng, mode.parallel)
+				}
+			})
+		}
+	}
+}
+
+var sink int

@@ -1,0 +1,142 @@
+// Package dist implements the class-probability distributions of the
+// paper's Section 4 ("Distribution-Based Analysis") and the samplers the
+// experiment harness draws its inputs from.
+//
+// Section 4 analyzes the round-robin regimen of Jayapaul et al. when each
+// element's equivalence class is drawn i.i.d. from a distribution D over
+// class indices ordered most-to-least likely. Writing D_N(n) for a draw
+// capped at n (CapAt), Theorem 7 dominates the comparison count X by
+// 2·Σᵢ min(Yᵢ, n), which Theorems 8 and 9 convert into the expected
+// bound E[X] ≤ 2n·E[D_N(n)]. The four rows of the paper's Section 4
+// analysis map onto this package as follows:
+//
+//   - Uniform on k classes (Theorem 8: E[X] ≤ (k−1)·n; linear) — NewUniform.
+//   - Geometric, class i with probability pⁱ(1−p) (finite mean p/(1−p);
+//     linear expected comparisons) — NewGeometric.
+//   - Poisson with rate λ, reindexed most-to-least likely (finite mean;
+//     linear expected comparisons) — NewPoisson.
+//   - Zeta/Zipf with exponent s, class i ∝ (i+1)^−s (Theorem 9: linear
+//     for s > 2; for s ≤ 2 the mean diverges and the regimen's behavior
+//     is the paper's open problem) — NewZeta.
+//
+// Class indices are 0-based: class 0 is the most likely class, and
+// Mean() is the exact expected class index E[D] under that ordering
+// (+Inf when the series diverges). Samplers are built for throughput —
+// closed-form inverse-CDF for geometric, an alias table for Poisson, a
+// cached inverse-CDF head table with an O(1) rejection tail for zeta —
+// and Labels fills large draws with one goroutine per chunk.
+package dist
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Distribution is a probability distribution over class indices
+// 0, 1, 2, ... ordered most-to-least likely (the paper's convention for
+// D_N). Implementations are immutable after construction and safe for
+// concurrent use; Sample must use only the supplied rng for randomness so
+// that draws are reproducible from a seed.
+type Distribution interface {
+	// Name identifies the distribution and its parameter, e.g.
+	// "uniform(k=10)" or "zeta(s=2.5)".
+	Name() string
+	// Mean is the exact expected class index E[D]: analytic where a
+	// closed form exists, a converged series otherwise, and +Inf when
+	// the mean diverges (zeta with s ≤ 2).
+	Mean() float64
+	// PMF returns the probability of class index i; 0 for i < 0 and for
+	// indices beyond the support.
+	PMF(i int) float64
+	// Sample draws one class index using rng.
+	Sample(rng *rand.Rand) int
+}
+
+// CapAt caps a class label at n: min(l, n), the paper's V̂ = min(D, n)
+// used by the Theorem 7 dominance bound.
+func CapAt(l, n int) int {
+	if l > n {
+		return n
+	}
+	return l
+}
+
+// labelChunk is the number of labels drawn from one derived sub-seed.
+// Labels splits any draw larger than this into chunks whose seeds come
+// from the caller's rng, so serial and parallel fills produce identical
+// output for a given seed.
+const labelChunk = 1 << 15
+
+// parallelMinN is the draw size at which Labels switches to one
+// goroutine per chunk. Below it the fan-out overhead outweighs the
+// sampling work.
+const parallelMinN = 1 << 17
+
+// Labels draws n independent class labels from d. The result is
+// deterministic for a fixed rng seed: large draws are filled chunk by
+// chunk from sub-seeds derived from rng, in parallel when n is large
+// enough for the fan-out to pay for itself.
+func Labels(d Distribution, n int, rng *rand.Rand) []int {
+	if n <= 0 {
+		return []int{}
+	}
+	out := make([]int, n)
+	fillLabels(d, out, rng, n >= parallelMinN && runtime.GOMAXPROCS(0) > 1)
+	return out
+}
+
+// fillLabels populates out, chunking exactly as Labels documents. The
+// parallel flag selects goroutine fan-out; it never changes the output.
+func fillLabels(d Distribution, out []int, rng *rand.Rand, parallel bool) {
+	n := len(out)
+	if n <= labelChunk {
+		sampleInto(d, out, rng)
+		return
+	}
+	numChunks := (n + labelChunk - 1) / labelChunk
+	seeds := make([]int64, numChunks)
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+	chunk := func(c int) []int {
+		lo := c * labelChunk
+		hi := lo + labelChunk
+		if hi > n {
+			hi = n
+		}
+		return out[lo:hi]
+	}
+	if !parallel {
+		for c := 0; c < numChunks; c++ {
+			sampleInto(d, chunk(c), rand.New(rand.NewSource(seeds[c])))
+		}
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > numChunks {
+		workers = numChunks
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range next {
+				sampleInto(d, chunk(c), rand.New(rand.NewSource(seeds[c])))
+			}
+		}()
+	}
+	for c := 0; c < numChunks; c++ {
+		next <- c
+	}
+	close(next)
+	wg.Wait()
+}
+
+func sampleInto(d Distribution, out []int, rng *rand.Rand) {
+	for i := range out {
+		out[i] = d.Sample(rng)
+	}
+}

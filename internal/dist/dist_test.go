@@ -1,0 +1,335 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func allDists() []Distribution {
+	return []Distribution{
+		NewUniform(10),
+		NewGeometric(0.3),
+		NewPoisson(5),
+		NewZeta(1.5),
+		NewZeta(2.5),
+	}
+}
+
+// TestPMFSumsToOne: the pmf over a generous prefix of the support must
+// account for all the mass, up to the analytic tail of the heavy-tailed
+// families.
+func TestPMFSumsToOne(t *testing.T) {
+	for _, tc := range []struct {
+		d     Distribution
+		terms int
+		tol   float64
+	}{
+		{NewUniform(10), 10, 1e-12},
+		{NewGeometric(0.3), 200, 1e-12},
+		{NewPoisson(5), 200, 1e-9},
+		{NewZeta(2.5), 1 << 20, 1e-4},
+	} {
+		sum := 0.0
+		for i := 0; i < tc.terms; i++ {
+			sum += tc.d.PMF(i)
+		}
+		if math.Abs(sum-1) > tc.tol {
+			t.Errorf("%s: pmf prefix sums to %v, want 1±%v", tc.d.Name(), sum, tc.tol)
+		}
+	}
+}
+
+// TestPMFOrderedMostToLeastLikely: class 0 is the most likely class and
+// the pmf never increases with the index (the paper's D_N convention).
+// Poisson is the family where this is earned: the raw outcome pmf peaks
+// at ⌊λ⌋, so the constructor must reindex by probability rank.
+func TestPMFOrderedMostToLeastLikely(t *testing.T) {
+	for _, d := range allDists() {
+		prev := d.PMF(0)
+		if prev <= 0 {
+			t.Errorf("%s: PMF(0) = %v, want > 0", d.Name(), prev)
+		}
+		for i := 1; i < 300; i++ {
+			p := d.PMF(i)
+			if p > prev+1e-15 {
+				t.Errorf("%s: PMF(%d)=%v > PMF(%d)=%v — not most-to-least likely",
+					d.Name(), i, p, i-1, prev)
+				break
+			}
+			prev = p
+		}
+	}
+}
+
+// TestMeanMatchesEmpirical: the analytic Mean() must agree with the
+// empirical mean of a large sample for every finite-mean family.
+// (zeta needs s > 3 here so the sample mean has finite variance.)
+func TestMeanMatchesEmpirical(t *testing.T) {
+	const n = 200_000
+	for _, tc := range []struct {
+		d   Distribution
+		tol float64
+	}{
+		{NewUniform(10), 0.05},
+		{NewGeometric(0.3), 0.05},
+		{NewGeometric(0.9), 0.2},
+		{NewPoisson(1), 0.05},
+		{NewPoisson(25), 0.1},
+		{NewZeta(4), 0.02},
+	} {
+		rng := rand.New(rand.NewSource(42))
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += float64(tc.d.Sample(rng))
+		}
+		emp := sum / n
+		if want := tc.d.Mean(); math.Abs(emp-want) > tc.tol {
+			t.Errorf("%s: empirical mean %v vs Mean() %v (tol %v)",
+				tc.d.Name(), emp, want, tc.tol)
+		}
+	}
+}
+
+// TestEmpiricalPMF: sampled frequencies of the head classes must track
+// the pmf — this exercises the alias table (Poisson) and both the head
+// table and the rejection tail (zeta).
+func TestEmpiricalPMF(t *testing.T) {
+	const n = 400_000
+	for _, d := range allDists() {
+		rng := rand.New(rand.NewSource(7))
+		counts := map[int]int{}
+		for i := 0; i < n; i++ {
+			counts[d.Sample(rng)]++
+		}
+		for i := 0; i < 5; i++ {
+			want := d.PMF(i)
+			got := float64(counts[i]) / n
+			if math.Abs(got-want) > 0.01 {
+				t.Errorf("%s: class %d frequency %v vs pmf %v", d.Name(), i, got, want)
+			}
+		}
+	}
+}
+
+// TestZetaTailMass: draws beyond the cached head table must appear with
+// roughly the analytic tail probability — the rejection tail is not
+// dead code and is not over-sampled.
+func TestZetaTailMass(t *testing.T) {
+	const n = 400_000
+	s := 1.5
+	d := NewZeta(s)
+	rng := rand.New(rand.NewSource(11))
+	tail := 0
+	for i := 0; i < n; i++ {
+		if d.Sample(rng) >= zetaHead {
+			tail++
+		}
+	}
+	// P[class ≥ zetaHead] ≈ ∫_{zetaHead}^∞ x^−s dx / ζ(s).
+	want := math.Pow(zetaHead, 1-s) / (s - 1) / riemannZeta(s)
+	got := float64(tail) / n
+	if got < want/2 || got > want*2 {
+		t.Errorf("zeta tail mass %v, want ≈ %v", got, want)
+	}
+}
+
+// TestZetaFarTailDistinct: draws beyond the index horizon must keep
+// distinct class identities (each is almost surely its own singleton
+// class). A shared sentinel label here would merge them into one giant
+// class and bias the harness's s < 2 growth measurements, where
+// singletons are the expensive case.
+func TestZetaFarTailDistinct(t *testing.T) {
+	d := NewZeta(1.05) // ≈12% of draws land beyond maxClass
+	rng := rand.New(rand.NewSource(1))
+	seen := map[int]int{}
+	smeared := 0
+	for i := 0; i < 200_000; i++ {
+		if l := d.Sample(rng); l >= maxClass/2 {
+			smeared++
+			seen[l]++
+		}
+	}
+	if smeared < 1000 {
+		t.Fatalf("only %d far-tail draws; smear path not exercised", smeared)
+	}
+	dups := 0
+	for _, c := range seen {
+		dups += c - 1
+	}
+	if dups > smeared/100 {
+		t.Errorf("far-tail labels collide: %d duplicates among %d draws", dups, smeared)
+	}
+}
+
+// TestMeanExactValues pins the analytic means the harness depends on:
+// the dominance report's TheoryMeanBound uses uniform's (k−1)/2 exactly,
+// and divergence for zeta with s ≤ 2 must surface as +Inf, not a big
+// float.
+func TestMeanExactValues(t *testing.T) {
+	if m := NewUniform(10).Mean(); m != 4.5 {
+		t.Errorf("uniform(10) mean %v, want exactly 4.5", m)
+	}
+	if m := NewGeometric(0.5).Mean(); math.Abs(m-1) > 1e-12 {
+		t.Errorf("geometric(0.5) mean %v, want 1", m)
+	}
+	for _, s := range []float64{1.1, 1.5, 2} {
+		if m := NewZeta(s).Mean(); !math.IsInf(m, 1) {
+			t.Errorf("zeta(%v) mean %v, want +Inf", s, m)
+		}
+	}
+	// ζ(2.5) regime: E[D] = (ζ(1.5) − ζ(2.5))/ζ(2.5).
+	want := (riemannZeta(1.5) - riemannZeta(2.5)) / riemannZeta(2.5)
+	if m := NewZeta(2.5).Mean(); math.Abs(m-want) > 1e-12 || math.IsInf(m, 1) {
+		t.Errorf("zeta(2.5) mean %v, want %v", m, want)
+	}
+}
+
+// TestRiemannZeta checks the series accelerator against closed forms.
+func TestRiemannZeta(t *testing.T) {
+	for _, tc := range []struct{ s, want float64 }{
+		{2, math.Pi * math.Pi / 6},
+		{4, math.Pow(math.Pi, 4) / 90},
+		{3, 1.2020569031595942854},
+	} {
+		if got := riemannZeta(tc.s); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("ζ(%v) = %v, want %v", tc.s, got, tc.want)
+		}
+	}
+}
+
+// TestLabelsDeterministic: identical seeds give identical label slices,
+// across the chunking threshold.
+func TestLabelsDeterministic(t *testing.T) {
+	for _, n := range []int{0, 100, labelChunk, labelChunk + 1, 3*labelChunk + 17} {
+		for _, d := range allDists() {
+			a := Labels(d, n, rand.New(rand.NewSource(5)))
+			b := Labels(d, n, rand.New(rand.NewSource(5)))
+			if len(a) != n || len(b) != n {
+				t.Fatalf("%s n=%d: lengths %d, %d", d.Name(), n, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s n=%d: draw %d differs: %d vs %d", d.Name(), n, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+// TestLabelsParallelSerialAgree: the goroutine fan-out must be purely a
+// throughput optimization — for a fixed seed it yields byte-identical
+// labels to the serial chunked fill.
+func TestLabelsParallelSerialAgree(t *testing.T) {
+	n := parallelMinN + 12345
+	for _, d := range allDists() {
+		serial := make([]int, n)
+		parallel := make([]int, n)
+		fillLabels(d, serial, rand.New(rand.NewSource(9)), false)
+		fillLabels(d, parallel, rand.New(rand.NewSource(9)), true)
+		for i := range serial {
+			if serial[i] != parallel[i] {
+				t.Fatalf("%s: draw %d differs: serial %d, parallel %d",
+					d.Name(), i, serial[i], parallel[i])
+			}
+		}
+	}
+}
+
+// TestLabelsNonNegative: every label is a valid 0-based class index.
+func TestLabelsNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, d := range allDists() {
+		for _, l := range Labels(d, 10_000, rng) {
+			if l < 0 {
+				t.Fatalf("%s: negative label %d", d.Name(), l)
+			}
+		}
+	}
+}
+
+func TestCapAt(t *testing.T) {
+	for _, tc := range []struct{ l, n, want int }{
+		{0, 100, 0}, {99, 100, 99}, {100, 100, 100}, {101, 100, 100},
+		{maxClass, 7, 7},
+	} {
+		if got := CapAt(tc.l, tc.n); got != tc.want {
+			t.Errorf("CapAt(%d, %d) = %d, want %d", tc.l, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, tc := range []struct {
+		d    Distribution
+		want string
+	}{
+		{NewUniform(10), "uniform(k=10)"},
+		{NewGeometric(0.5), "geometric(p=0.5)"},
+		{NewPoisson(5), "poisson(λ=5)"},
+		{NewZeta(2.5), "zeta(s=2.5)"},
+	} {
+		if got := tc.d.Name(); got != tc.want {
+			t.Errorf("Name() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+// TestZetaConcreteType: the harness type-asserts d.(dist.Zeta) to read
+// the exponent back; the constructor must box a Zeta value.
+func TestZetaConcreteType(t *testing.T) {
+	z, ok := NewZeta(2.5).(Zeta)
+	if !ok {
+		t.Fatal("NewZeta does not box a concrete Zeta value")
+	}
+	if z.S != 2.5 {
+		t.Fatalf("Zeta.S = %v, want 2.5", z.S)
+	}
+}
+
+// TestConstructorClamps documents the clamp-not-error policy for
+// degenerate parameters: every constructor returns a usable
+// distribution whose samples and pmf stay well-formed.
+func TestConstructorClamps(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range []Distribution{
+		NewUniform(0), NewUniform(-3),
+		NewGeometric(0), NewGeometric(1), NewGeometric(-2), NewGeometric(math.NaN()),
+		NewPoisson(0), NewPoisson(-1), NewPoisson(math.NaN()),
+		NewZeta(1), NewZeta(0.5), NewZeta(-4), NewZeta(math.NaN()),
+	} {
+		if d.Name() == "" || strings.Contains(d.Name(), "NaN") {
+			t.Errorf("clamped distribution has bad name %q", d.Name())
+		}
+		if m := d.Mean(); math.IsNaN(m) || m < 0 {
+			t.Errorf("%s: Mean() = %v after clamping", d.Name(), m)
+		}
+		for i := 0; i < 50; i++ {
+			if l := d.Sample(rng); l < 0 {
+				t.Fatalf("%s: negative sample %d", d.Name(), l)
+			}
+		}
+		if p := d.PMF(0); p < 0 || p > 1 || math.IsNaN(p) {
+			t.Errorf("%s: PMF(0) = %v", d.Name(), p)
+		}
+	}
+	// The degenerate single-class cases concentrate all mass on class 0.
+	for _, d := range []Distribution{NewUniform(0), NewPoisson(0)} {
+		if p := d.PMF(0); math.Abs(p-1) > 1e-12 {
+			t.Errorf("%s: PMF(0) = %v, want 1", d.Name(), p)
+		}
+	}
+}
+
+// TestPoissonReindexedMean: the reported mean is the mean probability
+// rank, which for λ ≥ 1 is strictly below λ (ranks hug 0 while raw
+// outcomes hug λ).
+func TestPoissonReindexedMean(t *testing.T) {
+	for _, lambda := range []float64{1, 5, 25} {
+		m := NewPoisson(lambda).Mean()
+		if m <= 0 || m >= lambda+1 {
+			t.Errorf("poisson(%v): rank mean %v out of range", lambda, m)
+		}
+	}
+}

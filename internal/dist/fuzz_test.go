@@ -1,0 +1,52 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzConstructors drives every constructor with arbitrary — including
+// degenerate — parameters and checks the clamp-not-error contract: the
+// returned distribution must always be well-formed (valid name,
+// non-negative samples, pmf in [0,1], mean non-negative or +Inf, and a
+// non-increasing pmf head).
+func FuzzConstructors(f *testing.F) {
+	f.Add(10, 0.5, 5.0, 2.5)
+	f.Add(0, 0.0, 0.0, 1.0)
+	f.Add(-7, 1.0, -3.0, 0.5)
+	f.Add(1, -0.25, math.Inf(1), math.Inf(1))
+	f.Add(1<<30, math.NaN(), math.NaN(), math.NaN())
+	f.Add(3, 1e300, 1e300, -1e300)
+	f.Fuzz(func(t *testing.T, k int, p, lambda, s float64) {
+		rng := rand.New(rand.NewSource(1))
+		for _, d := range []Distribution{
+			NewUniform(k), NewGeometric(p), NewPoisson(lambda), NewZeta(s),
+		} {
+			if d.Name() == "" {
+				t.Fatalf("empty name for k=%d p=%v λ=%v s=%v", k, p, lambda, s)
+			}
+			if m := d.Mean(); math.IsNaN(m) || m < 0 {
+				t.Fatalf("%s: Mean() = %v", d.Name(), m)
+			}
+			prev := math.Inf(1)
+			for i := -1; i < 20; i++ {
+				q := d.PMF(i)
+				if math.IsNaN(q) || q < 0 || q > 1 {
+					t.Fatalf("%s: PMF(%d) = %v", d.Name(), i, q)
+				}
+				if i >= 0 {
+					if q > prev+1e-15 {
+						t.Fatalf("%s: pmf increases at %d (%v > %v)", d.Name(), i, q, prev)
+					}
+					prev = q
+				}
+			}
+			for i := 0; i < 20; i++ {
+				if l := d.Sample(rng); l < 0 {
+					t.Fatalf("%s: negative sample %d", d.Name(), l)
+				}
+			}
+		}
+	})
+}

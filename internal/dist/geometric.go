@@ -1,0 +1,64 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Geometric is the geometric distribution over class indices:
+// PMF(i) = pⁱ(1−p) for i ≥ 0, which is decreasing in i, so the natural
+// indexing is already most-to-least likely.
+type Geometric struct {
+	P float64
+	// invLogP caches 1/ln(p) for the closed-form inverse CDF
+	// X = ⌊ln(U)/ln(p)⌋ (P[X ≥ i] = pⁱ), one log per draw.
+	invLogP float64
+}
+
+// geometric parameter clamp bounds: p must lie strictly inside (0, 1)
+// for the pmf pⁱ(1−p) to be a distribution with i ≥ 0.
+const (
+	minGeomP = 1e-12
+	maxGeomP = 1 - 1e-12
+)
+
+// NewGeometric returns the geometric distribution with class i having
+// probability pⁱ(1−p). Out-of-range parameters are clamped rather than
+// rejected: p ≤ 0 becomes 1e-12 (essentially all mass on class 0),
+// p ≥ 1 becomes 1−1e-12, and NaN falls back to p = 1/2.
+func NewGeometric(p float64) Distribution {
+	if isBadParam(p) {
+		p = 0.5
+	}
+	if p < minGeomP {
+		p = minGeomP
+	}
+	if p > maxGeomP {
+		p = maxGeomP
+	}
+	return Geometric{P: p, invLogP: 1 / math.Log(p)}
+}
+
+// Name returns e.g. "geometric(p=0.5)".
+func (g Geometric) Name() string { return fmt.Sprintf("geometric(p=%g)", g.P) }
+
+// Mean is the expected class index p/(1−p).
+func (g Geometric) Mean() float64 { return g.P / (1 - g.P) }
+
+// PMF returns pⁱ(1−p) for i ≥ 0.
+func (g Geometric) PMF(i int) float64 {
+	if i < 0 {
+		return 0
+	}
+	return math.Pow(g.P, float64(i)) * (1 - g.P)
+}
+
+// Sample draws ⌊ln(U)/ln(p)⌋ with U uniform on (0, 1] — the closed-form
+// inverse of the tail CDF P[X ≥ i] = pⁱ.
+func (g Geometric) Sample(rng *rand.Rand) int {
+	u := 1 - rng.Float64() // (0, 1]: never take log of zero
+	return clampClass(math.Floor(math.Log(u) * g.invLogP))
+}
+
+var _ Distribution = Geometric{}

@@ -1,0 +1,144 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Poisson is the Poisson distribution with rate λ, reindexed so that
+// class 0 is the most likely Poisson outcome (the paper orders classes
+// most-to-least likely; for Poisson that is ⌊λ⌋ first, not 0). The
+// reindexed PMF is precomputed into a descending table and sampled with
+// a Walker/Vose alias table in O(1) per draw.
+type Poisson struct {
+	Lambda float64
+	probs  []float64 // descending reindexed pmf, renormalized
+	mean   float64   // Σ i·probs[i]
+	// alias table: draw column c uniformly, accept c with probability
+	// accept[c], otherwise return alias[c].
+	accept []float64
+	alias  []int
+}
+
+// poisson parameter clamp bounds: λ = 0 degenerates to a single class;
+// the upper clamp keeps the pmf window (≈ 90·√λ entries) at a sane size.
+const maxPoissonLambda = 1e6
+
+// NewPoisson returns the Poisson distribution with rate lambda,
+// classes reindexed most-to-least likely. Out-of-range parameters are
+// clamped rather than rejected: λ < 0 becomes 0 (all mass on one
+// class), λ > 1e6 becomes 1e6, and NaN falls back to λ = 1.
+func NewPoisson(lambda float64) Distribution {
+	if isBadParam(lambda) {
+		lambda = 1
+	}
+	if lambda < 0 {
+		lambda = 0
+	}
+	if lambda > maxPoissonLambda {
+		lambda = maxPoissonLambda
+	}
+	p := Poisson{Lambda: lambda}
+	p.probs, p.mean = poissonRankedPMF(lambda)
+	p.accept, p.alias = buildAlias(p.probs)
+	return p
+}
+
+// poissonRankedPMF evaluates the Poisson pmf over the window that holds
+// all but ~1e-15 of the mass, sorts it descending (ties broken by the
+// smaller original outcome, for determinism), renormalizes, and returns
+// the ranked pmf with its mean class index.
+func poissonRankedPMF(lambda float64) (probs []float64, mean float64) {
+	if lambda == 0 {
+		return []float64{1}, 0
+	}
+	spread := 40*math.Sqrt(lambda) + 25
+	lo := int(math.Max(0, math.Floor(lambda-spread)))
+	hi := int(math.Ceil(lambda + spread))
+	logLambda := math.Log(lambda)
+	probs = make([]float64, 0, hi-lo+1)
+	sum := 0.0
+	for i := lo; i <= hi; i++ {
+		lg, _ := math.Lgamma(float64(i) + 1)
+		p := math.Exp(float64(i)*logLambda - lambda - lg)
+		probs = append(probs, p)
+		sum += p
+	}
+	sort.SliceStable(probs, func(a, b int) bool { return probs[a] > probs[b] })
+	for i := range probs {
+		probs[i] /= sum
+		mean += float64(i) * probs[i]
+	}
+	return probs, mean
+}
+
+// buildAlias constructs a Walker/Vose alias table for the given pmf.
+func buildAlias(probs []float64) (accept []float64, alias []int) {
+	k := len(probs)
+	accept = make([]float64, k)
+	alias = make([]int, k)
+	scaled := make([]float64, k)
+	var small, large []int
+	for i, p := range probs {
+		scaled[i] = p * float64(k)
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		accept[s] = scaled[s]
+		alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Leftovers are 1 up to float rounding.
+	for _, i := range large {
+		accept[i] = 1
+		alias[i] = i
+	}
+	for _, i := range small {
+		accept[i] = 1
+		alias[i] = i
+	}
+	return accept, alias
+}
+
+// Name returns e.g. "poisson(λ=5)".
+func (p Poisson) Name() string { return fmt.Sprintf("poisson(λ=%g)", p.Lambda) }
+
+// Mean is the expected class index under the most-to-least-likely
+// reindexing (a converged series, not λ — λ is the mean of the raw
+// Poisson outcome, not of its probability rank).
+func (p Poisson) Mean() float64 { return p.mean }
+
+// PMF returns the probability of rank i in the descending reindexing.
+func (p Poisson) PMF(i int) float64 {
+	if i < 0 || i >= len(p.probs) {
+		return 0
+	}
+	return p.probs[i]
+}
+
+// Sample draws a class rank via the alias table: one Intn plus one
+// Float64 per draw.
+func (p Poisson) Sample(rng *rand.Rand) int {
+	c := rng.Intn(len(p.accept))
+	if rng.Float64() < p.accept[c] {
+		return c
+	}
+	return p.alias[c]
+}
+
+var _ Distribution = Poisson{}

@@ -23,11 +23,12 @@ import (
 
 	"ecsort/internal/dist"
 	"ecsort/internal/harness"
+	"ecsort/internal/service"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: all | fig5-uniform | fig5-geometric | fig5-poisson | fig5-zeta | fig1 | rounds-cr | rounds-er | rounds-const | lb-equal | lb-smallest | dominance | zeta-exponent | procs | profile")
+		exp    = flag.String("exp", "all", "experiment: all | fig5-uniform | fig5-geometric | fig5-poisson | fig5-zeta | fig1 | rounds-cr | rounds-er | rounds-const | lb-equal | lb-smallest | dominance | zeta-exponent | procs | profile | serve-stress")
 		scale  = flag.Int("scale", 10, "divide the paper's input sizes by this factor")
 		trials = flag.Int("trials", 3, "trials per input size (paper: 10)")
 		n      = flag.Int("n", 1024, "input size for lower-bound and dominance experiments")
@@ -130,6 +131,28 @@ func main() {
 				}
 			}
 			return nil
+		case "serve-stress":
+			// Service-level load generation: concurrent batched ingestion
+			// into the sharded classification service, swept over shard
+			// counts to show where contention stops.
+			cfg := service.StressConfig{
+				Collections: 16,
+				Elements:    max(*n, 256),
+				Classes:     16,
+				Batch:       64,
+				Writers:     8,
+				Seed:        *seed,
+			}
+			points, err := harness.RunServiceSweep([]int{1, 2, 4, 8, 16}, cfg)
+			if err != nil {
+				return err
+			}
+			if err := writeCSV(name, func(w io.Writer) error {
+				return harness.WriteServiceSweepCSV(w, points)
+			}); err != nil {
+				return err
+			}
+			return harness.RenderServiceSweep(os.Stdout, points)
 		case "procs":
 			procs := []int{*n, *n / 4, *n / 16, *n / 64}
 			points, err := harness.RunProcessorSweep(*n, 8, procs, *seed)
@@ -190,6 +213,7 @@ func main() {
 			"procs", "profile",
 			"lb-equal", "lb-smallest",
 			"dominance",
+			"serve-stress",
 		}
 	}
 	for _, name := range names {

@@ -1,0 +1,84 @@
+// Command ecs-serve runs the equivalence class sorting classification
+// service: a long-running HTTP/JSON server where each collection owns an
+// incremental sorter over a pluggable equivalence oracle, collections
+// are sharded across single-writer goroutines, batched inserts are
+// folded with one compounding round per flush, and reads are served from
+// copy-on-flush snapshots.
+//
+// Usage:
+//
+//	ecs-serve -addr :8080 -shards 16 -batch 128 -flush-interval 250ms
+//
+// Then, over HTTP:
+//
+//	curl -X PUT  localhost:8080/v1/collections/demo -d '{"kind":"label","labels":[0,1,0,1,2]}'
+//	curl -X POST localhost:8080/v1/collections/demo/items -d '{"items":[0,1,2,3,4]}'
+//	curl localhost:8080/v1/collections/demo/classes?fresh=1
+//	curl localhost:8080/v1/collections/demo/stats
+//	curl localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ecsort/internal/service"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		shards        = flag.Int("shards", 8, "number of single-writer shards collections are hashed across")
+		batch         = flag.Int("batch", 0, "pending-element flush threshold (0: flush after every ingest call)")
+		flushInterval = flag.Duration("flush-interval", 0, "max snapshot staleness when -batch > 0 (0: no timer)")
+		processors    = flag.Int("processors", 0, "comparisons per physical round in each session (0: n, the paper's setting)")
+		workers       = flag.Int("workers", 0, "goroutines per comparison round (0: GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Shards:        *shards,
+		BatchSize:     *batch,
+		FlushInterval: *flushInterval,
+		Processors:    *processors,
+		Workers:       *workers,
+	})
+	defer svc.Close()
+
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain connections before closing
+	// the shard goroutines.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- server.ListenAndServe() }()
+	log.Printf("ecs-serve: listening on %s (%d shards, batch %d)", *addr, *shards, *batch)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "ecs-serve:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		log.Printf("ecs-serve: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := server.Shutdown(shutdownCtx); err != nil {
+			log.Printf("ecs-serve: shutdown: %v", err)
+		}
+	}
+}

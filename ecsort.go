@@ -42,6 +42,7 @@ import (
 	"ecsort/internal/majority"
 	"ecsort/internal/model"
 	"ecsort/internal/oracle"
+	"ecsort/internal/service"
 )
 
 // Oracle answers equivalence tests over elements 0..N()-1. Implementations
@@ -240,6 +241,62 @@ type Incremental = core.Incremental
 // universe; elements are classified as they are Added.
 func NewIncremental(o Oracle, cfg Config) (*Incremental, error) {
 	return core.NewIncremental(NewSession(o, CR, cfg))
+}
+
+//
+// Classification service (the online, sharded front end; cmd/ecs-serve).
+//
+
+// ServiceConfig tunes the sharded classification service: shard count,
+// batching policy, snapshot staleness bound, and per-session processor
+// and worker budgets. The zero value is ready to use.
+type ServiceConfig = service.Config
+
+// Service is a long-running classification engine: named collections,
+// each an Incremental sorter over a pluggable oracle, sharded across
+// single-writer goroutines with batched compounding flushes and
+// copy-on-flush snapshots for lock-free reads. Serve it over HTTP with
+// its Handler method (see cmd/ecs-serve) or drive it in process.
+type Service = service.Service
+
+// NewService starts a classification service; Close it when done.
+func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// OracleSpec declares the equivalence oracle behind a service
+// collection: one of the paper's applications (secret handshakes —
+// in-process or over a message-passing agent network —, fault
+// diagnosis, graph isomorphism) or the plain label oracle.
+type OracleSpec = service.OracleSpec
+
+// GraphSpec is the wire form of one graph in a graph-iso OracleSpec.
+type GraphSpec = service.GraphSpec
+
+// Oracle kinds accepted by OracleSpec.Kind.
+const (
+	OracleKindLabel           = service.KindLabel
+	OracleKindHandshake       = service.KindHandshake
+	OracleKindHandshakeAgents = service.KindHandshakeAgents
+	OracleKindFault           = service.KindFault
+	OracleKindFaultAgents     = service.KindFaultAgents
+	OracleKindGraphIso        = service.KindGraphIso
+)
+
+// ServiceSnapshot is a collection's published answer: the partition at
+// the last flush plus the session cost that produced it.
+type ServiceSnapshot = service.Snapshot
+
+// StressConfig shapes a synthetic concurrent ingestion workload for
+// service benchmarking.
+type StressConfig = service.StressConfig
+
+// StressReport is the measured outcome of RunServiceStress.
+type StressReport = service.StressReport
+
+// RunServiceStress drives a fresh service with concurrent batched
+// ingestion, verifies every collection's final answer, and reports
+// wall-clock throughput.
+func RunServiceStress(cfg StressConfig) (StressReport, error) {
+	return service.RunStress(cfg)
 }
 
 //

@@ -1,0 +1,106 @@
+// Example service: run the sharded classification service in process,
+// ingest two collections — fault-diagnosis machines and secret-handshake
+// interns — over real HTTP, and read back classes, stats, and metrics.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"ecsort"
+)
+
+func main() {
+	svc := ecsort.NewService(ecsort.ServiceConfig{Shards: 4, BatchSize: 8})
+	defer svc.Close()
+
+	// Serve on an ephemeral localhost port, exactly as cmd/ecs-serve
+	// would.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	server := &http.Server{Handler: svc.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go server.Serve(ln)
+	defer server.Close()
+	base := "http://" + ln.Addr().String()
+
+	// Collection 1: a machine fleet with hidden worm-infection states.
+	must(request("PUT", base+"/v1/collections/fleet", ecsort.OracleSpec{
+		Kind:   ecsort.OracleKindFault,
+		States: []uint64{0b101, 0b101, 0b011, 0b000, 0b011, 0b101},
+	}))
+
+	// Collection 2: interns with secret group keys, every test a real
+	// HMAC challenge–response over an agent network.
+	must(request("PUT", base+"/v1/collections/interns", ecsort.OracleSpec{
+		Kind:   ecsort.OracleKindHandshakeAgents,
+		Labels: []int{0, 1, 1, 0, 2, 2, 0},
+		Seed:   2016,
+	}))
+
+	// Machines and interns come online in batches.
+	must(request("POST", base+"/v1/collections/fleet/items", map[string][]int{"items": {0, 1, 2}}))
+	must(request("POST", base+"/v1/collections/fleet/items", map[string][]int{"items": {3, 4, 5}}))
+	must(request("POST", base+"/v1/collections/interns/items", map[string][]int{"items": {0, 1, 2, 3, 4, 5, 6}}))
+
+	for _, key := range []string{"fleet", "interns"} {
+		body := must(request("GET", base+"/v1/collections/"+key+"/classes?fresh=1", nil))
+		var snap ecsort.ServiceSnapshot
+		if err := json.Unmarshal(body, &snap); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d classes %v — %d comparisons in %d rounds\n",
+			key, len(snap.Classes), snap.Classes, snap.Stats.Comparisons, snap.Stats.Rounds)
+	}
+
+	metrics := must(request("GET", base+"/metrics", nil))
+	fmt.Printf("\nmetrics excerpt:\n")
+	for _, line := range bytes.Split(metrics, []byte("\n")) {
+		if len(line) > 0 && line[0] != '#' {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+}
+
+// request performs one JSON API call and returns the response body.
+func request(method, url string, payload any) ([]byte, error) {
+	var body io.Reader
+	if payload != nil {
+		b, err := json.Marshal(payload)
+		if err != nil {
+			return nil, err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 400 {
+		return nil, fmt.Errorf("%s %s: %s: %s", method, url, resp.Status, out)
+	}
+	return out, nil
+}
+
+func must(b []byte, err error) []byte {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return b
+}

@@ -21,6 +21,7 @@ type Incremental struct {
 	answer  Answer
 	pending []Answer
 	seen    map[int]bool
+	flushes int
 }
 
 // NewIncremental creates an incremental sorter over the session's
@@ -65,6 +66,7 @@ func (inc *Incremental) Flush() error {
 	}
 	inc.answer = merged
 	inc.pending = nil
+	inc.flushes++
 	return nil
 }
 
@@ -98,6 +100,34 @@ func (inc *Incremental) ClassOf(e int) ([]int, error) {
 
 // Size returns how many elements have been added (buffered or merged).
 func (inc *Incremental) Size() int { return len(inc.seen) }
+
+// Has reports whether element e has already been added (buffered or
+// merged). Callers batching inserts can pre-validate a whole batch with
+// Has before committing any Add, keeping the batch atomic.
+func (inc *Incremental) Has(e int) bool { return inc.seen[e] }
+
+// Pending returns the number of buffered elements awaiting the next
+// Flush.
+func (inc *Incremental) Pending() int { return len(inc.pending) }
+
+// Flushes returns how many non-empty flushes have folded batches into
+// the answer — the number of compounding CR group rounds spent so far.
+func (inc *Incremental) Flushes() int { return inc.flushes }
+
+// Snapshot returns a deep copy of the classes merged so far, excluding
+// pending (unflushed) elements. It never triggers a flush, performs no
+// comparisons, and the returned slices share no memory with the sorter,
+// so a service can publish them to concurrent readers while ingestion
+// continues — the copy-on-flush pattern.
+func (inc *Incremental) Snapshot() [][]int {
+	out := make([][]int, len(inc.answer.Classes))
+	for i, cls := range inc.answer.Classes {
+		cp := make([]int, len(cls))
+		copy(cp, cls)
+		out[i] = cp
+	}
+	return out
+}
 
 // Stats exposes the underlying session's cost.
 func (inc *Incremental) Stats() model.Stats { return inc.session.Stats() }

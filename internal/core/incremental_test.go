@@ -161,3 +161,202 @@ func TestIncrementalEmptyFlush(t *testing.T) {
 		t.Fatalf("classes = %v, err = %v", classes, err)
 	}
 }
+
+// TestIncrementalEmptyFlushIsFree: flushing an empty pending buffer must
+// charge no comparisons, execute no rounds, and not count as a flush —
+// repeatedly, and also between batches.
+func TestIncrementalEmptyFlushIsFree(t *testing.T) {
+	truth := oracle.NewLabel([]int{0, 1, 0})
+	s := model.NewSession(truth, model.CR)
+	inc, _ := NewIncremental(s)
+	for i := 0; i < 3; i++ {
+		if err := inc.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := inc.Stats(); st.Comparisons != 0 || st.Rounds != 0 {
+		t.Fatalf("empty flushes charged cost: %+v", st)
+	}
+	if inc.Flushes() != 0 {
+		t.Fatalf("Flushes = %d after empty flushes", inc.Flushes())
+	}
+	for e := 0; e < 3; e++ {
+		if err := inc.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := inc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := inc.Stats()
+	if err := inc.Flush(); err != nil { // second flush: nothing pending
+		t.Fatal(err)
+	}
+	if inc.Stats() != st {
+		t.Fatalf("no-op flush changed stats: %+v -> %+v", st, inc.Stats())
+	}
+	if inc.Flushes() != 1 {
+		t.Fatalf("Flushes = %d, want 1", inc.Flushes())
+	}
+}
+
+// TestIncrementalDuplicateAfterFlush: duplicates are rejected whether the
+// element is still buffered or already merged, and the rejection charges
+// nothing.
+func TestIncrementalDuplicateAfterFlush(t *testing.T) {
+	truth := oracle.NewLabel([]int{0, 1, 0})
+	s := model.NewSession(truth, model.CR)
+	inc, _ := NewIncremental(s)
+	if err := inc.Add(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Add(1); err == nil {
+		t.Fatal("buffered duplicate accepted")
+	}
+	if err := inc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := inc.Stats()
+	if err := inc.Add(1); err == nil {
+		t.Fatal("merged duplicate accepted")
+	}
+	if inc.Stats() != st {
+		t.Fatalf("rejected Add changed stats: %+v -> %+v", st, inc.Stats())
+	}
+	if !inc.Has(1) || inc.Has(0) {
+		t.Fatalf("Has(1) = %v, Has(0) = %v", inc.Has(1), inc.Has(0))
+	}
+}
+
+// TestIncrementalQueryTriggeredFlush: Classes and ClassOf must fold the
+// pending buffer implicitly, exactly as an explicit Flush would.
+func TestIncrementalQueryTriggeredFlush(t *testing.T) {
+	truth := oracle.NewLabel([]int{0, 1, 0, 1})
+	s := model.NewSession(truth, model.CR)
+	inc, _ := NewIncremental(s)
+	for e := 0; e < 3; e++ {
+		if err := inc.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if inc.Pending() != 3 {
+		t.Fatalf("Pending = %d", inc.Pending())
+	}
+	classes, err := inc.Classes() // query triggers the flush
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != 2 || inc.Pending() != 0 || inc.Flushes() != 1 {
+		t.Fatalf("classes = %v, pending = %d, flushes = %d", classes, inc.Pending(), inc.Flushes())
+	}
+	if err := inc.Add(3); err != nil {
+		t.Fatal(err)
+	}
+	cls, err := inc.ClassOf(3) // ClassOf triggers the flush too
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cls) != 2 || inc.Pending() != 0 || inc.Flushes() != 2 {
+		t.Fatalf("ClassOf(3) = %v, pending = %d, flushes = %d", cls, inc.Pending(), inc.Flushes())
+	}
+}
+
+// TestIncrementalSnapshotExcludesPending: Snapshot is copy-on-flush —
+// it covers only merged elements, costs nothing, and the returned slices
+// are detached from the sorter.
+func TestIncrementalSnapshotExcludesPending(t *testing.T) {
+	truth := oracle.NewLabel([]int{0, 0, 1, 1})
+	s := model.NewSession(truth, model.CR)
+	inc, _ := NewIncremental(s)
+	if err := inc.Add(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Add(1); err != nil {
+		t.Fatal(err)
+	}
+	st := inc.Stats()
+	snap := inc.Snapshot()
+	if inc.Stats() != st {
+		t.Fatal("Snapshot charged comparisons")
+	}
+	if len(snap) != 1 || len(snap[0]) != 1 || snap[0][0] != 0 {
+		t.Fatalf("snapshot = %v, want [[0]] (pending 1 excluded)", snap)
+	}
+	snap[0][0] = 99 // mutating the copy must not corrupt the sorter
+	classes, err := inc.Classes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, cls := range classes {
+		for _, e := range cls {
+			if e == 0 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("sorter state corrupted through snapshot: %v", classes)
+	}
+}
+
+// TestIncrementalDeterministicReplay: for a fixed seed, an interleaved
+// insert/query schedule must replay to the identical partition AND the
+// identical comparison/round cost — the property the service's
+// single-writer shards rely on for reproducible accounting.
+func TestIncrementalDeterministicReplay(t *testing.T) {
+	run := func(seed int64) ([][]int, model.Stats) {
+		rng := rand.New(rand.NewSource(seed))
+		truth := oracle.RandomBalanced(80, 6, rng)
+		s := model.NewSession(truth, model.CR, model.Workers(1))
+		inc, err := NewIncremental(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, e := range rng.Perm(80) {
+			if err := inc.Add(e); err != nil {
+				t.Fatal(err)
+			}
+			switch i % 11 {
+			case 3:
+				if err := inc.Flush(); err != nil {
+					t.Fatal(err)
+				}
+			case 7:
+				if _, err := inc.Classes(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		classes, err := inc.Classes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return classes, inc.Stats()
+	}
+	const seed = 123
+	classesA, statsA := run(seed)
+	classesB, statsB := run(seed)
+	if statsA != statsB {
+		t.Fatalf("stats diverge on replay: %+v vs %+v", statsA, statsB)
+	}
+	ra := Result{Classes: classesA}
+	rb := Result{Classes: classesB}
+	canonA, canonB := ra.Canonical(), rb.Canonical()
+	if len(canonA) != len(canonB) {
+		t.Fatalf("class counts diverge: %d vs %d", len(canonA), len(canonB))
+	}
+	for i := range canonA {
+		if len(canonA[i]) != len(canonB[i]) {
+			t.Fatalf("class %d sizes diverge", i)
+		}
+		for j := range canonA[i] {
+			if canonA[i][j] != canonB[i][j] {
+				t.Fatalf("classes diverge at [%d][%d]", i, j)
+			}
+		}
+	}
+}

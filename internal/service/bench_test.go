@@ -1,0 +1,68 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkIngest measures end-to-end service ingestion throughput — the
+// CI smoke runs it with -benchtime 1x to catch pathological regressions
+// in the batch→flush→snapshot path. Sub-benchmarks vary the shard count
+// so contention effects show up on multi-core hardware.
+func BenchmarkIngest(b *testing.B) {
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := RunStress(StressConfig{
+					Collections: 2 * shards,
+					Elements:    512,
+					Classes:     8,
+					Batch:       64,
+					Writers:     4,
+					Seed:        int64(i),
+					Service:     Config{Shards: shards, BatchSize: 128},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rep.Verified {
+					b.Fatal("wrong partition under benchmark load")
+				}
+				b.ReportMetric(rep.ElementsPerSec, "elems/s")
+			}
+		})
+	}
+}
+
+// BenchmarkIngestSingleCollection isolates the per-batch cost on one
+// collection (no sharding win available): the compounding flush itself.
+func BenchmarkIngestSingleCollection(b *testing.B) {
+	labels := make([]int, 4096)
+	for i := range labels {
+		labels[i] = i % 16
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		svc := New(Config{Shards: 1, BatchSize: 256})
+		if err := svc.CreateCollection("bench", OracleSpec{Kind: KindLabel, Labels: labels}); err != nil {
+			b.Fatal(err)
+		}
+		for lo := 0; lo < len(labels); lo += 64 {
+			if _, err := svc.Ingest("bench", seq(lo, lo+64), false); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := svc.Classes("bench", true); err != nil {
+			b.Fatal(err)
+		}
+		svc.Close()
+	}
+}
+
+func seq(lo, hi int) []int {
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}

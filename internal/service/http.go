@@ -1,0 +1,227 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	PUT    /v1/collections/{key}         create a collection (body: OracleSpec)
+//	DELETE /v1/collections/{key}         drop a collection
+//	GET    /v1/collections               list collections
+//	POST   /v1/collections/{key}/items   batch add (body: {"items":[...]}; ?flush=1 forces a flush)
+//	GET    /v1/collections/{key}/classes current partition (?fresh=1 flushes first)
+//	GET    /v1/collections/{key}/stats   per-collection counters + snapshot
+//	GET    /healthz                      liveness
+//	GET    /metrics                      Prometheus-style text metrics
+//
+// All request and response bodies are JSON except /metrics.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/collections", s.handleList)
+	mux.HandleFunc("PUT /v1/collections/{key}", s.handleCreate)
+	mux.HandleFunc("DELETE /v1/collections/{key}", s.handleDrop)
+	mux.HandleFunc("POST /v1/collections/{key}/items", s.handleIngest)
+	mux.HandleFunc("GET /v1/collections/{key}/classes", s.handleClasses)
+	mux.HandleFunc("GET /v1/collections/{key}/stats", s.handleStats)
+	return mux
+}
+
+// ingestRequest is the POST items body.
+type ingestRequest struct {
+	Items []int `json:"items"`
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError maps service errors onto HTTP statuses.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrExists):
+		status = http.StatusConflict
+	case errors.Is(err, ErrBadItem), errors.Is(err, ErrBadSpec):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrClosed):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// decodeBody parses a JSON request body into v, rejecting unknown fields
+// so client typos fail loudly.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("service: bad request body: %w", err)
+	}
+	return nil
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": s.Uptime().Seconds(),
+		"shards":         len(s.shards),
+		"collections":    len(s.Collections()),
+	})
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"collections": s.Collections()})
+}
+
+func (s *Service) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var spec OracleSpec
+	if err := decodeBody(r, &spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	key := r.PathValue("key")
+	if err := s.CreateCollection(key, spec); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"key":      key,
+		"kind":     spec.Kind,
+		"universe": spec.N(),
+	})
+}
+
+func (s *Service) handleDrop(w http.ResponseWriter, r *http.Request) {
+	if err := s.DropCollection(r.PathValue("key")); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	force := boolParam(r, "flush")
+	res, err := s.Ingest(r.PathValue("key"), req.Items, force)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, res)
+}
+
+func (s *Service) handleClasses(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.Classes(r.PathValue("key"), boolParam(r, "fresh"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	info, err := s.CollectionStats(r.PathValue("key"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleMetrics renders Prometheus-style text metrics: service-wide
+// totals plus per-collection series, labeled by collection key. Each
+// collection's snapshot is loaded exactly once per scrape, so every
+// series of one collection comes from the same flush.
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var infos []CollectionInfo
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, c := range sh.cols {
+			infos = append(infos, c.info(true))
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Key < infos[j].Key })
+	var totalElems, totalPending, totalBatches, totalFlushes int64
+	for _, in := range infos {
+		totalElems += in.Ingested
+		totalPending += in.Pending
+		totalBatches += in.Batches
+		totalFlushes += in.Flushes
+	}
+	fmt.Fprintf(w, "# HELP ecsort_collections Number of live collections.\n")
+	fmt.Fprintf(w, "# TYPE ecsort_collections gauge\n")
+	fmt.Fprintf(w, "ecsort_collections %d\n", len(infos))
+	fmt.Fprintf(w, "# HELP ecsort_elements_ingested_total Elements accepted across all collections.\n")
+	fmt.Fprintf(w, "# TYPE ecsort_elements_ingested_total counter\n")
+	fmt.Fprintf(w, "ecsort_elements_ingested_total %d\n", totalElems)
+	fmt.Fprintf(w, "# HELP ecsort_elements_pending Buffered elements awaiting a flush.\n")
+	fmt.Fprintf(w, "# TYPE ecsort_elements_pending gauge\n")
+	fmt.Fprintf(w, "ecsort_elements_pending %d\n", totalPending)
+	fmt.Fprintf(w, "# HELP ecsort_batches_total Accepted ingest batches.\n")
+	fmt.Fprintf(w, "# TYPE ecsort_batches_total counter\n")
+	fmt.Fprintf(w, "ecsort_batches_total %d\n", totalBatches)
+	fmt.Fprintf(w, "# HELP ecsort_flushes_total Compounding flush rounds executed.\n")
+	fmt.Fprintf(w, "# TYPE ecsort_flushes_total counter\n")
+	fmt.Fprintf(w, "ecsort_flushes_total %d\n", totalFlushes)
+
+	// Per-collection gauges from the published snapshots (comparisons,
+	// rounds, widest round, class counts), never touching the writers.
+	fmt.Fprintf(w, "# HELP ecsort_collection_classes Classes in the published snapshot.\n")
+	fmt.Fprintf(w, "# TYPE ecsort_collection_classes gauge\n")
+	for _, in := range infos {
+		fmt.Fprintf(w, "ecsort_collection_classes{collection=%q} %d\n", in.Key, in.Classes)
+	}
+	for _, m := range []struct {
+		name, typ, help string
+		value           func(*Snapshot) int64
+	}{
+		{"ecsort_collection_comparisons_total", "counter", "Equivalence tests charged to the collection's session.",
+			func(sn *Snapshot) int64 { return sn.Stats.Comparisons }},
+		{"ecsort_collection_rounds_total", "counter", "Physical comparison rounds executed.",
+			func(sn *Snapshot) int64 { return int64(sn.Stats.Rounds) }},
+		{"ecsort_collection_max_round_size", "gauge", "Widest physical round so far.",
+			func(sn *Snapshot) int64 { return int64(sn.Stats.MaxRoundSize) }},
+		{"ecsort_collection_elements", "gauge", "Elements covered by the published snapshot.",
+			func(sn *Snapshot) int64 { return int64(sn.Size) }},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ)
+		for _, in := range infos {
+			fmt.Fprintf(w, "%s{collection=%q} %d\n", m.name, in.Key, m.value(in.Snapshot))
+		}
+	}
+}
+
+// boolParam interprets ?name=1 / true / yes (any case) as true.
+func boolParam(r *http.Request, name string) bool {
+	switch strings.ToLower(r.URL.Query().Get(name)) {
+	case "1", "true", "yes", "on":
+		return true
+	}
+	return false
+}

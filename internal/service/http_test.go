@@ -1,0 +1,237 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"ecsort/internal/core"
+	"ecsort/internal/model"
+	"ecsort/internal/oracle"
+)
+
+// call performs one JSON request against the test server and decodes the
+// response into out (when non-nil), returning the status code.
+func call(t *testing.T, client *http.Client, method, url string, payload, out any) int {
+	t.Helper()
+	var body io.Reader
+	if payload != nil {
+		b, err := json.Marshal(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("%s %s: decode %q: %v", method, url, raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestHTTPIntegration is the acceptance check: the service ingests two
+// concurrent batched collections over HTTP, and GET /classes returns the
+// same partition a batch SortCR run produces on the union of the
+// inserted elements.
+func TestHTTPIntegration(t *testing.T) {
+	svc := New(Config{Shards: 4, BatchSize: 10})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	const n = 120
+	rng := rand.New(rand.NewSource(7))
+	truthA := oracle.RandomBalanced(n, 5, rng)
+	statesB := make([]uint64, n)
+	for i := range statesB {
+		statesB[i] = uint64(rng.Intn(6))
+	}
+	truthB := oracle.NewFault(statesB)
+
+	if code := call(t, client, "PUT", ts.URL+"/v1/collections/alpha",
+		OracleSpec{Kind: KindLabel, Labels: truthA.Labels()}, nil); code != http.StatusCreated {
+		t.Fatalf("create alpha: %d", code)
+	}
+	if code := call(t, client, "PUT", ts.URL+"/v1/collections/beta",
+		OracleSpec{Kind: KindFault, States: statesB}, nil); code != http.StatusCreated {
+		t.Fatalf("create beta: %d", code)
+	}
+
+	// Two clients ingest both collections concurrently, in batches of 7.
+	var wg sync.WaitGroup
+	for ci, key := range []string{"alpha", "beta"} {
+		wg.Add(1)
+		go func(ci int, key string) {
+			defer wg.Done()
+			order := rand.New(rand.NewSource(int64(ci))).Perm(n)
+			for lo := 0; lo < n; lo += 7 {
+				hi := min(lo+7, n)
+				var res IngestResult
+				code := call(t, client, "POST", ts.URL+"/v1/collections/"+key+"/items",
+					map[string][]int{"items": order[lo:hi]}, &res)
+				if code != http.StatusAccepted || res.Accepted != hi-lo {
+					t.Errorf("%s batch [%d,%d): code %d, res %+v", key, lo, hi, code, res)
+					return
+				}
+			}
+		}(ci, key)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	for key, truth := range map[string]model.Oracle{"alpha": truthA, "beta": truthB} {
+		var snap Snapshot
+		if code := call(t, client, "GET", ts.URL+"/v1/collections/"+key+"/classes?fresh=1", nil, &snap); code != http.StatusOK {
+			t.Fatalf("classes %s: %d", key, code)
+		}
+		if snap.Size != n {
+			t.Fatalf("%s: snapshot covers %d of %d elements", key, snap.Size, n)
+		}
+		batch, err := core.SortCR(model.NewSession(truth, model.CR), 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := core.Result{Classes: snap.Classes}
+		if !core.SameClassification(got.Labels(n), batch.Labels(n)) {
+			t.Fatalf("%s: HTTP partition differs from batch SortCR", key)
+		}
+	}
+
+	// Stats and metrics reflect the ingestion.
+	var info CollectionInfo
+	if code := call(t, client, "GET", ts.URL+"/v1/collections/alpha/stats", nil, &info); code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	if info.Ingested != n || info.Pending != 0 || info.Classes != 5 {
+		t.Fatalf("alpha info = %+v", info)
+	}
+	resp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"ecsort_collections 2",
+		fmt.Sprintf("ecsort_elements_ingested_total %d", 2*n),
+		`ecsort_collection_classes{collection="alpha"} 5`,
+		`ecsort_collection_comparisons_total{collection="beta"}`,
+		`ecsort_collection_max_round_size{collection="alpha"}`,
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+func TestHTTPStatusCodes(t *testing.T) {
+	svc := New(Config{Shards: 1})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	spec := OracleSpec{Kind: KindLabel, Labels: []int{0, 1}}
+	if code := call(t, client, "PUT", ts.URL+"/v1/collections/a", spec, nil); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	if code := call(t, client, "PUT", ts.URL+"/v1/collections/a", spec, nil); code != http.StatusConflict {
+		t.Fatalf("duplicate create: %d", code)
+	}
+	if code := call(t, client, "PUT", ts.URL+"/v1/collections/b",
+		OracleSpec{Kind: "bogus", Labels: []int{0}}, nil); code != http.StatusBadRequest {
+		t.Fatalf("bogus spec: %d, want 400", code)
+	}
+	if code := call(t, client, "PUT", ts.URL+"/v1/collections/c",
+		OracleSpec{Kind: KindGraphIso, Graphs: []GraphSpec{{N: 2, Edges: [][2]int{{0, 5}}}}}, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad graph spec: %d, want 400", code)
+	}
+	if code := call(t, client, "POST", ts.URL+"/v1/collections/missing/items",
+		map[string][]int{"items": {0}}, nil); code != http.StatusNotFound {
+		t.Fatalf("ingest missing: %d", code)
+	}
+	if code := call(t, client, "POST", ts.URL+"/v1/collections/a/items",
+		map[string][]int{"items": {0, 7}}, nil); code != http.StatusBadRequest {
+		t.Fatalf("out-of-range item: %d", code)
+	}
+	if code := call(t, client, "POST", ts.URL+"/v1/collections/a/items",
+		map[string]string{"wrong": "shape"}, nil); code != http.StatusBadRequest {
+		t.Fatalf("malformed body: %d", code)
+	}
+	if code := call(t, client, "GET", ts.URL+"/v1/collections/missing/classes", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("classes missing: %d", code)
+	}
+	if code := call(t, client, "DELETE", ts.URL+"/v1/collections/a", nil, nil); code != http.StatusNoContent {
+		t.Fatalf("delete: %d", code)
+	}
+	if code := call(t, client, "DELETE", ts.URL+"/v1/collections/a", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("double delete: %d", code)
+	}
+
+	var health map[string]any
+	if code := call(t, client, "GET", ts.URL+"/healthz", nil, &health); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	if health["status"] != "ok" {
+		t.Fatalf("health = %v", health)
+	}
+}
+
+// TestHTTPGraphIsoCollection drives the graph-mining application over
+// the wire: permuted copies classify together via fresh reads.
+func TestHTTPGraphIsoCollection(t *testing.T) {
+	svc := New(Config{Shards: 2})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	graphs := []GraphSpec{
+		{N: 4, Edges: [][2]int{{0, 1}, {1, 2}, {2, 3}}},         // path
+		{N: 4, Edges: [][2]int{{3, 2}, {2, 1}, {1, 0}}},         // path, relabeled
+		{N: 4, Edges: [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}}, // cycle
+		{N: 4, Edges: [][2]int{{0, 2}, {2, 1}, {1, 3}, {3, 0}}}, // cycle, relabeled
+		{N: 4, Edges: [][2]int{{0, 1}, {0, 2}, {0, 3}}},         // star
+	}
+	if code := call(t, client, "PUT", ts.URL+"/v1/collections/g",
+		OracleSpec{Kind: KindGraphIso, Graphs: graphs}, nil); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	if code := call(t, client, "POST", ts.URL+"/v1/collections/g/items",
+		map[string][]int{"items": {0, 1, 2, 3, 4}}, nil); code != http.StatusAccepted {
+		t.Fatalf("ingest: %d", code)
+	}
+	var snap Snapshot
+	if code := call(t, client, "GET", ts.URL+"/v1/collections/g/classes?fresh=1", nil, &snap); code != http.StatusOK {
+		t.Fatalf("classes: %d", code)
+	}
+	got := core.Result{Classes: snap.Classes}
+	want := core.Result{Classes: [][]int{{0, 1}, {2, 3}, {4}}}
+	if !core.SameClassification(got.Labels(5), want.Labels(5)) {
+		t.Fatalf("graph classes = %v", snap.Classes)
+	}
+}

@@ -1,0 +1,506 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ecsort/internal/core"
+	"ecsort/internal/model"
+)
+
+// Errors reported by the service API. The HTTP layer maps them to status
+// codes.
+var (
+	// ErrClosed is returned once Close has been called.
+	ErrClosed = errors.New("service: closed")
+	// ErrNotFound is returned for operations on a collection that does
+	// not exist.
+	ErrNotFound = errors.New("service: collection not found")
+	// ErrExists is returned when creating a collection whose key is
+	// taken.
+	ErrExists = errors.New("service: collection already exists")
+	// ErrBadItem is returned when an ingest batch contains an
+	// out-of-range or duplicate element; the whole batch is rejected.
+	ErrBadItem = errors.New("service: bad item")
+	// ErrBadSpec is returned when a collection spec fails validation
+	// (unknown kind, empty universe, malformed graphs, empty key).
+	ErrBadSpec = errors.New("service: bad spec")
+)
+
+// Config tunes a Service. The zero value is ready to use.
+type Config struct {
+	// Shards is the number of independent single-writer goroutines
+	// collections are hashed across. 0 means 8.
+	Shards int
+	// BatchSize is the pending-element threshold that triggers a flush
+	// during ingestion. 0 flushes after every ingest call (one
+	// compounding round per HTTP batch); larger values accumulate across
+	// calls and amortize further, at the cost of staler snapshots.
+	BatchSize int
+	// FlushInterval, when positive, bounds snapshot staleness: each
+	// shard flushes its dirty collections at this period even if no
+	// batch fills up.
+	FlushInterval time.Duration
+	// Processors caps comparisons per physical round in each
+	// collection's session (Valiant's p); 0 means n.
+	Processors int
+	// Workers is the per-round goroutine count of each collection's
+	// session; 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (c Config) shards() int {
+	if c.Shards <= 0 {
+		return 8
+	}
+	return c.Shards
+}
+
+// Snapshot is an immutable view of a collection published at its last
+// flush. Readers get the snapshot without touching the writer goroutine,
+// so queries never block ingestion.
+type Snapshot struct {
+	// Version counts flushes; it increments each time a new snapshot is
+	// published.
+	Version int64 `json:"version"`
+	// Classes is the partition of all flushed elements, members sorted
+	// ascending, classes ordered by smallest member.
+	Classes [][]int `json:"classes"`
+	// Size is the number of elements covered by Classes.
+	Size int `json:"size"`
+	// Stats is the session cost at publish time.
+	Stats model.Stats `json:"stats"`
+}
+
+// numClasses is a convenience for metrics.
+func (s *Snapshot) numClasses() int { return len(s.Classes) }
+
+// CollectionInfo reports a collection's identity and counters for the
+// stats endpoint.
+type CollectionInfo struct {
+	Key string `json:"key"`
+	// Kind is the oracle kind behind the collection.
+	Kind string `json:"kind"`
+	// Universe is the oracle's element count (insertable ids are
+	// 0..Universe-1).
+	Universe int `json:"universe"`
+	// Ingested counts elements accepted so far (flushed or pending).
+	Ingested int64 `json:"ingested"`
+	// Pending counts buffered elements not yet folded into a snapshot.
+	Pending int64 `json:"pending"`
+	// Batches counts accepted ingest calls.
+	Batches int64 `json:"batches"`
+	// Flushes counts compounding rounds spent (snapshot publications).
+	Flushes int64 `json:"flushes"`
+	// Classes is the class count of the current snapshot.
+	Classes int `json:"classes"`
+	// Snapshot is the current published answer.
+	Snapshot *Snapshot `json:"snapshot,omitempty"`
+}
+
+// IngestResult summarizes one accepted batch.
+type IngestResult struct {
+	// Accepted is the number of elements buffered by this call.
+	Accepted int `json:"accepted"`
+	// Pending is the buffer size after the call (0 if it flushed).
+	Pending int `json:"pending"`
+	// Flushed reports whether this call folded the buffer into the
+	// answer and published a new snapshot.
+	Flushed bool `json:"flushed"`
+	// Version is the snapshot version after the call.
+	Version int64 `json:"version"`
+}
+
+// collection is one keyed namespace: an incremental sorter plus its
+// published snapshot. The inc and session fields are owned by the shard
+// goroutine; snap and the atomic counters are shared with readers.
+type collection struct {
+	key  string
+	spec OracleSpec
+	inc  *core.Incremental
+
+	snap     atomic.Pointer[Snapshot]
+	ingested atomic.Int64
+	pending  atomic.Int64
+	batches  atomic.Int64
+	flushes  atomic.Int64
+}
+
+// publish rebuilds the snapshot from the sorter. Shard goroutine only.
+func (c *collection) publish() {
+	classes := c.inc.Snapshot()
+	size := 0
+	for _, cls := range classes {
+		sort.Ints(cls)
+		size += len(cls)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i][0] < classes[j][0] })
+	c.snap.Store(&Snapshot{
+		Version: int64(c.inc.Flushes()),
+		Classes: classes,
+		Size:    size,
+		Stats:   c.inc.Stats(),
+	})
+	c.pending.Store(int64(c.inc.Pending()))
+	c.flushes.Store(int64(c.inc.Flushes()))
+}
+
+func (c *collection) info(withSnapshot bool) CollectionInfo {
+	snap := c.snap.Load()
+	info := CollectionInfo{
+		Key:      c.key,
+		Kind:     c.spec.Kind,
+		Universe: c.spec.N(),
+		Ingested: c.ingested.Load(),
+		Pending:  c.pending.Load(),
+		Batches:  c.batches.Load(),
+		Flushes:  c.flushes.Load(),
+		Classes:  snap.numClasses(),
+	}
+	if withSnapshot {
+		info.Snapshot = snap
+	}
+	return info
+}
+
+// op is one unit of work executed by a shard's writer goroutine.
+type op struct {
+	fn   func() error
+	done chan error
+}
+
+// shard owns a disjoint set of collections behind one writer goroutine:
+// every mutation of a collection's sorter runs on that goroutine,
+// serialized by the ops channel, so sorters need no locks and batches
+// from concurrent clients interleave at batch (not element) granularity.
+type shard struct {
+	ops  chan op
+	quit chan struct{}
+
+	mu   sync.RWMutex // guards cols (lookups come from reader goroutines)
+	cols map[string]*collection
+
+	// dirty tracks collections with unflushed pending elements, for the
+	// FlushInterval ticker. Shard goroutine only.
+	dirty map[*collection]struct{}
+}
+
+// Service is the sharded classification engine. Create one with New,
+// serve it over HTTP with Handler, and Close it when done.
+type Service struct {
+	cfg    Config
+	shards []*shard
+	start  time.Time
+
+	closeMu sync.RWMutex // write-held by Close; read-held around ops sends
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// New starts a service with cfg.shards() writer goroutines.
+func New(cfg Config) *Service {
+	s := &Service{cfg: cfg, start: time.Now()}
+	s.shards = make([]*shard, cfg.shards())
+	for i := range s.shards {
+		sh := &shard{
+			ops:   make(chan op, 64),
+			quit:  make(chan struct{}),
+			cols:  make(map[string]*collection),
+			dirty: make(map[*collection]struct{}),
+		}
+		s.shards[i] = sh
+		s.wg.Add(1)
+		go s.runShard(sh)
+	}
+	return s
+}
+
+// runShard is the single-writer loop of one shard.
+func (s *Service) runShard(sh *shard) {
+	defer s.wg.Done()
+	var tick <-chan time.Time
+	if s.cfg.FlushInterval > 0 {
+		t := time.NewTicker(s.cfg.FlushInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case o := <-sh.ops:
+			o.done <- o.fn()
+		case <-tick:
+			for c := range sh.dirty {
+				if err := c.inc.Flush(); err != nil {
+					// An oracle/session failure here has no caller to
+					// report to; leave the collection dirty and let the
+					// next synchronous op surface the error.
+					continue
+				}
+				c.publish()
+				delete(sh.dirty, c)
+			}
+		case <-sh.quit:
+			// Reject anything that raced past the closed check.
+			for {
+				select {
+				case o := <-sh.ops:
+					o.done <- ErrClosed
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// do runs fn on the shard's writer goroutine and waits for it.
+func (s *Service) do(sh *shard, fn func() error) error {
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		return ErrClosed
+	}
+	o := op{fn: fn, done: make(chan error, 1)}
+	sh.ops <- o
+	s.closeMu.RUnlock()
+	return <-o.done
+}
+
+// Close stops all shard goroutines. The operation a shard is currently
+// executing completes; operations still queued (and all subsequent
+// calls) may be rejected with ErrClosed.
+func (s *Service) Close() {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return
+	}
+	s.closed = true
+	for _, sh := range s.shards {
+		close(sh.quit)
+	}
+	s.closeMu.Unlock()
+	s.wg.Wait()
+}
+
+// shardOf hashes a collection key onto its shard. The modulo happens in
+// uint32 space: converting the hash to int first would go negative for
+// half of all keys on 32-bit platforms.
+func (s *Service) shardOf(key string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return s.shards[int(h.Sum32()%uint32(len(s.shards)))]
+}
+
+// lookup finds an existing collection.
+func (sh *shard) lookup(key string) (*collection, error) {
+	sh.mu.RLock()
+	c, ok := sh.cols[key]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return c, nil
+}
+
+// CreateCollection registers key with the given oracle spec. The oracle
+// is built eagerly so spec errors surface here, not during ingestion.
+func (s *Service) CreateCollection(key string, spec OracleSpec) error {
+	if key == "" {
+		return fmt.Errorf("%w: empty collection key", ErrBadSpec)
+	}
+	o, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	var opts []model.Option
+	if s.cfg.Processors > 0 {
+		opts = append(opts, model.Processors(s.cfg.Processors))
+	}
+	if s.cfg.Workers > 0 {
+		opts = append(opts, model.Workers(s.cfg.Workers))
+	}
+	inc, err := core.NewIncremental(model.NewSession(o, model.CR, opts...))
+	if err != nil {
+		return err
+	}
+	sh := s.shardOf(key)
+	return s.do(sh, func() error {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		if _, ok := sh.cols[key]; ok {
+			return fmt.Errorf("%w: %q", ErrExists, key)
+		}
+		c := &collection{key: key, spec: spec, inc: inc}
+		c.snap.Store(&Snapshot{Classes: [][]int{}})
+		sh.cols[key] = c
+		return nil
+	})
+}
+
+// DropCollection removes key and its state.
+func (s *Service) DropCollection(key string) error {
+	sh := s.shardOf(key)
+	return s.do(sh, func() error {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		c, ok := sh.cols[key]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrNotFound, key)
+		}
+		delete(sh.cols, key)
+		delete(sh.dirty, c)
+		return nil
+	})
+}
+
+// Ingest buffers a batch of element ids into key's collection and flushes
+// per the batching policy (always when forceFlush is set, when the
+// pending buffer reaches Config.BatchSize, or — with BatchSize 0 — at the
+// end of every call). The batch is atomic: if any item is out of range or
+// already present, nothing is added and ErrBadItem is returned.
+func (s *Service) Ingest(key string, items []int, forceFlush bool) (IngestResult, error) {
+	sh := s.shardOf(key)
+	c, err := sh.lookup(key)
+	if err != nil {
+		return IngestResult{}, err
+	}
+	var res IngestResult
+	err = s.do(sh, func() error {
+		// Revalidate on the writer goroutine: a concurrent drop (or
+		// drop-and-recreate) between lookup and execution must not let
+		// writes land on an orphaned sorter and report success.
+		if cur, lookupErr := sh.lookup(key); lookupErr != nil {
+			return lookupErr
+		} else if cur != c {
+			return fmt.Errorf("%w: %q was recreated mid-ingest", ErrNotFound, key)
+		}
+		n := c.spec.N()
+		inBatch := make(map[int]struct{}, len(items))
+		for _, e := range items {
+			if e < 0 || e >= n {
+				return fmt.Errorf("%w: element %d out of range [0,%d)", ErrBadItem, e, n)
+			}
+			if _, dup := inBatch[e]; dup {
+				return fmt.Errorf("%w: element %d appears twice in batch", ErrBadItem, e)
+			}
+			if c.inc.Has(e) {
+				return fmt.Errorf("%w: element %d already ingested", ErrBadItem, e)
+			}
+			inBatch[e] = struct{}{}
+		}
+		for _, e := range items {
+			if err := c.inc.Add(e); err != nil {
+				// Unreachable after pre-validation; Add only rejects
+				// out-of-range and duplicate elements.
+				return err
+			}
+		}
+		c.ingested.Add(int64(len(items)))
+		c.batches.Add(1)
+		res.Accepted = len(items)
+		flush := forceFlush || s.cfg.BatchSize <= 0 || c.inc.Pending() >= s.cfg.BatchSize
+		if flush && c.inc.Pending() > 0 {
+			if err := c.inc.Flush(); err != nil {
+				return err
+			}
+			c.publish()
+			delete(sh.dirty, c)
+			res.Flushed = true
+		} else if c.inc.Pending() > 0 {
+			c.pending.Store(int64(c.inc.Pending()))
+			sh.dirty[c] = struct{}{}
+		}
+		res.Pending = c.inc.Pending()
+		res.Version = c.snap.Load().Version
+		return nil
+	})
+	if err != nil {
+		return IngestResult{}, err
+	}
+	return res, nil
+}
+
+// Flush folds key's pending buffer immediately and publishes a fresh
+// snapshot.
+func (s *Service) Flush(key string) (*Snapshot, error) {
+	sh := s.shardOf(key)
+	c, err := sh.lookup(key)
+	if err != nil {
+		return nil, err
+	}
+	var snap *Snapshot
+	err = s.do(sh, func() error {
+		if cur, lookupErr := sh.lookup(key); lookupErr != nil {
+			return lookupErr
+		} else if cur != c {
+			return fmt.Errorf("%w: %q was recreated mid-flush", ErrNotFound, key)
+		}
+		if c.inc.Pending() == 0 {
+			// Nothing buffered: the published snapshot is already
+			// current, so skip the O(n) rebuild a republish would cost.
+			snap = c.snap.Load()
+			return nil
+		}
+		if err := c.inc.Flush(); err != nil {
+			return err
+		}
+		c.publish()
+		delete(sh.dirty, c)
+		snap = c.snap.Load()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// Classes returns key's answer. With fresh=false it is the published
+// snapshot — a lock-free atomic load that never waits on the writer.
+// With fresh=true the call routes through the shard goroutine, flushing
+// pending elements first, so it reflects every ingest accepted before it.
+func (s *Service) Classes(key string, fresh bool) (*Snapshot, error) {
+	if fresh {
+		return s.Flush(key)
+	}
+	sh := s.shardOf(key)
+	c, err := sh.lookup(key)
+	if err != nil {
+		return nil, err
+	}
+	return c.snap.Load(), nil
+}
+
+// CollectionStats returns key's counters plus its current snapshot.
+func (s *Service) CollectionStats(key string) (CollectionInfo, error) {
+	sh := s.shardOf(key)
+	c, err := sh.lookup(key)
+	if err != nil {
+		return CollectionInfo{}, err
+	}
+	return c.info(true), nil
+}
+
+// Collections lists every collection's counters (no snapshots), sorted
+// by key.
+func (s *Service) Collections() []CollectionInfo {
+	var out []CollectionInfo
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, c := range sh.cols {
+			out = append(out, c.info(false))
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Uptime reports how long the service has been running.
+func (s *Service) Uptime() time.Duration { return time.Since(s.start) }

@@ -1,0 +1,156 @@
+// Package service exposes the incremental equivalence class sorter as a
+// long-running classification service: named collections, each owning a
+// core.Incremental session over a pluggable oracle, sharded across
+// independent single-writer goroutines so ingestion for different
+// collections never contends. Batched inserts are folded with one
+// compounding CR group round per flush, and answers are served from
+// copy-on-flush snapshots so reads never block writes.
+//
+// The HTTP layer in this package (Handler) is a thin JSON mapping over
+// the Go API (CreateCollection / Ingest / Classes / CollectionStats);
+// cmd/ecs-serve wires it to a net/http server.
+package service
+
+import (
+	"fmt"
+
+	"ecsort/internal/agents"
+	"ecsort/internal/model"
+	"ecsort/internal/oracle"
+)
+
+// Oracle kinds accepted by OracleSpec.Kind, covering the paper's three
+// applications plus the plain reference oracle.
+const (
+	// KindLabel is the reference oracle: Labels[i] defines element i's
+	// class, each test a slice lookup.
+	KindLabel = "label"
+	// KindHandshake runs an in-process HMAC challenge–response secret
+	// handshake per test (oracle.Handshake); group membership from Labels.
+	KindHandshake = "handshake"
+	// KindHandshakeAgents routes every test through a two-goroutine
+	// message-passing protocol session on an agents.Network of key agents
+	// — the distributed reality of the secret-handshake application.
+	KindHandshakeAgents = "handshake-agents"
+	// KindFault is generalized fault diagnosis over worm-infection
+	// bitmasks (States).
+	KindFault = "fault"
+	// KindFaultAgents is fault diagnosis over an agents.Network of state
+	// agents comparing salted digests.
+	KindFaultAgents = "fault-agents"
+	// KindGraphIso classifies Graphs by isomorphism with cached canonical
+	// certificates.
+	KindGraphIso = "graph-iso"
+)
+
+// GraphSpec is the wire form of one small simple undirected graph for
+// KindGraphIso collections.
+type GraphSpec struct {
+	// N is the vertex count; vertices are 0..N-1.
+	N int `json:"n"`
+	// Edges lists undirected edges as [u, v] pairs, no loops, no
+	// duplicates.
+	Edges [][2]int `json:"edges,omitempty"`
+}
+
+// OracleSpec declares the ground-truth oracle behind a collection. Kind
+// selects the application; exactly one of Labels / States / Graphs must
+// be populated, matching the kind. The universe of insertable elements
+// is 0..N-1 where N is the length of that field.
+type OracleSpec struct {
+	Kind string `json:"kind"`
+	// Labels drives KindLabel, KindHandshake, and KindHandshakeAgents.
+	Labels []int `json:"labels,omitempty"`
+	// States drives KindFault and KindFaultAgents.
+	States []uint64 `json:"states,omitempty"`
+	// Graphs drives KindGraphIso.
+	Graphs []GraphSpec `json:"graphs,omitempty"`
+	// Seed feeds key derivation for the handshake kinds.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// N returns the universe size the spec defines.
+func (sp OracleSpec) N() int {
+	switch sp.Kind {
+	case KindFault, KindFaultAgents:
+		return len(sp.States)
+	case KindGraphIso:
+		return len(sp.Graphs)
+	default:
+		return len(sp.Labels)
+	}
+}
+
+// Build validates the spec and constructs its oracle. The returned
+// oracle is safe for concurrent use, as model.Oracle requires.
+func (sp OracleSpec) Build() (model.Oracle, error) {
+	if sp.N() == 0 {
+		return nil, fmt.Errorf("%w: kind %q defines an empty universe", ErrBadSpec, sp.Kind)
+	}
+	switch sp.Kind {
+	case KindLabel:
+		if len(sp.Labels) == 0 {
+			return nil, fmt.Errorf("%w: kind %q requires labels", ErrBadSpec, sp.Kind)
+		}
+		return oracle.NewLabel(sp.Labels), nil
+	case KindHandshake:
+		if len(sp.Labels) == 0 {
+			return nil, fmt.Errorf("%w: kind %q requires labels", ErrBadSpec, sp.Kind)
+		}
+		return oracle.NewHandshake(sp.Labels, sp.Seed), nil
+	case KindHandshakeAgents:
+		if len(sp.Labels) == 0 {
+			return nil, fmt.Errorf("%w: kind %q requires labels", ErrBadSpec, sp.Kind)
+		}
+		return agents.NewNetwork(agents.GroupKeys(sp.Labels, sp.Seed)), nil
+	case KindFault:
+		if len(sp.States) == 0 {
+			return nil, fmt.Errorf("%w: kind %q requires states", ErrBadSpec, sp.Kind)
+		}
+		return oracle.NewFault(sp.States), nil
+	case KindFaultAgents:
+		if len(sp.States) == 0 {
+			return nil, fmt.Errorf("%w: kind %q requires states", ErrBadSpec, sp.Kind)
+		}
+		return agents.NewNetwork(agents.StateRoster(sp.States)), nil
+	case KindGraphIso:
+		if len(sp.Graphs) == 0 {
+			return nil, fmt.Errorf("%w: kind %q requires graphs", ErrBadSpec, sp.Kind)
+		}
+		graphs := make([]*oracle.Graph, len(sp.Graphs))
+		for i, gs := range sp.Graphs {
+			g, err := gs.build()
+			if err != nil {
+				return nil, fmt.Errorf("%w: graph %d: %v", ErrBadSpec, i, err)
+			}
+			graphs[i] = g
+		}
+		return oracle.NewGraphIsoCached(graphs), nil
+	default:
+		return nil, fmt.Errorf("%w: unknown oracle kind %q", ErrBadSpec, sp.Kind)
+	}
+}
+
+// build validates and constructs one graph. Validation happens here, at
+// the service boundary, because oracle.Graph treats malformed edges as
+// caller bugs and panics.
+func (gs GraphSpec) build() (*oracle.Graph, error) {
+	if gs.N < 0 {
+		return nil, fmt.Errorf("negative vertex count %d", gs.N)
+	}
+	g := oracle.NewGraph(gs.N)
+	for _, e := range gs.Edges {
+		u, v := e[0], e[1]
+		if u < 0 || u >= gs.N || v < 0 || v >= gs.N {
+			return nil, fmt.Errorf("edge (%d,%d) out of range [0,%d)", u, v, gs.N)
+		}
+		if u == v {
+			return nil, fmt.Errorf("self-loop at vertex %d", u)
+		}
+		if g.HasEdge(u, v) {
+			return nil, fmt.Errorf("duplicate edge (%d,%d)", u, v)
+		}
+		g.AddEdge(u, v)
+	}
+	return g, nil
+}

@@ -1,0 +1,180 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"ecsort/internal/core"
+)
+
+// StressConfig shapes a synthetic ingestion workload: Writers concurrent
+// clients streaming batched inserts into Collections independent
+// label-oracle collections, hashed across the service's shards.
+type StressConfig struct {
+	// Collections is the number of independent collections. 0 means 8.
+	Collections int
+	// Elements is the universe size per collection. 0 means 2048.
+	Elements int
+	// Classes is the class count per collection. 0 means 16.
+	Classes int
+	// Batch is the number of elements per ingest call. 0 means 64.
+	Batch int
+	// Writers is the number of concurrent client goroutines. 0 means 4.
+	Writers int
+	// Seed drives the synthetic labels and ingestion order.
+	Seed int64
+	// Service tunes the service under test.
+	Service Config
+}
+
+func (c *StressConfig) setDefaults() {
+	if c.Collections <= 0 {
+		c.Collections = 8
+	}
+	if c.Elements <= 0 {
+		c.Elements = 2048
+	}
+	if c.Classes <= 0 {
+		c.Classes = 16
+	}
+	if c.Batch <= 0 {
+		c.Batch = 64
+	}
+	if c.Writers <= 0 {
+		c.Writers = 4
+	}
+}
+
+// StressReport is the outcome of one RunStress drive: the first
+// service-level throughput numbers of the bench trajectory.
+type StressReport struct {
+	Config      StressConfig  `json:"config"`
+	Elapsed     time.Duration `json:"elapsed"`
+	Elements    int64         `json:"elements"`
+	Batches     int64         `json:"batches"`
+	Flushes     int64         `json:"flushes"`
+	Comparisons int64         `json:"comparisons"`
+	Rounds      int64         `json:"rounds"`
+	// ElementsPerSec is ingestion throughput end to end: buffered,
+	// flushed, and snapshot-published.
+	ElementsPerSec float64 `json:"elements_per_sec"`
+	BatchesPerSec  float64 `json:"batches_per_sec"`
+	// Verified reports that every collection's final fresh classes
+	// matched its ground-truth partition.
+	Verified bool `json:"verified"`
+}
+
+// RunStress creates a fresh Service, drives it with cfg's concurrent
+// batched workload, verifies every collection's final answer against
+// ground truth, and reports throughput. Each writer goroutine works
+// through a disjoint slice of the collections so batch streams for one
+// collection stay ordered while different collections contend only at
+// the shard level — the scaling claim this harness exists to measure.
+func RunStress(cfg StressConfig) (StressReport, error) {
+	cfg.setDefaults()
+	svc := New(cfg.Service)
+	defer svc.Close()
+
+	type job struct {
+		key    string
+		labels []int
+		order  []int
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	jobs := make([]job, cfg.Collections)
+	for i := range jobs {
+		labels := make([]int, cfg.Elements)
+		for e := range labels {
+			labels[e] = rng.Intn(cfg.Classes)
+		}
+		jobs[i] = job{
+			key:    fmt.Sprintf("stress-%03d", i),
+			labels: labels,
+			order:  rng.Perm(cfg.Elements),
+		}
+		if err := svc.CreateCollection(jobs[i].key, OracleSpec{Kind: KindLabel, Labels: labels}); err != nil {
+			return StressReport{}, err
+		}
+	}
+
+	errCh := make(chan error, cfg.Writers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(jobs); i += cfg.Writers {
+				j := jobs[i]
+				for lo := 0; lo < len(j.order); lo += cfg.Batch {
+					hi := min(lo+cfg.Batch, len(j.order))
+					if _, err := svc.Ingest(j.key, j.order[lo:hi], false); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return StressReport{}, err
+	default:
+	}
+
+	rep := StressReport{Config: cfg, Elapsed: elapsed, Verified: true}
+	for _, j := range jobs {
+		snap, err := svc.Classes(j.key, true)
+		if err != nil {
+			return StressReport{}, err
+		}
+		// Full coverage first — a partition over a subset of the
+		// ingested elements must not count as verified — then the exact
+		// class structure against ground truth.
+		got := core.Result{Classes: snap.Classes}
+		if snap.Size != cfg.Elements || !core.SameClassification(got.Labels(cfg.Elements), j.labels) {
+			rep.Verified = false
+		}
+		rep.Comparisons += snap.Stats.Comparisons
+		rep.Rounds += int64(snap.Stats.Rounds)
+		info, err := svc.CollectionStats(j.key)
+		if err != nil {
+			return StressReport{}, err
+		}
+		rep.Elements += info.Ingested
+		rep.Batches += info.Batches
+		rep.Flushes += info.Flushes
+	}
+	secs := elapsed.Seconds()
+	if secs > 0 {
+		rep.ElementsPerSec = float64(rep.Elements) / secs
+		rep.BatchesPerSec = float64(rep.Batches) / secs
+	}
+	return rep, nil
+}
+
+// WriteStressReport renders rep as an aligned text block for the
+// experiments CLI.
+func WriteStressReport(w io.Writer, rep StressReport) error {
+	cfg := rep.Config
+	_, err := fmt.Fprintf(w, `service ingestion stress
+  workload:    %d collections × %d elements (%d classes), batch %d, %d writers, %d shards
+  elapsed:     %v
+  ingested:    %d elements in %d batches (%d flushes)
+  throughput:  %.0f elements/s, %.0f batches/s
+  model cost:  %d comparisons in %d rounds
+  verified:    %v
+`,
+		cfg.Collections, cfg.Elements, cfg.Classes, cfg.Batch, cfg.Writers, cfg.Service.shards(),
+		rep.Elapsed.Round(time.Millisecond),
+		rep.Elements, rep.Batches, rep.Flushes,
+		rep.ElementsPerSec, rep.BatchesPerSec,
+		rep.Comparisons, rep.Rounds,
+		rep.Verified)
+	return err
+}

@@ -1,0 +1,183 @@
+// Command ecs-benchcmp compares `go test -bench` output against the
+// repo's tracked baseline (BENCH_baseline.json) and emits a markdown
+// table, so every CI run shows the perf trajectory of the flush/merge
+// hot path as a build artifact.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... -benchmem ./... | tee bench.txt
+//	go run ./cmd/ecs-benchcmp -baseline BENCH_baseline.json bench.txt [more.txt...]
+//
+// By default the tool is informational and always exits 0: one-shot CI
+// bench runs are too noisy for ns/op gating. Pass -max-alloc-regress to
+// fail when any benchmark's allocs/op (which is deterministic) exceeds
+// its baseline by more than the given factor.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type entry struct {
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+type baseline struct {
+	Note       string           `json:"note"`
+	Recorded   string           `json:"recorded"`
+	Benchmarks map[string]entry `json:"benchmarks"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "tracked baseline JSON")
+	maxAllocRegress := flag.Float64("max-alloc-regress", 0,
+		"fail when allocs/op exceeds baseline by more than this factor (0 = never fail)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: ecs-benchcmp [-baseline file] bench-output.txt...")
+		os.Exit(2)
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("parse %s: %w", *baselinePath, err))
+	}
+
+	current := map[string]entry{}
+	var order []string
+	for _, path := range flag.Args() {
+		if err := parseBenchFile(path, current, &order); err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Printf("## Benchmark comparison vs baseline (%s)\n\n", base.Recorded)
+	fmt.Println("| benchmark | ns/op | baseline ns/op | Δ ns/op | allocs/op | baseline allocs/op | Δ allocs/op |")
+	fmt.Println("|---|---:|---:|---:|---:|---:|---:|")
+	for _, name := range order {
+		cur := current[name]
+		b, tracked := base.Benchmarks[name]
+		if !tracked {
+			fmt.Printf("| %s | %s | — | (untracked) | %s | — | (untracked) |\n",
+				name, fmtNum(cur.NsOp), fmtNum(cur.AllocsOp))
+			continue
+		}
+		fmt.Printf("| %s | %s | %s | %s | %s | %s | %s |\n",
+			name,
+			fmtNum(cur.NsOp), fmtNum(b.NsOp), delta(cur.NsOp, b.NsOp),
+			fmtNum(cur.AllocsOp), fmtNum(b.AllocsOp), delta(cur.AllocsOp, b.AllocsOp))
+	}
+	for name := range base.Benchmarks {
+		if _, ok := current[name]; !ok {
+			fmt.Printf("| %s | (not run) | %s | — | (not run) | %s | — |\n",
+				name, fmtNum(base.Benchmarks[name].NsOp), fmtNum(base.Benchmarks[name].AllocsOp))
+		}
+	}
+	fmt.Println()
+	fmt.Println("ns/op on shared CI runners is indicative only; allocs/op is deterministic.")
+
+	if *maxAllocRegress > 0 {
+		failed := false
+		for _, name := range order {
+			cur, b := current[name], base.Benchmarks[name]
+			if b.AllocsOp > 0 && cur.AllocsOp > b.AllocsOp*(*maxAllocRegress) {
+				fmt.Fprintf(os.Stderr, "FAIL: %s allocs/op %.0f > %.1f x baseline %.0f\n",
+					name, cur.AllocsOp, *maxAllocRegress, b.AllocsOp)
+				failed = true
+			}
+		}
+		// A tracked benchmark that silently stopped running (renamed, or
+		// a CI -bench regex typo) would otherwise disable its gate.
+		for name := range base.Benchmarks {
+			if _, ok := current[name]; !ok {
+				fmt.Fprintf(os.Stderr, "FAIL: tracked benchmark %s missing from the run (renamed? -bench regex?)\n", name)
+				failed = true
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+	}
+}
+
+// parseBenchFile extracts "BenchmarkX  N  v ns/op [v B/op] [v allocs/op]"
+// lines, normalizing away the -GOMAXPROCS suffix.
+func parseBenchFile(path string, out map[string]entry, order *[]string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := normalizeName(fields[0])
+		var e entry
+		// Walk (value, unit) pairs after the iteration count.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				e.NsOp = v
+			case "allocs/op":
+				e.AllocsOp = v
+			}
+		}
+		if e.NsOp == 0 {
+			continue
+		}
+		if _, seen := out[name]; !seen {
+			*order = append(*order, name)
+		}
+		out[name] = e
+	}
+	return sc.Err()
+}
+
+// normalizeName strips the trailing -N GOMAXPROCS suffix go test appends
+// on multi-core machines, so names match the baseline keys everywhere.
+func normalizeName(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func fmtNum(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 1, 64)
+}
+
+func delta(cur, base float64) string {
+	if base == 0 {
+		return "—"
+	}
+	d := (cur - base) / base * 100
+	return fmt.Sprintf("%+.1f%%", d)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ecs-benchcmp:", err)
+	os.Exit(1)
+}

@@ -14,6 +14,7 @@
 //	curl -X PUT  localhost:8080/v1/collections/demo -d '{"kind":"label","labels":[0,1,0,1,2]}'
 //	curl -X POST localhost:8080/v1/collections/demo/items -d '{"items":[0,1,2,3,4]}'
 //	curl localhost:8080/v1/collections/demo/classes?fresh=1
+//	curl localhost:8080/v1/collections/demo/classes/3
 //	curl localhost:8080/v1/collections/demo/stats
 //	curl localhost:8080/metrics
 package main

@@ -282,8 +282,15 @@ const (
 )
 
 // ServiceSnapshot is a collection's published answer: the partition at
-// the last flush plus the session cost that produced it.
+// the last flush plus the session cost that produced it. Snapshots are
+// flat underneath — one backing array plus an element→class index — so
+// publication is a pair of memmoves and ClassIndexOf is an O(1) lookup.
 type ServiceSnapshot = service.Snapshot
+
+// ServiceClassView is one element's class as served from a collection
+// snapshot: the payload of the service's O(1) ClassOf point lookup
+// (GET /v1/collections/{key}/classes/{element}).
+type ServiceClassView = service.ClassView
 
 // StressConfig shapes a synthetic concurrent ingestion workload for
 // service benchmarking.

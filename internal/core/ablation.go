@@ -27,15 +27,15 @@ func SortCRPairwiseOnly(s *model.Session, k int) (Result, error) {
 	if n == 0 {
 		return Result{Stats: s.Stats()}, nil
 	}
-	answers := Singletons(n)
+	ar, answers := newCRArena(n)
 	for len(answers) > 1 {
-		next, err := mergePairsCR(s, answers)
+		next, err := mergePairsCR(s, ar, answers)
 		if err != nil {
 			return Result{}, err
 		}
 		answers = next
 	}
-	return Result{Classes: answers[0].Classes, Stats: s.Stats()}, nil
+	return Result{Classes: answers[0].Classes(), Stats: s.Stats()}, nil
 }
 
 // SortCREagerGroups is SortCR with phase 1 disabled: it jumps straight to
@@ -55,7 +55,7 @@ func SortCREagerGroups(s *model.Session, k int) (Result, error) {
 		return Result{Stats: s.Stats()}, nil
 	}
 	p := n
-	answers := Singletons(n)
+	ar, answers := newCRArena(n)
 	for len(answers) > 1 {
 		c := p / (len(answers) * k * k)
 		if c < 2 {
@@ -65,11 +65,11 @@ func SortCREagerGroups(s *model.Session, k int) (Result, error) {
 		if g > len(answers) {
 			g = len(answers)
 		}
-		next, err := mergeGroupsCR(s, answers, g)
+		next, err := mergeGroupsCR(s, ar, answers, g)
 		if err != nil {
 			return Result{}, err
 		}
 		answers = next
 	}
-	return Result{Classes: answers[0].Classes, Stats: s.Stats()}, nil
+	return Result{Classes: answers[0].Classes(), Stats: s.Stats()}, nil
 }

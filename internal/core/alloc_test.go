@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ecsort/internal/model"
+	"ecsort/internal/oracle"
+)
+
+// Allocation regression guards for the flat merge engine. The map-keyed
+// engine these bounds replaced spent 213 allocs per MergeGroupCR of 24
+// answers and ~8.7k allocs per 128-element flush; the flat engine's
+// steady state is the output answer's backing (MergeGroupCR) and
+// amortized pool growth (Flush). Workers(1) keeps the session off the
+// goroutine-spawning execute path, which allocates by nature.
+
+func TestMergeGroupCRAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	truth := oracle.RandomBalanced(512, 8, rand.New(rand.NewSource(31)))
+	s := model.NewSession(truth, model.CR, model.Workers(1))
+	ar, answers := newCRArena(512)
+	for len(answers) > 24 {
+		next, err := mergePairsCR(s, ar, answers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		answers = next
+	}
+	// Copy out of the arena: the benchmark group must survive arena reuse.
+	group := make([]Answer, len(answers))
+	for i, a := range answers {
+		group[i] = NewAnswer(a.Classes())
+	}
+	if _, err := MergeGroupCR(s, group); err != nil { // warm the scratch pool
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := MergeGroupCR(s, group); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Steady state: the merged answer's elems+offs plus pool jitter.
+	if allocs > 8 {
+		t.Errorf("MergeGroupCR steady state = %v allocs/op, want <= 8 (was 213 before the flat engine)", allocs)
+	}
+}
+
+func TestIncrementalFlushAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	truth := oracle.RandomBalanced(1<<16, 8, rand.New(rand.NewSource(33)))
+	s := model.NewSession(truth, model.CR, model.Workers(1))
+	inc, err := NewIncremental(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := 0
+	add := func(count int) {
+		for i := 0; i < count; i++ {
+			if err := inc.Add(next); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+	}
+	add(2048) // reach steady state: all 8 classes discovered, pools warm
+	if err := inc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		add(128)
+		if err := inc.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Steady state is zero; allow amortized doubling of the answer pools.
+	if allocs > 4 {
+		t.Errorf("Add*128+Flush steady state = %v allocs/op, want <= 4 (was ~8.7k before the flat engine)", allocs)
+	}
+}

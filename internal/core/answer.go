@@ -7,217 +7,167 @@
 // (Section 4), and a naive sequential baseline.
 package core
 
-import (
-	"fmt"
-
-	"ecsort/internal/model"
-)
+import "ecsort/internal/model"
 
 // Answer is a complete equivalence class sorting answer for a subset of
 // the elements: a partition of that subset into its equivalence classes.
 // Classes within one answer are mutually known-unequal, so merging two
 // answers only requires comparing class representatives pairwise — at most
 // k² tests — which is the engine of the compounding-comparison technique.
+//
+// Storage is flat: one backing slice of elements grouped by class plus a
+// class-offset table, so an answer of any shape is at most two
+// allocations, classes are contiguous in memory, and the merge engine can
+// copy whole answers with memmove instead of per-class slice churn. An
+// Answer is immutable once built; answers produced by the merge engine
+// may share backing arrays with an arena, so treat values as read-only
+// views.
 type Answer struct {
-	// Classes holds the element indices of each class. Every class is
-	// non-empty; Classes[i][0] serves as the class representative.
-	Classes [][]int
+	// elems holds the covered elements grouped by class: class i occupies
+	// elems[offs[i]:offs[i+1]], and its first member is the class
+	// representative.
+	elems []int
+	// offs has K+1 entries with offs[0] == 0; nil for the empty answer.
+	offs []int
+}
+
+// singletonOffs is the shared offset table of every single-element
+// answer. It is read-only by the Answer immutability contract, so all
+// singleton views alias it instead of allocating.
+var singletonOffs = []int{0, 1}
+
+// NewAnswer builds an answer from explicit classes, copying them into
+// flat storage. Intended for tests and answer construction at the edges;
+// the merge engine builds flat storage directly.
+func NewAnswer(classes [][]int) Answer {
+	size := 0
+	for _, c := range classes {
+		size += len(c)
+	}
+	if size == 0 && len(classes) == 0 {
+		return Answer{}
+	}
+	a := Answer{
+		elems: make([]int, 0, size),
+		offs:  make([]int, 1, len(classes)+1),
+	}
+	for _, c := range classes {
+		a.elems = append(a.elems, c...)
+		a.offs = append(a.offs, len(a.elems))
+	}
+	return a
 }
 
 // Singleton returns the trivial answer for the single element e.
 func Singleton(e int) Answer {
-	return Answer{Classes: [][]int{{e}}}
+	return Answer{elems: []int{e}, offs: singletonOffs}
 }
 
 // Singletons returns the initial answer list: one singleton answer per
-// element 0..n-1 (step 1 of the Theorem 1 algorithm).
+// element 0..n-1 (step 1 of the Theorem 1 algorithm). All answers are
+// views into one shared backing array, so setup is two allocations
+// instead of 2n.
 func Singletons(n int) []Answer {
+	pool := make([]int, n)
 	answers := make([]Answer, n)
 	for i := range answers {
-		answers[i] = Singleton(i)
+		pool[i] = i
+		answers[i] = Answer{elems: pool[i : i+1 : i+1], offs: singletonOffs}
 	}
 	return answers
 }
 
 // K returns the number of classes in the answer.
-func (a Answer) K() int { return len(a.Classes) }
-
-// Size returns the number of elements covered by the answer.
-func (a Answer) Size() int {
-	s := 0
-	for _, c := range a.Classes {
-		s += len(c)
+func (a Answer) K() int {
+	if len(a.offs) == 0 {
+		return 0
 	}
-	return s
+	return len(a.offs) - 1
 }
 
+// Size returns the number of elements covered by the answer.
+func (a Answer) Size() int { return len(a.elems) }
+
+// Class returns the members of class i as a read-only view into the
+// answer's backing array. Class i's first member is its representative.
+func (a Answer) Class(i int) []int { return a.elems[a.offs[i]:a.offs[i+1]] }
+
+// Rep returns the representative element of class i (its first member).
+func (a Answer) Rep(i int) int { return a.elems[a.offs[i]] }
+
 // Reps returns the representative element of each class (the first
-// member).
+// member). The slice is freshly allocated; hot paths use Rep directly.
 func (a Answer) Reps() []int {
-	reps := make([]int, len(a.Classes))
-	for i, c := range a.Classes {
-		reps[i] = c[0]
+	reps := make([]int, a.K())
+	for i := range reps {
+		reps[i] = a.Rep(i)
 	}
 	return reps
 }
 
-// Elements returns all elements covered by the answer, class by class.
+// Elements returns all elements covered by the answer, class by class, as
+// a fresh slice.
 func (a Answer) Elements() []int {
-	out := make([]int, 0, a.Size())
-	for _, c := range a.Classes {
-		out = append(out, c...)
+	out := make([]int, len(a.elems))
+	copy(out, a.elems)
+	return out
+}
+
+// Classes materializes the partition as [][]int. The classes are views
+// into one freshly copied backing array (two allocations total), sharing
+// no memory with the answer, so callers may hold the result across arena
+// reuse.
+func (a Answer) Classes() [][]int {
+	k := a.K()
+	if k == 0 {
+		return nil
+	}
+	backing := make([]int, len(a.elems))
+	copy(backing, a.elems)
+	out := make([][]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = backing[a.offs[i]:a.offs[i+1]:a.offs[i+1]]
 	}
 	return out
 }
 
-// merge combines answers according to an equality relation on their
-// classes, given as a list of matched (class of a, class of b) index
-// pairs. Unmatched classes carry over unchanged.
+// Flat returns the answer's backing element slice and offset table as
+// read-only views: class i occupies elems[offs[i]:offs[i+1]]. offs is nil
+// for the empty answer. Snapshot publishers use this to copy a whole
+// partition with two memmoves.
+func (a Answer) Flat() (elems, offs []int) { return a.elems, a.offs }
+
+// mergeMatched combines answers according to an equality relation on
+// their classes, given as a list of matched (class of a, class of b)
+// index pairs: a's classes in order, each extended by its matched b class
+// if any, then b's unmatched classes. Used by the ER pair-merge plan.
 func mergeMatched(a, b Answer, matches []model.Pair) Answer {
-	out := Answer{Classes: make([][]int, 0, a.K()+b.K())}
-	usedB := make([]bool, b.K())
-	matchOf := make([]int, a.K())
+	ka, kb := a.K(), b.K()
+	matchOf := make([]int, ka)
 	for i := range matchOf {
 		matchOf[i] = -1
 	}
+	usedB := make([]bool, kb)
 	for _, m := range matches {
 		matchOf[m.A] = m.B
 		usedB[m.B] = true
 	}
-	for i, cls := range a.Classes {
-		merged := cls
+	out := Answer{
+		elems: make([]int, 0, a.Size()+b.Size()),
+		offs:  make([]int, 1, ka+kb+1),
+	}
+	for i := 0; i < ka; i++ {
+		out.elems = append(out.elems, a.Class(i)...)
 		if j := matchOf[i]; j >= 0 {
-			merged = append(append(make([]int, 0, len(cls)+len(b.Classes[j])), cls...), b.Classes[j]...)
+			out.elems = append(out.elems, b.Class(j)...)
 		}
-		out.Classes = append(out.Classes, merged)
+		out.offs = append(out.offs, len(out.elems))
 	}
-	for j, cls := range b.Classes {
+	for j := 0; j < kb; j++ {
 		if !usedB[j] {
-			out.Classes = append(out.Classes, cls)
+			out.elems = append(out.elems, b.Class(j)...)
+			out.offs = append(out.offs, len(out.elems))
 		}
-	}
-	return out
-}
-
-// MergePairCR merges two answers in the CR model with one logical round of
-// K(a)·K(b) concurrent representative tests. The session splits the round
-// if it exceeds the processor budget.
-func MergePairCR(s *model.Session, a, b Answer) (Answer, error) {
-	if s.Mode() != model.CR {
-		return Answer{}, fmt.Errorf("core: MergePairCR requires a CR session, got %v", s.Mode())
-	}
-	ra, rb := a.Reps(), b.Reps()
-	pairs := make([]model.Pair, 0, len(ra)*len(rb))
-	for _, x := range ra {
-		for _, y := range rb {
-			pairs = append(pairs, model.Pair{A: x, B: y})
-		}
-	}
-	res, err := s.Round(pairs)
-	if err != nil {
-		return Answer{}, err
-	}
-	var matches []model.Pair
-	for idx, eq := range res {
-		if eq {
-			matches = append(matches, model.Pair{A: idx / len(rb), B: idx % len(rb)})
-		}
-	}
-	return mergeMatched(a, b, matches), nil
-}
-
-// crossPairs enumerates the representative tests needed to merge a group
-// of answers in the CR model: one test per (class of answer u, class of
-// answer v) pair over all u < v.
-func crossPairs(group []Answer) []model.Pair {
-	total := 0
-	for u := 0; u < len(group); u++ {
-		for v := u + 1; v < len(group); v++ {
-			total += group[u].K() * group[v].K()
-		}
-	}
-	pairs := make([]model.Pair, 0, total)
-	for u := 0; u < len(group); u++ {
-		ru := group[u].Reps()
-		for v := u + 1; v < len(group); v++ {
-			rv := group[v].Reps()
-			for _, x := range ru {
-				for _, y := range rv {
-					pairs = append(pairs, model.Pair{A: x, B: y})
-				}
-			}
-		}
-	}
-	return pairs
-}
-
-// MergeGroupCR merges a whole group of answers in the CR model with one
-// logical round containing every cross-answer representative test — the
-// compounding step of phase 2 of the Theorem 1 algorithm. Matching classes
-// are united transitively.
-func MergeGroupCR(s *model.Session, group []Answer) (Answer, error) {
-	switch len(group) {
-	case 0:
-		return Answer{}, fmt.Errorf("core: MergeGroupCR of empty group")
-	case 1:
-		return group[0], nil
-	}
-	if s.Mode() != model.CR {
-		return Answer{}, fmt.Errorf("core: MergeGroupCR requires a CR session, got %v", s.Mode())
-	}
-	pairs := crossPairs(group)
-	res, err := s.Round(pairs)
-	if err != nil {
-		return Answer{}, err
-	}
-	return uniteGroup(group, pairs, res), nil
-}
-
-// uniteGroup folds equality results over a group of answers into a single
-// answer, using a tiny union-find over (answer, class) slots keyed by the
-// class representative element.
-func uniteGroup(group []Answer, pairs []model.Pair, res []bool) Answer {
-	// Map representative element -> slot index.
-	type slot struct{ members []int }
-	repSlot := make(map[int]int)
-	slots := make([]slot, 0)
-	parent := make([]int, 0)
-	for _, ans := range group {
-		for _, cls := range ans.Classes {
-			repSlot[cls[0]] = len(slots)
-			slots = append(slots, slot{members: cls})
-			parent = append(parent, len(parent))
-		}
-	}
-	var find func(int) int
-	find = func(x int) int {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]]
-			x = parent[x]
-		}
-		return x
-	}
-	for i, eq := range res {
-		if !eq {
-			continue
-		}
-		ra, rb := find(repSlot[pairs[i].A]), find(repSlot[pairs[i].B])
-		if ra != rb {
-			parent[rb] = ra
-		}
-	}
-	merged := make(map[int][]int)
-	var order []int
-	for i := range slots {
-		r := find(i)
-		if _, ok := merged[r]; !ok {
-			order = append(order, r)
-		}
-		merged[r] = append(merged[r], slots[i].members...)
-	}
-	out := Answer{Classes: make([][]int, 0, len(order))}
-	for _, r := range order {
-		out.Classes = append(out.Classes, merged[r])
 	}
 	return out
 }
@@ -268,11 +218,11 @@ func newPairPlan(a, b Answer) *pairPlan {
 		matchedB: make([]bool, b.K()),
 		classOf:  make(map[int]int, a.K()+b.K()),
 	}
-	for i, cls := range p.a.Classes {
-		p.classOf[cls[0]] = i
+	for i := 0; i < p.a.K(); i++ {
+		p.classOf[p.a.Rep(i)] = i
 	}
-	for j, cls := range p.b.Classes {
-		p.classOf[cls[0]] = j
+	for j := 0; j < p.b.K(); j++ {
+		p.classOf[p.b.Rep(j)] = j
 	}
 	return p
 }
@@ -289,7 +239,7 @@ func (p *pairPlan) next() []model.Pair {
 			if p.matchedA[i] || p.matchedB[j] {
 				continue
 			}
-			pairs = append(pairs, model.Pair{A: p.a.Classes[i][0], B: p.b.Classes[j][0]})
+			pairs = append(pairs, model.Pair{A: p.a.Rep(i), B: p.b.Rep(j)})
 		}
 		if len(pairs) > 0 {
 			p.r++

@@ -16,14 +16,14 @@ func TestSingletons(t *testing.T) {
 		t.Fatalf("answers = %d", len(answers))
 	}
 	for i, a := range answers {
-		if a.K() != 1 || a.Size() != 1 || a.Classes[0][0] != i {
+		if a.K() != 1 || a.Size() != 1 || a.Class(0)[0] != i {
 			t.Fatalf("answer %d = %+v", i, a)
 		}
 	}
 }
 
 func TestAnswerAccessors(t *testing.T) {
-	a := Answer{Classes: [][]int{{4, 7}, {1}, {2, 3, 5}}}
+	a := NewAnswer([][]int{{4, 7}, {1}, {2, 3, 5}})
 	if a.K() != 3 || a.Size() != 6 {
 		t.Fatalf("K=%d Size=%d", a.K(), a.Size())
 	}
@@ -31,8 +31,20 @@ func TestAnswerAccessors(t *testing.T) {
 	if reps[0] != 4 || reps[1] != 1 || reps[2] != 2 {
 		t.Fatalf("reps = %v", reps)
 	}
+	if a.Rep(2) != 2 || len(a.Class(2)) != 3 {
+		t.Fatalf("class 2 = %v", a.Class(2))
+	}
 	if len(a.Elements()) != 6 {
 		t.Fatalf("elements = %v", a.Elements())
+	}
+	classes := a.Classes()
+	if len(classes) != 3 || classes[2][1] != 3 {
+		t.Fatalf("classes = %v", classes)
+	}
+	// Classes copies: mutating the materialized view must not touch a.
+	classes[0][0] = 99
+	if a.Rep(0) != 4 {
+		t.Fatal("Classes aliases the answer's backing")
 	}
 }
 
@@ -47,11 +59,11 @@ func buildAnswer(elems []int, labels []int) Answer {
 		}
 		byClass[l] = append(byClass[l], e)
 	}
-	var a Answer
+	classes := make([][]int, 0, len(order))
 	for _, l := range order {
-		a.Classes = append(a.Classes, byClass[l])
+		classes = append(classes, byClass[l])
 	}
-	return a
+	return NewAnswer(classes)
 }
 
 // answerMatchesTruth checks an answer is the exact classification of its
@@ -59,7 +71,7 @@ func buildAnswer(elems []int, labels []int) Answer {
 func answerMatchesTruth(a Answer, labels []int) bool {
 	seen := map[int]bool{}
 	classOfLabel := map[int]int{}
-	for ci, cls := range a.Classes {
+	for ci, cls := range a.Classes() {
 		if len(cls) == 0 {
 			return false
 		}
@@ -190,7 +202,7 @@ func TestMergeGroupCR(t *testing.T) {
 }
 
 func TestMergeGroupCRSingle(t *testing.T) {
-	a := Answer{Classes: [][]int{{0}}}
+	a := NewAnswer([][]int{{0}})
 	s := model.NewSession(oracle.NewLabel([]int{0}), model.CR)
 	out, err := MergeGroupCR(s, []Answer{a})
 	if err != nil || out.K() != 1 {

@@ -25,6 +25,50 @@ func benchSorter(b *testing.B, mode model.Mode, n, k int,
 	}
 }
 
+// BenchmarkSortCR is the tracked-baseline benchmark of the full Theorem 1
+// sort (see BENCH_baseline.json and the CI bench smoke): one fixed shape,
+// with allocation accounting, so the flat merge engine's ns/op and
+// allocs/op trajectory is comparable across PRs. Workers(1) keeps the
+// session off the goroutine-spawning parallel execute path, whose alloc
+// count would vary with the runner's core count.
+func BenchmarkSortCR(b *testing.B) {
+	const n, k = 4096, 8
+	truth := oracle.RandomBalanced(n, k, rand.New(rand.NewSource(7)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SortCR(model.NewSession(truth, model.CR, model.Workers(1)), k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMergeGroup is the tracked-baseline benchmark of one compounding
+// group merge — the phase 2 step every flush and sort funnels through.
+func BenchmarkMergeGroup(b *testing.B) {
+	truth := oracle.RandomBalanced(512, 8, rand.New(rand.NewSource(31)))
+	s := model.NewSession(truth, model.CR, model.Workers(1))
+	ar, answers := newCRArena(512)
+	for len(answers) > 24 {
+		next, err := mergePairsCR(s, ar, answers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		answers = next
+	}
+	group := make([]Answer, len(answers))
+	for i, a := range answers {
+		group[i] = NewAnswer(a.Classes())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MergeGroupCR(s, group); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkSortCREngine(b *testing.B) {
 	for _, n := range []int{1 << 10, 1 << 13, 1 << 16} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {

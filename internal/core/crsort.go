@@ -25,6 +25,10 @@ import (
 // k must be the true number of classes or an upper bound on it; the output
 // is correct for any k ≥ 1 (k only steers the phase switch and hence the
 // round count). The session must be in CR mode.
+//
+// One merge arena serves the whole sort: level outputs double-buffer
+// between two flat pools sized by n, so after the first level no
+// per-merge or per-pair allocation happens.
 func SortCR(s *model.Session, k int) (Result, error) {
 	if s.Mode() != model.CR {
 		return Result{}, fmt.Errorf("core: SortCR requires a CR session, got %v", s.Mode())
@@ -37,11 +41,11 @@ func SortCR(s *model.Session, k int) (Result, error) {
 		return Result{Stats: s.Stats()}, nil
 	}
 	p := n // the model grants one processor per element
-	answers := Singletons(n)
+	ar, answers := newCRArena(n)
 
 	// Phase 1: pairwise merges until each answer owns >= 4k² processors.
 	for len(answers) > 1 && p/len(answers) < 4*k*k {
-		next, err := mergePairsCR(s, answers)
+		next, err := mergePairsCR(s, ar, answers)
 		if err != nil {
 			return Result{}, err
 		}
@@ -58,56 +62,11 @@ func SortCR(s *model.Session, k int) (Result, error) {
 		if g > len(answers) {
 			g = len(answers)
 		}
-		next, err := mergeGroupsCR(s, answers, g)
+		next, err := mergeGroupsCR(s, ar, answers, g)
 		if err != nil {
 			return Result{}, err
 		}
 		answers = next
 	}
-	return Result{Classes: answers[0].Classes, Stats: s.Stats()}, nil
-}
-
-// mergePairsCR merges answers two at a time — (0,1), (2,3), ... — with all
-// tests of the iteration batched into one logical round, mirroring that
-// the merges happen simultaneously on disjoint processor groups.
-func mergePairsCR(s *model.Session, answers []Answer) ([]Answer, error) {
-	return mergeGroupsCR(s, answers, 2)
-}
-
-// mergeGroupsCR partitions answers into consecutive groups of size g and
-// merges each group, batching every group's cross tests into one logical
-// round. A trailing group smaller than g (possibly a single answer) is
-// merged or carried over as-is.
-func mergeGroupsCR(s *model.Session, answers []Answer, g int) ([]Answer, error) {
-	if g < 2 {
-		return nil, fmt.Errorf("core: group size %d < 2", g)
-	}
-	type groupSpan struct {
-		group    []Answer
-		lo, hi   int // half-open span of the batch owned by this group
-		groupIdx int
-	}
-	var batch []model.Pair
-	var spans []groupSpan
-	next := make([]Answer, 0, (len(answers)+g-1)/g)
-	for start := 0; start < len(answers); start += g {
-		end := min(start+g, len(answers))
-		group := answers[start:end]
-		if len(group) == 1 {
-			next = append(next, group[0])
-			continue
-		}
-		lo := len(batch)
-		batch = append(batch, crossPairs(group)...)
-		spans = append(spans, groupSpan{group: group, lo: lo, hi: len(batch), groupIdx: len(next)})
-		next = append(next, Answer{}) // placeholder, filled after execution
-	}
-	res, err := s.Round(batch)
-	if err != nil {
-		return nil, err
-	}
-	for _, sp := range spans {
-		next[sp.groupIdx] = uniteGroup(sp.group, batch[sp.lo:sp.hi], res[sp.lo:sp.hi])
-	}
-	return next, nil
+	return Result{Classes: answers[0].Classes(), Stats: s.Stats()}, nil
 }

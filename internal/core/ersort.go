@@ -32,7 +32,7 @@ func SortER(s *model.Session) (Result, error) {
 		}
 		answers = merged
 	}
-	return Result{Classes: answers[0].Classes, Stats: s.Stats()}, nil
+	return Result{Classes: answers[0].Classes(), Stats: s.Stats()}, nil
 }
 
 // mergeLevelER merges answers pairwise — (0,1), (2,3), ... — sharing

@@ -29,7 +29,7 @@ func SortCRUnknownK(s *model.Session) (Result, error) {
 		return Result{Stats: s.Stats()}, nil
 	}
 	p := n
-	answers := Singletons(n)
+	ar, answers := newCRArena(n)
 	kObs := 1
 
 	observe := func() {
@@ -42,7 +42,7 @@ func SortCRUnknownK(s *model.Session) (Result, error) {
 
 	// Phase 1 with the adaptive threshold 4·kObs².
 	for len(answers) > 1 && p/len(answers) < 4*kObs*kObs {
-		next, err := mergePairsCR(s, answers)
+		next, err := mergePairsCR(s, ar, answers)
 		if err != nil {
 			return Result{}, err
 		}
@@ -59,7 +59,7 @@ func SortCRUnknownK(s *model.Session) (Result, error) {
 		if g > len(answers) {
 			g = len(answers)
 		}
-		next, err := mergeGroupsCR(s, answers, g)
+		next, err := mergeGroupsCR(s, ar, answers, g)
 		if err != nil {
 			return Result{}, err
 		}
@@ -69,7 +69,7 @@ func SortCRUnknownK(s *model.Session) (Result, error) {
 		// (c ≥ 2); if so, fall back to pairwise merging until processors
 		// per answer catch up again.
 		for len(answers) > 1 && p/len(answers) < 4*kObs*kObs {
-			next, err := mergePairsCR(s, answers)
+			next, err := mergePairsCR(s, ar, answers)
 			if err != nil {
 				return Result{}, err
 			}
@@ -77,7 +77,7 @@ func SortCRUnknownK(s *model.Session) (Result, error) {
 			observe()
 		}
 	}
-	return Result{Classes: answers[0].Classes, Stats: s.Stats()}, nil
+	return Result{Classes: answers[0].Classes(), Stats: s.Stats()}, nil
 }
 
 // AdaptiveConstRoundConfig configures SortConstRoundERAdaptive.

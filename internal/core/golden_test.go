@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"testing"
+
+	"ecsort/internal/model"
+	"ecsort/internal/oracle"
+)
+
+// The golden tests freeze the merge engine's observable semantics: for
+// fixed seeds, every algorithm must charge exactly the same comparisons,
+// physical rounds, and widest round, and emit exactly the same partition,
+// as the reference implementation did before the flat-storage rewrite
+// (the map-keyed engine of PR ≤ 2). Any refactor of the hot path must
+// keep these numbers bit-for-bit — layout and allocation discipline may
+// change, the model-level accounting may not.
+
+// partitionFingerprint hashes the canonical form of a partition.
+func partitionFingerprint(classes [][]int) uint64 {
+	r := Result{Classes: classes}
+	h := fnv.New64a()
+	for _, cls := range r.Canonical() {
+		for _, e := range cls {
+			fmt.Fprintf(h, "%d,", e)
+		}
+		fmt.Fprintf(h, ";")
+	}
+	return h.Sum64()
+}
+
+type goldenCase struct {
+	name         string
+	comparisons  int64
+	rounds       int
+	maxRoundSize int
+	fingerprint  uint64
+}
+
+// Captured from the pre-rewrite engine at commit 85ba685.
+var goldenCases = []goldenCase{
+	{"SortCR/n=4096/k=8/seed=7", 35470, 13, 4096, 0x84a87755d67b3c9b},
+	{"SortCR/n=1000/k=3/seed=11", 3569, 8, 729, 0xf4736a3fe523b394},
+	{"SortCR/n=100/k=10/seed=12", 909, 11, 100, 0xea5848df44aa14d7},
+	{"SortCRUnknownK/n=2048/k=5/seed=13", 11425, 11, 2048, 0x89be98f4310c57ec},
+	{"SortER/n=1024/k=6/seed=17", 3915, 49, 512, 0xc3c680dc821ccfef},
+	{"SortCRPairwiseOnly/n=512/k=4/seed=19", 1985, 9, 457, 0x32d21e2506846511},
+	{"SortCREagerGroups/n=512/k=4/seed=19", 3580, 9, 512, 0x32d21e2506846511},
+	{"Incremental/n=2048/k=8/seed=23/batch=192", 206336, 104, 2048, 0xba0007a7d8bd8735},
+	{"SortCR/n=500/k=6/seed=29/procs=97", 3007, 35, 97, 0x7671511128f1e65b},
+}
+
+func TestGoldenStatsAndPartitions(t *testing.T) {
+	results := map[string]Result{}
+	run := func(name string, res Result, err error) {
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		results[name] = res
+	}
+
+	for _, tc := range []struct {
+		n, k int
+		seed int64
+	}{{4096, 8, 7}, {1000, 3, 11}, {100, 10, 12}} {
+		truth := oracle.RandomBalanced(tc.n, tc.k, rand.New(rand.NewSource(tc.seed)))
+		s := model.NewSession(truth, model.CR)
+		res, err := SortCR(s, tc.k)
+		run(fmt.Sprintf("SortCR/n=%d/k=%d/seed=%d", tc.n, tc.k, tc.seed), res, err)
+	}
+	{
+		truth := oracle.RandomBalanced(2048, 5, rand.New(rand.NewSource(13)))
+		res, err := SortCRUnknownK(model.NewSession(truth, model.CR))
+		run("SortCRUnknownK/n=2048/k=5/seed=13", res, err)
+	}
+	{
+		truth := oracle.RandomBalanced(1024, 6, rand.New(rand.NewSource(17)))
+		res, err := SortER(model.NewSession(truth, model.ER))
+		run("SortER/n=1024/k=6/seed=17", res, err)
+	}
+	{
+		truth := oracle.RandomBalanced(512, 4, rand.New(rand.NewSource(19)))
+		res, err := SortCRPairwiseOnly(model.NewSession(truth, model.CR), 4)
+		run("SortCRPairwiseOnly/n=512/k=4/seed=19", res, err)
+		res2, err2 := SortCREagerGroups(model.NewSession(truth, model.CR), 4)
+		run("SortCREagerGroups/n=512/k=4/seed=19", res2, err2)
+	}
+	{
+		truth := oracle.RandomBalanced(2048, 8, rand.New(rand.NewSource(23)))
+		inc, err := NewIncremental(model.NewSession(truth, model.CR))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := 0; e < 2048; e++ {
+			if err := inc.Add(e); err != nil {
+				t.Fatal(err)
+			}
+			if e%192 == 191 {
+				if err := inc.Flush(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		classes, err := inc.Classes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		run("Incremental/n=2048/k=8/seed=23/batch=192",
+			Result{Classes: classes, Stats: inc.Stats()}, nil)
+	}
+	{
+		truth := oracle.RandomBalanced(500, 6, rand.New(rand.NewSource(29)))
+		s := model.NewSession(truth, model.CR, model.Processors(97))
+		res, err := SortCR(s, 6)
+		run("SortCR/n=500/k=6/seed=29/procs=97", res, err)
+	}
+
+	for _, g := range goldenCases {
+		res, ok := results[g.name]
+		if !ok {
+			t.Errorf("%s: scenario not executed", g.name)
+			continue
+		}
+		if res.Stats.Comparisons != g.comparisons {
+			t.Errorf("%s: comparisons = %d, golden %d", g.name, res.Stats.Comparisons, g.comparisons)
+		}
+		if res.Stats.Rounds != g.rounds {
+			t.Errorf("%s: rounds = %d, golden %d", g.name, res.Stats.Rounds, g.rounds)
+		}
+		if res.Stats.MaxRoundSize != g.maxRoundSize {
+			t.Errorf("%s: max round size = %d, golden %d", g.name, res.Stats.MaxRoundSize, g.maxRoundSize)
+		}
+		if fp := partitionFingerprint(res.Classes); fp != g.fingerprint {
+			t.Errorf("%s: partition fingerprint = %#x, golden %#x", g.name, fp, g.fingerprint)
+		}
+	}
+}

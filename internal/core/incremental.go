@@ -15,13 +15,28 @@ import (
 //
 // This is the library feature the paper's applications want in steady
 // state: a convention where interns keep arriving, a fleet where machines
-// come online one by one.
+// come online one by one. Flush is the service's hottest path, so the
+// sorter is built for allocation-free steady state: pending elements live
+// in one flat buffer viewed as zero-alloc singleton answers, merge
+// scratch persists in an arena, and the answer's flat storage
+// double-buffers with a spare so each flush is two memmove-style passes.
 type Incremental struct {
 	session *model.Session
 	answer  Answer
-	pending []Answer
-	seen    map[int]bool
-	flushes int
+	sc      mergeScratch
+	// bufElems/bufOffs are the two full-capacity backing pools the answer
+	// double-buffers between: the answer views bufElems[cur], and the
+	// next flush builds into the other pool. Tracking the pools (not
+	// capacity-capped answer views) keeps growth amortized: a pool grown
+	// by one flush keeps its capacity for all later ones.
+	bufElems [2][]int
+	bufOffs  [2][]int
+	cur      int
+	pending  []int    // buffered elements awaiting the next flush
+	group    []Answer // reusable group view: pending singletons + answer
+	seen     []bool   // seen[e] reports e was added (universe is fixed)
+	added    int
+	flushes  int
 }
 
 // NewIncremental creates an incremental sorter over the session's
@@ -32,7 +47,7 @@ func NewIncremental(s *model.Session) (*Incremental, error) {
 	if s.Mode() != model.CR {
 		return nil, fmt.Errorf("core: Incremental requires a CR session, got %v", s.Mode())
 	}
-	return &Incremental{session: s, seen: make(map[int]bool)}, nil
+	return &Incremental{session: s, seen: make([]bool, s.N())}, nil
 }
 
 // Add buffers element e for classification. It returns an error if e is
@@ -45,53 +60,72 @@ func (inc *Incremental) Add(e int) error {
 		return fmt.Errorf("core: element %d added twice", e)
 	}
 	inc.seen[e] = true
-	inc.pending = append(inc.pending, Singleton(e))
+	inc.added++
+	inc.pending = append(inc.pending, e)
 	return nil
 }
 
 // Flush folds all buffered elements into the answer. Buffered singletons
 // and the current answer merge as one CR group — a single logical round
-// of at most (|pending| + k)² representative tests.
+// of at most (|pending| + k)² representative tests. In steady state a
+// flush allocates nothing: the group is a view over the pending buffer,
+// the cross tests stream through the arena, and the merged answer is
+// written into the spare backing, which then swaps with the current one.
 func (inc *Incremental) Flush() error {
 	if len(inc.pending) == 0 {
 		return nil
 	}
-	group := inc.pending
+	group := inc.group[:0]
+	for i := range inc.pending {
+		group = append(group, Answer{elems: inc.pending[i : i+1 : i+1], offs: singletonOffs})
+	}
 	if inc.answer.K() > 0 {
 		group = append(group, inc.answer)
 	}
-	merged, err := MergeGroupCR(inc.session, group)
-	if err != nil {
+	inc.group = group
+	sc := &inc.sc
+	if err := sc.streamGroup(inc.session, group); err != nil {
 		return err
 	}
+	dst := 1 - inc.cur
+	merged, elems, offs := sc.buildMerged(group, inc.bufElems[dst][:0], inc.bufOffs[dst][:0])
+	// Retain the (possibly grown) pools and flip buffers: the old
+	// answer's pool becomes the next flush's build target.
+	inc.bufElems[dst], inc.bufOffs[dst] = elems, offs
+	inc.cur = dst
 	inc.answer = merged
-	inc.pending = nil
+	inc.pending = inc.pending[:0]
+	inc.group = group[:0]
 	inc.flushes++
 	return nil
 }
 
 // Classes returns the current classes over everything added so far,
-// flushing first.
+// flushing first. The classes are fresh copies sharing one backing array;
+// they stay valid across later flushes.
 func (inc *Incremental) Classes() ([][]int, error) {
 	if err := inc.Flush(); err != nil {
 		return nil, err
 	}
-	return inc.answer.Classes, nil
+	return inc.answer.Classes(), nil
 }
 
 // ClassOf returns the current class of element e (flushing first), or an
-// error if e has not been added.
+// error if e has not been added. The returned slice is a fresh copy.
 func (inc *Incremental) ClassOf(e int) ([]int, error) {
-	if !inc.seen[e] {
+	if e < 0 || e >= len(inc.seen) || !inc.seen[e] {
 		return nil, fmt.Errorf("core: element %d not added", e)
 	}
 	if err := inc.Flush(); err != nil {
 		return nil, err
 	}
-	for _, cls := range inc.answer.Classes {
+	for i := 0; i < inc.answer.K(); i++ {
+		cls := inc.answer.Class(i)
 		for _, x := range cls {
 			if x == e {
-				return cls, nil
+				out := make([]int, len(cls))
+				copy(out, cls)
+				return out, nil
 			}
 		}
 	}
@@ -99,12 +133,14 @@ func (inc *Incremental) ClassOf(e int) ([]int, error) {
 }
 
 // Size returns how many elements have been added (buffered or merged).
-func (inc *Incremental) Size() int { return len(inc.seen) }
+func (inc *Incremental) Size() int { return inc.added }
 
 // Has reports whether element e has already been added (buffered or
 // merged). Callers batching inserts can pre-validate a whole batch with
 // Has before committing any Add, keeping the batch atomic.
-func (inc *Incremental) Has(e int) bool { return inc.seen[e] }
+func (inc *Incremental) Has(e int) bool {
+	return e >= 0 && e < len(inc.seen) && inc.seen[e]
+}
 
 // Pending returns the number of buffered elements awaiting the next
 // Flush.
@@ -114,19 +150,22 @@ func (inc *Incremental) Pending() int { return len(inc.pending) }
 // the answer — the number of compounding CR group rounds spent so far.
 func (inc *Incremental) Flushes() int { return inc.flushes }
 
-// Snapshot returns a deep copy of the classes merged so far, excluding
-// pending (unflushed) elements. It never triggers a flush, performs no
-// comparisons, and the returned slices share no memory with the sorter,
-// so a service can publish them to concurrent readers while ingestion
-// continues — the copy-on-flush pattern.
+// Snapshot returns a copy of the classes merged so far, excluding pending
+// (unflushed) elements. It never triggers a flush, performs no
+// comparisons, and the returned classes share no memory with the sorter
+// (they are views into one fresh backing array), so a service can publish
+// them to concurrent readers while ingestion continues — the
+// copy-on-flush pattern. For an index-carrying flat copy, use Flat.
 func (inc *Incremental) Snapshot() [][]int {
-	out := make([][]int, len(inc.answer.Classes))
-	for i, cls := range inc.answer.Classes {
-		cp := make([]int, len(cls))
-		copy(cp, cls)
-		out[i] = cp
-	}
-	return out
+	return inc.answer.Classes()
+}
+
+// Flat exposes the merged answer's flat storage — elements grouped by
+// class and the class offset table — as read-only views that are only
+// valid until the next Flush. Snapshot publishers copy these two slices
+// instead of materializing per-class allocations.
+func (inc *Incremental) Flat() (elems, offs []int) {
+	return inc.answer.Flat()
 }
 
 // Stats exposes the underlying session's cost.

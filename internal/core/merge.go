@@ -1,0 +1,342 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"ecsort/internal/model"
+	"ecsort/internal/unionfind"
+)
+
+// This file is the flat CR merge engine: the hot path behind SortCR, the
+// ablations, MergeGroupCR, and Incremental.Flush. Cross-representative
+// tests stream into one reusable pair buffer in a canonical order, the
+// equality results fold into a slice-indexed union-find over (answer,
+// class) slots by re-walking that same order — no per-pair bookkeeping is
+// ever stored — and the merged answer is written into flat storage with
+// two passes. All scratch lives in a mergeScratch arena, so steady-state
+// merges allocate nothing beyond the output answer's own backing.
+
+// mergeScratch is the reusable scratch arena of the flat CR merge engine.
+// The zero value is ready to use; buffers grow on demand and are retained
+// across merges. A mergeScratch is not safe for concurrent use.
+type mergeScratch struct {
+	pairs   []model.Pair // emitted cross tests of the current logical round
+	results []bool       // result buffer threaded through Session.RoundBuf
+	dsu     unionfind.DSU
+	// slotBase[u] is the slot index of group[u]'s first class; slots
+	// number the (answer, class) pairs of one group consecutively.
+	slotBase []int
+	classID  []int // root slot -> output class id, assigned by first appearance
+	cursor   []int // output class id -> write cursor, then offsets scratch
+	spans    []mergeSpan
+}
+
+// mergeSpan marks one group's slice of a batched logical round.
+type mergeSpan struct {
+	start, end int // answers[start:end] form the group
+	lo, hi     int // its tests occupy pairs[lo:hi]
+}
+
+// appendCross appends every cross-answer representative test of the group
+// to dst in canonical order — for each u < v, each class i of group[u]
+// against each class j of group[v] — and returns the extended slice. The
+// unite step re-walks the same order, so no pair-to-slot mapping is ever
+// materialized.
+func appendCross(dst []model.Pair, group []Answer) []model.Pair {
+	for u := 0; u < len(group); u++ {
+		gu := group[u]
+		ku := gu.K()
+		for v := u + 1; v < len(group); v++ {
+			gv := group[v]
+			kv := gv.K()
+			for i := 0; i < ku; i++ {
+				x := gu.Rep(i)
+				for j := 0; j < kv; j++ {
+					dst = append(dst, model.Pair{A: x, B: gv.Rep(j)})
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// unite folds one group's equality results into the arena's union-find
+// over (answer, class) slots. res must hold the answers to the tests
+// appendCross emitted for this group, in that order.
+func (sc *mergeScratch) unite(group []Answer, res []bool) {
+	slots := 0
+	sc.slotBase = sc.slotBase[:0]
+	for _, a := range group {
+		sc.slotBase = append(sc.slotBase, slots)
+		slots += a.K()
+	}
+	sc.dsu.Reset(slots)
+	idx := 0
+	for u := 0; u < len(group); u++ {
+		ku := group[u].K()
+		for v := u + 1; v < len(group); v++ {
+			kv := group[v].K()
+			for i := 0; i < ku; i++ {
+				for j := 0; j < kv; j++ {
+					if res[idx] {
+						sc.dsu.Union(sc.slotBase[u]+i, sc.slotBase[v]+j)
+					}
+					idx++
+				}
+			}
+		}
+	}
+}
+
+// buildMerged writes the united group as one flat answer appended to the
+// elems/offs destination slices (typically arena pools or exact-size
+// fresh slices) and returns the answer viewing the appended region plus
+// the extended slices. Output classes are ordered by the first slot of
+// each united component and members concatenate in slot order — exactly
+// the ordering the map-based engine produced, so results are
+// bit-for-bit identical. Call unite for the group first.
+func (sc *mergeScratch) buildMerged(group []Answer, elems, offs []int) (Answer, []int, []int) {
+	slots := sc.dsu.Len()
+	if cap(sc.classID) < slots {
+		sc.classID = make([]int, slots)
+		sc.cursor = make([]int, slots)
+	}
+	classID := sc.classID[:slots]
+	sizes := sc.cursor[:slots] // size per output class, then write cursor
+	for i := 0; i < slots; i++ {
+		classID[i] = -1
+	}
+	// Pass 1: assign output class ids by first slot appearance and total
+	// the component sizes.
+	k := 0
+	slot := 0
+	for _, a := range group {
+		for i := 0; i < a.K(); i++ {
+			r := sc.dsu.Find(slot)
+			c := classID[r]
+			if c < 0 {
+				c = k
+				k++
+				classID[r] = c
+				sizes[c] = 0
+			}
+			sizes[c] += a.offs[i+1] - a.offs[i]
+			slot++
+		}
+	}
+	// Offsets from sizes, then turn sizes into write cursors.
+	base := len(elems)
+	offBase := len(offs)
+	offs = append(offs, base)
+	for c := 0; c < k; c++ {
+		offs = append(offs, offs[len(offs)-1]+sizes[c])
+	}
+	total := offs[len(offs)-1] - base
+	for c := 0; c < k; c++ {
+		sizes[c] = offs[offBase+c] - base
+	}
+	// Pass 2: place members in slot order.
+	elems = growInts(elems, base+total)
+	slot = 0
+	for _, a := range group {
+		for i := 0; i < a.K(); i++ {
+			c := classID[sc.dsu.Find(slot)]
+			cls := a.Class(i)
+			copy(elems[base+sizes[c]:], cls)
+			sizes[c] += len(cls)
+			slot++
+		}
+	}
+	out := Answer{
+		elems: elems[base : base+total : base+total],
+		offs:  offs[offBase : offBase+k+1 : offBase+k+1],
+	}
+	// Rebase the answer's offsets to its own elems view.
+	if base != 0 {
+		for i := range out.offs {
+			out.offs[i] -= base
+		}
+	}
+	return out, elems, offs
+}
+
+// growInts extends s to length n, preserving contents and doubling the
+// capacity when a reallocation is needed so pool growth amortizes away.
+func growInts(s []int, n int) []int {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	grown := make([]int, n, max(n, 2*cap(s)))
+	copy(grown, s)
+	return grown
+}
+
+// round executes one logical round of the arena's emitted pairs through
+// the session, keeping the result buffer for reuse when it grew.
+func (sc *mergeScratch) round(s *model.Session) ([]bool, error) {
+	res, err := s.RoundBuf(sc.pairs, sc.results)
+	if err != nil {
+		return nil, err
+	}
+	if cap(res) > cap(sc.results) {
+		sc.results = res
+	}
+	return res, nil
+}
+
+// streamGroup runs one group's whole merge round through the arena —
+// appendCross → session round → unite — leaving the slot union-find
+// ready for buildMerged.
+func (sc *mergeScratch) streamGroup(s *model.Session, group []Answer) error {
+	sc.pairs = appendCross(sc.pairs[:0], group)
+	res, err := sc.round(s)
+	if err != nil {
+		return err
+	}
+	sc.unite(group, res)
+	return nil
+}
+
+// scratchPool recycles arenas across the exported one-shot entry points
+// (MergePairCR, MergeGroupCR), keeping their steady state allocation-free
+// too. Long-lived callers (SortCR, Incremental) own an arena directly.
+var scratchPool = sync.Pool{New: func() any { return new(mergeScratch) }}
+
+// mergeGroupScratch merges a group of answers with one logical round of
+// every cross-answer representative test, using the provided arena. The
+// output answer is written into fresh exact-size storage.
+func mergeGroupScratch(s *model.Session, sc *mergeScratch, group []Answer) (Answer, error) {
+	if err := sc.streamGroup(s, group); err != nil {
+		return Answer{}, err
+	}
+	size := 0
+	for _, a := range group {
+		size += a.Size()
+	}
+	out, _, _ := sc.buildMerged(group, make([]int, 0, size), make([]int, 0, sc.dsu.Len()+1))
+	return out, nil
+}
+
+// MergePairCR merges two answers in the CR model with one logical round of
+// K(a)·K(b) concurrent representative tests. The session splits the round
+// if it exceeds the processor budget.
+func MergePairCR(s *model.Session, a, b Answer) (Answer, error) {
+	if s.Mode() != model.CR {
+		return Answer{}, fmt.Errorf("core: MergePairCR requires a CR session, got %v", s.Mode())
+	}
+	sc := scratchPool.Get().(*mergeScratch)
+	defer scratchPool.Put(sc)
+	group := [2]Answer{a, b}
+	return mergeGroupScratch(s, sc, group[:])
+}
+
+// MergeGroupCR merges a whole group of answers in the CR model with one
+// logical round containing every cross-answer representative test — the
+// compounding step of phase 2 of the Theorem 1 algorithm. Matching classes
+// are united transitively.
+func MergeGroupCR(s *model.Session, group []Answer) (Answer, error) {
+	switch len(group) {
+	case 0:
+		return Answer{}, fmt.Errorf("core: MergeGroupCR of empty group")
+	case 1:
+		return group[0], nil
+	}
+	if s.Mode() != model.CR {
+		return Answer{}, fmt.Errorf("core: MergeGroupCR requires a CR session, got %v", s.Mode())
+	}
+	sc := scratchPool.Get().(*mergeScratch)
+	defer scratchPool.Put(sc)
+	return mergeGroupScratch(s, sc, group)
+}
+
+// crArena is the per-sort state of the batched level merges of SortCR and
+// its variants: the shared merge scratch plus double-buffered flat pools
+// for the answers of the current and next level. Total elements across a
+// level never exceed n, so after warm-up a whole sort allocates nothing
+// per level.
+type crArena struct {
+	sc    mergeScratch
+	elems [2][]int
+	offs  [2][]int
+	cur   int // pool index holding the current level's answers
+	next  []Answer
+}
+
+// newCRArena seeds the arena with the singleton level: answers[i] views
+// pool element i.
+func newCRArena(n int) (*crArena, []Answer) {
+	ar := &crArena{}
+	pool := make([]int, n)
+	answers := make([]Answer, n)
+	for i := range answers {
+		pool[i] = i
+		answers[i] = Answer{elems: pool[i : i+1 : i+1], offs: singletonOffs}
+	}
+	ar.elems[0] = pool
+	ar.offs[0] = make([]int, 0)
+	return ar, answers
+}
+
+// mergePairsCR merges answers two at a time — (0,1), (2,3), ... — with all
+// tests of the iteration batched into one logical round, mirroring that
+// the merges happen simultaneously on disjoint processor groups.
+func mergePairsCR(s *model.Session, ar *crArena, answers []Answer) ([]Answer, error) {
+	return mergeGroupsCR(s, ar, answers, 2)
+}
+
+// mergeGroupsCR partitions answers into consecutive groups of size g and
+// merges each group, batching every group's cross tests into one logical
+// round. A trailing group smaller than g (possibly a single answer) is
+// merged or carried over. Outputs are written into the arena's spare
+// pool, which then becomes current; the input answers' pool is recycled
+// as the next spare, so callers must not retain answers across calls.
+func mergeGroupsCR(s *model.Session, ar *crArena, answers []Answer, g int) ([]Answer, error) {
+	if g < 2 {
+		return nil, fmt.Errorf("core: group size %d < 2", g)
+	}
+	sc := &ar.sc
+	sc.pairs = sc.pairs[:0]
+	sc.spans = sc.spans[:0]
+	for start := 0; start < len(answers); start += g {
+		end := min(start+g, len(answers))
+		lo := len(sc.pairs)
+		if end-start > 1 {
+			sc.pairs = appendCross(sc.pairs, answers[start:end])
+		}
+		sc.spans = append(sc.spans, mergeSpan{start: start, end: end, lo: lo, hi: len(sc.pairs)})
+	}
+	res, err := sc.round(s)
+	if err != nil {
+		return nil, err
+	}
+	dst := 1 - ar.cur
+	elems, offs := ar.elems[dst][:0], ar.offs[dst][:0]
+	next := ar.next[:0]
+	for _, sp := range sc.spans {
+		group := answers[sp.start:sp.end]
+		var out Answer
+		if len(group) == 1 {
+			// Carry-over: copy into the destination pool so the source
+			// pool can be recycled next level.
+			a := group[0]
+			base, offBase := len(elems), len(offs)
+			elems = append(elems, a.elems...)
+			for _, o := range a.offs {
+				offs = append(offs, o)
+			}
+			out = Answer{
+				elems: elems[base : base+a.Size() : base+a.Size()],
+				offs:  offs[offBase : offBase+len(a.offs) : offBase+len(a.offs)],
+			}
+		} else {
+			sc.unite(group, res[sp.lo:sp.hi])
+			out, elems, offs = sc.buildMerged(group, elems, offs)
+		}
+		next = append(next, out)
+	}
+	ar.elems[dst], ar.offs[dst] = elems, offs
+	ar.cur = dst
+	ar.next = answers // recycle the input slice for the level after next
+	return next, nil
+}

@@ -1,6 +1,9 @@
 package model
 
-import "testing"
+import (
+	"errors"
+	"testing"
+)
 
 // flipExecutor answers the opposite of the oracle, proving the executor
 // path is actually taken.
@@ -55,6 +58,29 @@ func TestExecutorRespectsBudgetSplits(t *testing.T) {
 type executorFunc func(pairs []Pair) []bool
 
 func (f executorFunc) ExecuteRound(pairs []Pair) []bool { return f(pairs) }
+
+// TestExecutorResultLengthValidated: an executor that returns the wrong
+// number of answers must fail the round loudly instead of silently
+// truncating the tail to false.
+func TestExecutorResultLengthValidated(t *testing.T) {
+	o := parityOracle{n: 8}
+	for _, tc := range []struct {
+		name string
+		skew int
+	}{{"short", -1}, {"long", +1}} {
+		s := NewSession(o, ER, WithExecutor(executorFunc(func(pairs []Pair) []bool {
+			return make([]bool, len(pairs)+tc.skew)
+		})))
+		_, err := s.Round([]Pair{{0, 1}, {2, 3}})
+		if !errors.Is(err, ErrExecutorResults) {
+			t.Errorf("%s executor: err = %v, want ErrExecutorResults", tc.name, err)
+		}
+		// The failed physical round must not be charged.
+		if st := s.Stats(); st.Comparisons != 0 || st.Rounds != 0 {
+			t.Errorf("%s executor: stats = %+v, want zero", tc.name, st)
+		}
+	}
+}
 
 func TestRoundLog(t *testing.T) {
 	o := parityOracle{n: 8}

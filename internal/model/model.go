@@ -87,6 +87,11 @@ var (
 	ErrERConflict  = errors.New("model: element used twice in one ER round")
 )
 
+// ErrExecutorResults reports a custom Executor that returned a result
+// slice of the wrong length — an executor bug that would otherwise be
+// silently papered over with false answers.
+var ErrExecutorResults = errors.New("model: executor returned wrong result count")
+
 // Option configures a Session.
 type Option func(*Session)
 
@@ -194,16 +199,49 @@ func (s *Session) Stats() Stats { return s.stats }
 // budget it is split into several physical rounds. An empty batch costs
 // nothing.
 func (s *Session) Round(pairs []Pair) ([]bool, error) {
+	return s.RoundBuf(pairs, nil)
+}
+
+// RoundBuf is Round with a caller-provided result buffer: when buf has
+// enough capacity the answers are written into it and no allocation
+// happens, so a merge loop can reuse one buffer across every round it
+// issues. The returned slice aliases buf in that case. A nil (or too
+// small) buf behaves exactly like Round.
+//
+// Validation is fused with execution: ER batches are checked up front
+// (the disjointness rule spans the whole logical round), while CR batches
+// are validated one physical round at a time, immediately before that
+// chunk executes, so the pairs are walked once while cache-hot. A
+// malformed pair in a later chunk of a CR batch therefore surfaces only
+// after the earlier chunks have executed and been charged — malformed
+// batches indicate a bug in the calling algorithm, not a recoverable
+// condition, so partial accounting on that path is acceptable.
+func (s *Session) RoundBuf(pairs []Pair, buf []bool) ([]bool, error) {
 	if len(pairs) == 0 {
 		return nil, nil
 	}
-	if err := s.validate(pairs); err != nil {
-		return nil, err
+	if s.mode == ER {
+		if err := s.validateER(pairs); err != nil {
+			return nil, err
+		}
 	}
-	results := make([]bool, len(pairs))
+	var results []bool
+	if cap(buf) >= len(pairs) {
+		results = buf[:len(pairs)]
+	} else {
+		results = make([]bool, len(pairs))
+	}
 	for start := 0; start < len(pairs); start += s.procs {
 		end := min(start+s.procs, len(pairs))
-		s.execute(pairs[start:end], results[start:end])
+		chunk := pairs[start:end]
+		if s.mode == CR {
+			if err := s.validateCR(chunk); err != nil {
+				return nil, err
+			}
+		}
+		if err := s.execute(chunk, results[start:end]); err != nil {
+			return nil, err
+		}
 		s.stats.Rounds++
 		s.stats.Comparisons += int64(end - start)
 		if end-start > s.stats.MaxRoundSize {
@@ -242,7 +280,9 @@ func (s *Session) Compare(i, j int) bool {
 	return s.oracle.Same(i, j)
 }
 
-func (s *Session) validate(pairs []Pair) error {
+// validateER checks a whole ER batch: range, self-comparison, and the
+// exclusive-read disjointness rule, which spans the full logical round.
+func (s *Session) validateER(pairs []Pair) error {
 	s.stamp++
 	for _, p := range pairs {
 		if p.A < 0 || p.A >= s.n || p.B < 0 || p.B >= s.n {
@@ -251,15 +291,29 @@ func (s *Session) validate(pairs []Pair) error {
 		if p.A == p.B {
 			return fmt.Errorf("%w: element %d", ErrSelfCompare, p.A)
 		}
-		if s.mode == ER {
-			if s.lastUsed[p.A] == s.stamp {
-				return fmt.Errorf("%w: element %d", ErrERConflict, p.A)
-			}
-			if s.lastUsed[p.B] == s.stamp {
-				return fmt.Errorf("%w: element %d", ErrERConflict, p.B)
-			}
-			s.lastUsed[p.A] = s.stamp
-			s.lastUsed[p.B] = s.stamp
+		if s.lastUsed[p.A] == s.stamp {
+			return fmt.Errorf("%w: element %d", ErrERConflict, p.A)
+		}
+		if s.lastUsed[p.B] == s.stamp {
+			return fmt.Errorf("%w: element %d", ErrERConflict, p.B)
+		}
+		s.lastUsed[p.A] = s.stamp
+		s.lastUsed[p.B] = s.stamp
+	}
+	return nil
+}
+
+// validateCR checks one CR physical-round chunk: range and
+// self-comparison only — CR has no per-round usage rule, so validation
+// needs no state and runs per chunk, right before execution.
+func (s *Session) validateCR(pairs []Pair) error {
+	n := s.n
+	for _, p := range pairs {
+		if uint(p.A) >= uint(n) || uint(p.B) >= uint(n) {
+			return fmt.Errorf("%w: pair (%d,%d), n=%d", ErrOutOfRange, p.A, p.B, n)
+		}
+		if p.A == p.B {
+			return fmt.Errorf("%w: element %d", ErrSelfCompare, p.A)
 		}
 	}
 	return nil
@@ -267,10 +321,14 @@ func (s *Session) validate(pairs []Pair) error {
 
 // execute runs the tests of one physical round, in parallel across the
 // session's worker goroutines (or via the custom executor, if set).
-func (s *Session) execute(pairs []Pair, out []bool) {
+func (s *Session) execute(pairs []Pair, out []bool) error {
 	if s.executor != nil {
-		copy(out, s.executor.ExecuteRound(pairs))
-		return
+		res := s.executor.ExecuteRound(pairs)
+		if len(res) != len(pairs) {
+			return fmt.Errorf("%w: %d results for %d tests", ErrExecutorResults, len(res), len(pairs))
+		}
+		copy(out, res)
+		return nil
 	}
 	w := s.workers
 	if w > len(pairs) {
@@ -280,7 +338,7 @@ func (s *Session) execute(pairs []Pair, out []bool) {
 		for i, p := range pairs {
 			out[i] = s.oracle.Same(p.A, p.B)
 		}
-		return
+		return nil
 	}
 	var wg sync.WaitGroup
 	chunk := (len(pairs) + w - 1) / w
@@ -295,4 +353,5 @@ func (s *Session) execute(pairs []Pair, out []bool) {
 		}(start, end)
 	}
 	wg.Wait()
+	return nil
 }

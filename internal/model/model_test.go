@@ -215,3 +215,42 @@ func TestERStampReset(t *testing.T) {
 		t.Fatalf("element reuse across rounds rejected: %v", err)
 	}
 }
+
+// TestRoundBufReuse: with a big enough buffer the results land in the
+// caller's storage and the round allocates nothing for them; answers
+// match Round's.
+func TestRoundBufReuse(t *testing.T) {
+	s := NewSession(parityOracle{n: 8}, CR, Workers(1))
+	pairs := []Pair{{0, 2}, {0, 1}, {3, 5}, {4, 7}}
+	want, err := s.Round(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]bool, 0, 16)
+	got, err := s.RoundBuf(pairs, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("RoundBuf did not reuse the caller's buffer")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RoundBuf answers %v, Round answers %v", got, want)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := s.RoundBuf(pairs, buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("RoundBuf with capacity allocates %v per run", allocs)
+	}
+	// A too-small buffer falls back to allocating, like Round.
+	small := make([]bool, 0, 1)
+	got, err = s.RoundBuf(pairs, small)
+	if err != nil || len(got) != len(pairs) {
+		t.Fatalf("small-buffer RoundBuf: %v %v", got, err)
+	}
+}

@@ -1,6 +1,10 @@
 package sched
 
-import "ecsort/internal/model"
+import (
+	"math/bits"
+
+	"ecsort/internal/model"
+)
 
 // Greedy decomposes an arbitrary multiset of desired tests into ER rounds
 // of vertex-disjoint pairs, first-fit: each test lands in the earliest
@@ -11,52 +15,123 @@ import "ecsort/internal/model"
 // The structured schedules (Rotation, AllPairs, Sweep) are preferred when
 // they apply — they hit the optimum exactly — but Greedy handles the
 // irregular leftover sets that adaptive algorithms generate.
+//
+// Bookkeeping is slice-backed: elements map to dense ids and each id owns
+// a round-occupancy bitset, so finding the first free round is a word
+// scan instead of nested map probes.
 func Greedy(pairs []model.Pair) [][]model.Pair {
 	if len(pairs) == 0 {
 		return nil
 	}
-	// usedAt[e] lists rounds where e is busy, as a bitset grown on
-	// demand; degrees here are small so a simple map of round sets is
-	// plenty.
-	usedAt := make(map[int]map[int]bool)
-	busy := func(e, round int) bool { return usedAt[e][round] }
-	reserve := func(e, round int) {
-		if usedAt[e] == nil {
-			usedAt[e] = make(map[int]bool)
-		}
-		usedAt[e][round] = true
-	}
+	id := denseIDs(pairs)
+	// busy[d] is the round-occupancy bitset of dense element d; rounds
+	// are bounded by 2Δ−1 ≤ 2·len(pairs), so word counts stay tiny.
+	busy := make([][]uint64, id.count)
 	var rounds [][]model.Pair
 	for _, p := range pairs {
-		r := 0
-		for busy(p.A, r) || busy(p.B, r) {
-			r++
-		}
+		a, b := id.of(p.A), id.of(p.B)
+		r := firstFreeRound(busy[a], busy[b])
 		if r == len(rounds) {
 			rounds = append(rounds, nil)
 		}
 		rounds[r] = append(rounds[r], p)
-		reserve(p.A, r)
-		reserve(p.B, r)
+		busy[a] = setRound(busy[a], r)
+		busy[b] = setRound(busy[b], r)
 	}
 	return rounds
+}
+
+// denseID maps arbitrary element values onto 0..count-1. When the value
+// range is comparable to the pair count it is a direct-indexed slice;
+// only pathologically sparse inputs fall back to a map.
+type denseID struct {
+	base  int
+	dense []int32       // value-base -> id+1, 0 = unassigned
+	slow  map[int]int32 // fallback for sparse ranges
+	count int
+}
+
+func denseIDs(pairs []model.Pair) *denseID {
+	lo, hi := pairs[0].A, pairs[0].A
+	for _, p := range pairs {
+		lo = min(lo, min(p.A, p.B))
+		hi = max(hi, max(p.A, p.B))
+	}
+	d := &denseID{base: lo}
+	if span := hi - lo + 1; span <= 8*len(pairs)+64 {
+		d.dense = make([]int32, span)
+	} else {
+		d.slow = make(map[int]int32, 2*len(pairs))
+	}
+	for _, p := range pairs {
+		d.assign(p.A)
+		d.assign(p.B)
+	}
+	return d
+}
+
+func (d *denseID) assign(e int) {
+	if d.dense != nil {
+		if d.dense[e-d.base] == 0 {
+			d.count++
+			d.dense[e-d.base] = int32(d.count)
+		}
+		return
+	}
+	if _, ok := d.slow[e]; !ok {
+		d.slow[e] = int32(d.count)
+		d.count++
+	}
+}
+
+func (d *denseID) of(e int) int {
+	if d.dense != nil {
+		return int(d.dense[e-d.base]) - 1
+	}
+	return int(d.slow[e])
+}
+
+// firstFreeRound returns the smallest round index not set in either
+// occupancy bitset.
+func firstFreeRound(a, b []uint64) int {
+	for w := 0; ; w++ {
+		var x uint64
+		if w < len(a) {
+			x = a[w]
+		}
+		if w < len(b) {
+			x |= b[w]
+		}
+		if x != ^uint64(0) {
+			return w*64 + bits.TrailingZeros64(^x)
+		}
+	}
+}
+
+// setRound marks round r occupied, growing the bitset as needed.
+func setRound(s []uint64, r int) []uint64 {
+	for r/64 >= len(s) {
+		s = append(s, 0)
+	}
+	s[r/64] |= 1 << (r % 64)
+	return s
 }
 
 // MaxDegree returns the maximum number of tests any single element
 // appears in — the trivial lower bound on the number of ER rounds any
 // decomposition of pairs needs.
 func MaxDegree(pairs []model.Pair) int {
-	deg := make(map[int]int)
+	if len(pairs) == 0 {
+		return 0
+	}
+	id := denseIDs(pairs)
+	deg := make([]int, id.count)
 	best := 0
 	for _, p := range pairs {
-		deg[p.A]++
-		deg[p.B]++
-		if deg[p.A] > best {
-			best = deg[p.A]
-		}
-		if deg[p.B] > best {
-			best = deg[p.B]
-		}
+		a, b := id.of(p.A), id.of(p.B)
+		deg[a]++
+		deg[b]++
+		best = max(best, max(deg[a], deg[b]))
 	}
 	return best
 }

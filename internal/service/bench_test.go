@@ -8,10 +8,14 @@ import (
 // BenchmarkIngest measures end-to-end service ingestion throughput — the
 // CI smoke runs it with -benchtime 1x to catch pathological regressions
 // in the batch→flush→snapshot path. Sub-benchmarks vary the shard count
-// so contention effects show up on multi-core hardware.
+// so contention effects show up on multi-core hardware. Workers: 1 pins
+// each session to the serial execute path so allocs/op stays comparable
+// against BENCH_baseline.json regardless of the runner's core count;
+// shard and writer parallelism is still exercised.
 func BenchmarkIngest(b *testing.B) {
 	for _, shards := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				rep, err := RunStress(StressConfig{
 					Collections: 2 * shards,
@@ -20,7 +24,7 @@ func BenchmarkIngest(b *testing.B) {
 					Batch:       64,
 					Writers:     4,
 					Seed:        int64(i),
-					Service:     Config{Shards: shards, BatchSize: 128},
+					Service:     Config{Shards: shards, BatchSize: 128, Workers: 1},
 				})
 				if err != nil {
 					b.Fatal(err)
@@ -43,7 +47,7 @@ func BenchmarkIngestSingleCollection(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		svc := New(Config{Shards: 1, BatchSize: 256})
+		svc := New(Config{Shards: 1, BatchSize: 256, Workers: 1})
 		if err := svc.CreateCollection("bench", OracleSpec{Kind: KindLabel, Labels: labels}); err != nil {
 			b.Fatal(err)
 		}

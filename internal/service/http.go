@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -17,6 +18,7 @@ import (
 //	GET    /v1/collections               list collections
 //	POST   /v1/collections/{key}/items   batch add (body: {"items":[...]}; ?flush=1 forces a flush)
 //	GET    /v1/collections/{key}/classes current partition (?fresh=1 flushes first)
+//	GET    /v1/collections/{key}/classes/{element}  one element's class (O(1) index lookup; ?fresh=1 flushes first)
 //	GET    /v1/collections/{key}/stats   per-collection counters + snapshot
 //	GET    /healthz                      liveness
 //	GET    /metrics                      Prometheus-style text metrics
@@ -31,6 +33,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/collections/{key}", s.handleDrop)
 	mux.HandleFunc("POST /v1/collections/{key}/items", s.handleIngest)
 	mux.HandleFunc("GET /v1/collections/{key}/classes", s.handleClasses)
+	mux.HandleFunc("GET /v1/collections/{key}/classes/{element}", s.handleClassOf)
 	mux.HandleFunc("GET /v1/collections/{key}/stats", s.handleStats)
 	return mux
 }
@@ -141,6 +144,21 @@ func (s *Service) handleClasses(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Service) handleClassOf(w http.ResponseWriter, r *http.Request) {
+	element, err := strconv.Atoi(r.PathValue("element"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: fmt.Sprintf("service: bad element %q: not an integer", r.PathValue("element"))})
+		return
+	}
+	view, err := s.ClassOf(r.PathValue("key"), element, boolParam(r, "fresh"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -201,6 +201,70 @@ func TestHTTPStatusCodes(t *testing.T) {
 	}
 }
 
+// TestHTTPClassOf exercises the point-lookup endpoint: O(1) class-of
+// queries served from the snapshot's element→class index, with fresh and
+// stale reads, and the 400/404 edges.
+func TestHTTPClassOf(t *testing.T) {
+	svc := New(Config{Shards: 2, BatchSize: 100})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	labels := []int{0, 1, 0, 2, 1, 0}
+	if code := call(t, client, "PUT", ts.URL+"/v1/collections/a",
+		OracleSpec{Kind: KindLabel, Labels: labels}, nil); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	if code := call(t, client, "POST", ts.URL+"/v1/collections/a/items?flush=1",
+		map[string][]int{"items": {0, 1, 2, 3}}, nil); code != http.StatusAccepted {
+		t.Fatalf("ingest: %d", code)
+	}
+
+	var view ClassView
+	if code := call(t, client, "GET", ts.URL+"/v1/collections/a/classes/2", nil, &view); code != http.StatusOK {
+		t.Fatalf("class of 2: %d", code)
+	}
+	if view.Element != 2 || len(view.Members) != 2 || view.Members[0] != 0 || view.Members[1] != 2 {
+		t.Fatalf("class of 2 = %+v", view)
+	}
+	// Classes are ordered by smallest member, so {0,2} is class 0.
+	if view.ClassIndex != 0 || view.Version != 1 {
+		t.Fatalf("class of 2 = %+v", view)
+	}
+
+	// Element 4 is pending (BatchSize not reached): stale read 404s,
+	// fresh read flushes and finds it.
+	if code := call(t, client, "POST", ts.URL+"/v1/collections/a/items",
+		map[string][]int{"items": {4}}, nil); code != http.StatusAccepted {
+		t.Fatalf("ingest pending: %d", code)
+	}
+	if code := call(t, client, "GET", ts.URL+"/v1/collections/a/classes/4", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("pending stale lookup: %d, want 404", code)
+	}
+	if code := call(t, client, "GET", ts.URL+"/v1/collections/a/classes/4?fresh=1", nil, &view); code != http.StatusOK {
+		t.Fatalf("pending fresh lookup: %d", code)
+	}
+	if len(view.Members) != 2 || view.Members[0] != 1 || view.Members[1] != 4 {
+		t.Fatalf("class of 4 = %+v", view)
+	}
+
+	// Never-ingested element in range: 404. Out of universe: 400. Not an
+	// integer: 400. Missing collection: 404.
+	if code := call(t, client, "GET", ts.URL+"/v1/collections/a/classes/5", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("never-ingested lookup: %d, want 404", code)
+	}
+	if code := call(t, client, "GET", ts.URL+"/v1/collections/a/classes/99", nil, nil); code != http.StatusBadRequest {
+		t.Fatalf("out-of-universe lookup: %d, want 400", code)
+	}
+	if code := call(t, client, "GET", ts.URL+"/v1/collections/a/classes/x", nil, nil); code != http.StatusBadRequest {
+		t.Fatalf("non-integer lookup: %d, want 400", code)
+	}
+	if code := call(t, client, "GET", ts.URL+"/v1/collections/nope/classes/0", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("missing collection lookup: %d, want 404", code)
+	}
+}
+
 // TestHTTPGraphIsoCollection drives the graph-mining application over
 // the wire: permuted copies classify together via fresh reads.
 func TestHTTPGraphIsoCollection(t *testing.T) {

@@ -63,7 +63,10 @@ func (c Config) shards() int {
 
 // Snapshot is an immutable view of a collection published at its last
 // flush. Readers get the snapshot without touching the writer goroutine,
-// so queries never block ingestion.
+// so queries never block ingestion. A snapshot is flat underneath: all
+// classes are views into one backing array copied from the sorter with a
+// single memmove, and an element→class index makes ClassIndexOf an O(1)
+// point lookup. Treat Classes as read-only.
 type Snapshot struct {
 	// Version counts flushes; it increments each time a new snapshot is
 	// published.
@@ -75,10 +78,37 @@ type Snapshot struct {
 	Size int `json:"size"`
 	// Stats is the session cost at publish time.
 	Stats model.Stats `json:"stats"`
+
+	// classOf maps element -> index into Classes, -1 when the element is
+	// not covered (never ingested, or still pending). nil on the empty
+	// snapshot a fresh collection publishes.
+	classOf []int32
+}
+
+// ClassIndexOf returns the index into Classes of element e's class, or -1
+// if e is not covered by this snapshot. O(1).
+func (s *Snapshot) ClassIndexOf(e int) int {
+	if s == nil || e < 0 || e >= len(s.classOf) {
+		return -1
+	}
+	return int(s.classOf[e])
 }
 
 // numClasses is a convenience for metrics.
 func (s *Snapshot) numClasses() int { return len(s.Classes) }
+
+// ClassView is one element's class as served from a snapshot — the
+// payload of the ClassOf point lookup.
+type ClassView struct {
+	// Element is the queried element.
+	Element int `json:"element"`
+	// ClassIndex is the class's index in the snapshot's Classes.
+	ClassIndex int `json:"class_index"`
+	// Members is the full class, sorted ascending.
+	Members []int `json:"members"`
+	// Version is the snapshot version the lookup was served from.
+	Version int64 `json:"version"`
+}
 
 // CollectionInfo reports a collection's identity and counters for the
 // stats endpoint.
@@ -132,19 +162,39 @@ type collection struct {
 }
 
 // publish rebuilds the snapshot from the sorter. Shard goroutine only.
+// The sorter's flat answer is copied with one memmove; classes become
+// views into that copy, so publication costs a handful of allocations
+// regardless of how many classes the collection has grown.
 func (c *collection) publish() {
-	classes := c.inc.Snapshot()
-	size := 0
-	for _, cls := range classes {
+	elems, offs := c.inc.Flat()
+	k := 0
+	if len(offs) > 0 {
+		k = len(offs) - 1
+	}
+	backing := make([]int, len(elems))
+	copy(backing, elems)
+	classes := make([][]int, k)
+	for i := 0; i < k; i++ {
+		cls := backing[offs[i]:offs[i+1]:offs[i+1]]
 		sort.Ints(cls)
-		size += len(cls)
+		classes[i] = cls
 	}
 	sort.Slice(classes, func(i, j int) bool { return classes[i][0] < classes[j][0] })
+	classOf := make([]int32, c.spec.N())
+	for i := range classOf {
+		classOf[i] = -1
+	}
+	for ci, cls := range classes {
+		for _, e := range cls {
+			classOf[e] = int32(ci)
+		}
+	}
 	c.snap.Store(&Snapshot{
 		Version: int64(c.inc.Flushes()),
 		Classes: classes,
-		Size:    size,
+		Size:    len(backing),
 		Stats:   c.inc.Stats(),
+		classOf: classOf,
 	})
 	c.pending.Store(int64(c.inc.Pending()))
 	c.flushes.Store(int64(c.inc.Flushes()))
@@ -500,6 +550,40 @@ func (s *Service) Collections() []CollectionInfo {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
+}
+
+// ClassOf returns element's class in key's collection — an O(1) lookup
+// against the published snapshot's element→class index, never touching
+// the writer goroutine. With fresh=true the collection flushes first, so
+// the answer reflects every ingest accepted before the call. It returns
+// ErrBadItem for elements outside the collection's universe and
+// ErrNotFound for elements with no flushed class yet (never ingested, or
+// still pending).
+func (s *Service) ClassOf(key string, element int, fresh bool) (ClassView, error) {
+	sh := s.shardOf(key)
+	c, err := sh.lookup(key)
+	if err != nil {
+		return ClassView{}, err
+	}
+	if n := c.spec.N(); element < 0 || element >= n {
+		return ClassView{}, fmt.Errorf("%w: element %d out of range [0,%d)", ErrBadItem, element, n)
+	}
+	snap := c.snap.Load()
+	if fresh {
+		if snap, err = s.Flush(key); err != nil {
+			return ClassView{}, err
+		}
+	}
+	ci := snap.ClassIndexOf(element)
+	if ci < 0 {
+		return ClassView{}, fmt.Errorf("%w: element %d has no flushed class in %q", ErrNotFound, element, key)
+	}
+	return ClassView{
+		Element:    element,
+		ClassIndex: ci,
+		Members:    snap.Classes[ci],
+		Version:    snap.Version,
+	}, nil
 }
 
 // Uptime reports how long the service has been running.

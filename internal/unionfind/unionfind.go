@@ -19,16 +19,26 @@ type DSU struct {
 
 // New returns a DSU with n singleton sets, one per element 0..n-1.
 func New(n int) *DSU {
-	d := &DSU{
-		parent: make([]int, n),
-		size:   make([]int, n),
-		sets:   n,
+	d := &DSU{}
+	d.Reset(n)
+	return d
+}
+
+// Reset reinitializes d to n singleton sets, reusing the backing arrays
+// whenever they are large enough. Hot merge loops call this between
+// merges so the forest costs no allocations in steady state.
+func (d *DSU) Reset(n int) {
+	if cap(d.parent) < n {
+		d.parent = make([]int, n)
+		d.size = make([]int, n)
 	}
+	d.parent = d.parent[:n]
+	d.size = d.size[:n]
 	for i := range d.parent {
 		d.parent[i] = i
 		d.size[i] = 1
 	}
-	return d
+	d.sets = n
 }
 
 // Len returns the number of elements in the universe.

@@ -202,6 +202,43 @@ func TestSelfUnionIsNoop(t *testing.T) {
 	}
 }
 
+func TestReset(t *testing.T) {
+	d := New(6)
+	d.Union(0, 1)
+	d.Union(2, 3)
+	d.Union(0, 3)
+
+	// Shrinking reset: clean singletons, old state gone.
+	d.Reset(4)
+	if d.Len() != 4 || d.Sets() != 4 {
+		t.Fatalf("after Reset(4): Len=%d Sets=%d", d.Len(), d.Sets())
+	}
+	for i := 0; i < 4; i++ {
+		if d.Find(i) != i || d.SizeOf(i) != 1 {
+			t.Fatalf("element %d not a singleton after reset", i)
+		}
+	}
+	d.Union(1, 2)
+	if !d.Same(1, 2) || d.Sets() != 3 {
+		t.Fatalf("post-reset union broken: Sets=%d", d.Sets())
+	}
+
+	// Growing reset past the original capacity reallocates correctly.
+	d.Reset(10)
+	if d.Len() != 10 || d.Sets() != 10 {
+		t.Fatalf("after Reset(10): Len=%d Sets=%d", d.Len(), d.Sets())
+	}
+	if d.Same(1, 2) {
+		t.Fatal("old union survived a growing reset")
+	}
+
+	// Reset within capacity must not allocate.
+	allocs := testing.AllocsPerRun(20, func() { d.Reset(8) })
+	if allocs != 0 {
+		t.Errorf("Reset within capacity allocates %v per run", allocs)
+	}
+}
+
 func BenchmarkUnionFind(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	const n = 1 << 16

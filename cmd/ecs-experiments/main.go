@@ -28,14 +28,19 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: all | fig5-uniform | fig5-geometric | fig5-poisson | fig5-zeta | fig1 | rounds-cr | rounds-er | rounds-const | lb-equal | lb-smallest | dominance | zeta-exponent | procs | profile | serve-stress")
-		scale  = flag.Int("scale", 10, "divide the paper's input sizes by this factor")
-		trials = flag.Int("trials", 3, "trials per input size (paper: 10)")
-		n      = flag.Int("n", 1024, "input size for lower-bound and dominance experiments")
-		seed   = flag.Int64("seed", 2016, "random seed")
-		csvDir = flag.String("csv", "", "also write raw observations as CSV files into this directory")
+		exp     = flag.String("exp", "all", "experiment: all | fig5-uniform | fig5-geometric | fig5-poisson | fig5-zeta | fig1 | rounds-cr | rounds-er | rounds-const | lb-equal | lb-smallest | dominance | zeta-exponent | procs | profile | serve-stress")
+		scale   = flag.Int("scale", 10, "divide the paper's input sizes by this factor")
+		trials  = flag.Int("trials", 3, "trials per input size (paper: 10)")
+		n       = flag.Int("n", 1024, "input size for lower-bound and dominance experiments")
+		seed    = flag.Int64("seed", 2016, "random seed")
+		csvDir  = flag.String("csv", "", "also write raw observations as CSV files into this directory")
+		workers = flag.Int("workers", 0, "execution-pool width for the serve-stress experiment (0: GOMAXPROCS)")
 	)
 	flag.Parse()
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "ecs-experiments: -workers must be >= 0, got %d\n", *workers)
+		os.Exit(2)
+	}
 
 	writeCSV := func(name string, write func(io.Writer) error) error {
 		if *csvDir == "" {
@@ -142,6 +147,7 @@ func main() {
 				Batch:       64,
 				Writers:     8,
 				Seed:        *seed,
+				Service:     service.Config{Workers: *workers},
 			}
 			points, err := harness.RunServiceSweep([]int{1, 2, 4, 8, 16}, cfg)
 			if err != nil {

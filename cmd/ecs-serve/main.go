@@ -41,9 +41,12 @@ func main() {
 		batch         = flag.Int("batch", 0, "pending-element flush threshold (0: flush after every ingest call)")
 		flushInterval = flag.Duration("flush-interval", 0, "max snapshot staleness when -batch > 0 (0: no timer)")
 		processors    = flag.Int("processors", 0, "comparisons per physical round in each session (0: n, the paper's setting)")
-		workers       = flag.Int("workers", 0, "goroutines per comparison round (0: GOMAXPROCS)")
+		workers       = flag.Int("workers", 0, "width of the service-wide execution pool shared by all collections (0: GOMAXPROCS)")
 	)
 	flag.Parse()
+	if *workers < 0 {
+		log.Fatalf("ecs-serve: -workers must be >= 0, got %d", *workers)
+	}
 
 	svc := service.New(service.Config{
 		Shards:        *shards,

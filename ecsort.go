@@ -42,6 +42,7 @@ import (
 	"ecsort/internal/majority"
 	"ecsort/internal/model"
 	"ecsort/internal/oracle"
+	"ecsort/internal/runtime"
 	"ecsort/internal/service"
 )
 
@@ -79,15 +80,39 @@ type Result = core.Result
 // accounting; use it to build custom algorithms on the same substrate.
 type Session = model.Session
 
+// Runtime is a persistent worker pool executing parallel comparison
+// rounds: a fixed set of long-lived goroutines that claim chunked index
+// ranges of each round, write answers by index (so any Workers value is
+// bit-identical to Workers(1)), and allocate nothing in steady state.
+// One Runtime may be shared by any number of sessions — the
+// classification service runs every collection on a single pool.
+type Runtime = runtime.Pool
+
+// RuntimeStats is a snapshot of a Runtime's counters: parallel width,
+// jobs, chunks, and inline (serial) rounds.
+type RuntimeStats = runtime.Stats
+
+// NewRuntime starts a pool of the given parallel width (0 means
+// GOMAXPROCS). Close it when no session uses it anymore.
+func NewRuntime(workers int) *Runtime { return runtime.NewPool(workers) }
+
+// DefaultRuntime returns the process-wide shared pool that sessions use
+// when Config.Runtime is nil. It is created on first use and never
+// closed.
+func DefaultRuntime() *Runtime { return runtime.Shared() }
+
 // Config tunes session execution. The zero value is ready to use.
 type Config struct {
 	// Processors caps comparisons per physical round (Valiant's p).
 	// 0 means n, the paper's setting.
 	Processors int
-	// Workers is the number of goroutines executing each round.
-	// 0 means GOMAXPROCS. Use 1 with order-sensitive oracles
-	// (adversaries).
+	// Workers is the parallel width of each round: the maximum number
+	// of chunks a round is split into on the runtime pool. 0 means
+	// GOMAXPROCS. Use 1 with order-sensitive oracles (adversaries).
 	Workers int
+	// Runtime is the worker pool rounds execute on. nil means the
+	// process-wide shared pool (DefaultRuntime).
+	Runtime *Runtime
 }
 
 func (c Config) options() []model.Option {
@@ -95,8 +120,13 @@ func (c Config) options() []model.Option {
 	if c.Processors > 0 {
 		opts = append(opts, model.Processors(c.Processors))
 	}
-	if c.Workers > 0 {
+	if c.Workers != 0 {
+		// Negative values flow through so model.Workers can reject them
+		// loudly (ErrBadWorkers) instead of being silently dropped here.
 		opts = append(opts, model.Workers(c.Workers))
+	}
+	if c.Runtime != nil {
+		opts = append(opts, model.WithPool(c.Runtime))
 	}
 	return opts
 }
@@ -403,14 +433,18 @@ func KeyAgents(labels []int, masterSeed int64) []Agent {
 func StateAgents(states []uint64) []Agent { return agents.StateRoster(states) }
 
 // NewAgentSession creates an ER session whose rounds execute on the
-// network — each comparison is a real two-goroutine protocol run. Every
-// ER algorithm accepts the returned session; for the packaged sorts, pass
-// the network itself as the Oracle and route rounds with this session via
-// core algorithms, e.g.:
+// network — each comparison is a real two-goroutine protocol run. The
+// network's protocol sessions dispatch from cfg.Runtime, or from the
+// shared pool when it is nil — each call rebinds the network, so a pool
+// installed by an earlier session never outlives its Config. Every ER
+// algorithm accepts the returned session; for the packaged sorts, pass
+// the network itself as the Oracle and route rounds with this session
+// via core algorithms, e.g.:
 //
 //	nw := ecsort.NewAgentNetwork(ecsort.KeyAgents(labels, seed))
 //	res, err := ecsort.SortERDistributed(nw, ecsort.Config{})
 func NewAgentSession(nw *AgentNetwork, cfg Config) *Session {
+	nw.UsePool(cfg.Runtime) // nil restores the shared pool
 	opts := append(cfg.options(), model.WithExecutor(nw))
 	return model.NewSession(nw, ER, opts...)
 }

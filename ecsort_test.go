@@ -252,3 +252,49 @@ func TestCustomSession(t *testing.T) {
 		t.Fatalf("stats = %+v", st)
 	}
 }
+
+// TestRuntimeOption: sorting on an explicit Runtime pool must be
+// bit-identical to the default, and the pool must actually execute jobs.
+func TestRuntimeOption(t *testing.T) {
+	pool := NewRuntime(3)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(44))
+	labels := SampleLabels(NewUniform(5), 512, rng)
+	o := NewLabelOracle(labels)
+
+	def, err := SortCR(o, 5, Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := SortCR(o, 5, Config{Workers: 3, Runtime: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Stats != pooled.Stats {
+		t.Errorf("stats diverge on explicit runtime: %+v vs %+v", def.Stats, pooled.Stats)
+	}
+	if !SameClassification(def.Labels(512), pooled.Labels(512)) {
+		t.Error("explicit runtime changed the partition")
+	}
+	st := pool.Stats()
+	if st.Workers != 3 {
+		t.Errorf("RuntimeStats.Workers = %d, want 3", st.Workers)
+	}
+	if st.Jobs == 0 {
+		t.Error("explicit runtime executed no parallel jobs")
+	}
+	if DefaultRuntime() == nil || DefaultRuntime().Size() < 1 {
+		t.Error("DefaultRuntime not usable")
+	}
+}
+
+// TestNegativeWorkersPanics: the facade must forward a negative width to
+// the model's validation instead of silently dropping it.
+func TestNegativeWorkersPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Config{Workers: -2} did not panic")
+		}
+	}()
+	NewSession(NewLabelOracle([]int{0, 1}), CR, Config{Workers: -2})
+}

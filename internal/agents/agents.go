@@ -3,8 +3,9 @@
 // that can only learn about each other by running a pairwise protocol
 // over a message channel. The Network executes one comparison round at a
 // time, physically enforcing the ER rule — every agent participates in at
-// most one protocol session per round — and running all of a round's
-// sessions concurrently, one goroutine per agent side.
+// most one protocol session per round — and running a round's sessions
+// concurrently on the persistent runtime pool, one goroutine per agent
+// side within each session.
 //
 // The package provides two concrete agents matching the paper's first two
 // applications:
@@ -31,6 +32,7 @@ import (
 	"sync"
 
 	"ecsort/internal/model"
+	rt "ecsort/internal/runtime"
 )
 
 // Message is one protocol message between two agents.
@@ -47,16 +49,26 @@ type Agent interface {
 // Network owns n agents and executes comparison rounds between them.
 type Network struct {
 	agents []Agent
+	pool   *rt.Pool // dispatches a round's protocol sessions; nil = shared
 	// sessions counts pairwise protocol runs, for reporting.
 	sessions int64
 	mu       sync.Mutex
 	seq      uint64
 }
 
-// NewNetwork wraps a set of agents.
+// NewNetwork wraps a set of agents. Rounds dispatch their protocol
+// sessions from the process-wide shared runtime pool; use UsePool to
+// route them through a dedicated one. The shared pool is resolved
+// lazily at the first round, so wrapping a roster (or running single
+// Same probes) never spins up pool workers.
 func NewNetwork(agents []Agent) *Network {
 	return &Network{agents: agents}
 }
+
+// UsePool makes subsequent rounds dispatch their protocol sessions from
+// p instead of the shared runtime pool; nil restores the shared pool.
+// Not safe to call concurrently with ExecuteRound.
+func (nw *Network) UsePool(p *rt.Pool) { nw.pool = p }
 
 // N returns the number of agents.
 func (nw *Network) N() int { return len(nw.agents) }
@@ -81,11 +93,13 @@ func (nw *Network) Same(i, j int) bool {
 	return nw.runSession(id, i, j)
 }
 
-// ExecuteRound implements model.Executor: it runs every pair's protocol
-// session concurrently (two goroutines per pair, crossed channels) after
-// checking the ER rule. Both sides of a session must agree on the
-// verdict; disagreement panics, because it means the pairwise protocol
-// itself is broken.
+// ExecuteRound implements model.Executor: it runs a round's protocol
+// sessions concurrently after checking the ER rule, dispatching one
+// session per runtime chunk so the concurrency of a round is bounded by
+// the pool's width instead of spawning an unbounded goroutine per pair
+// (each session still runs its two agent goroutines internally). Both
+// sides of a session must agree on the verdict; disagreement panics,
+// because it means the pairwise protocol itself is broken.
 func (nw *Network) ExecuteRound(pairs []model.Pair) []bool {
 	busy := make(map[int]struct{}, 2*len(pairs))
 	for _, p := range pairs {
@@ -104,17 +118,29 @@ func (nw *Network) ExecuteRound(pairs []model.Pair) []bool {
 	nw.sessions += int64(len(pairs))
 	nw.mu.Unlock()
 
-	results := make([]bool, len(pairs))
-	var wg sync.WaitGroup
-	for i, p := range pairs {
-		wg.Add(1)
-		go func(i int, p model.Pair) {
-			defer wg.Done()
-			results[i] = nw.runSession(base+uint64(i), p.A, p.B)
-		}(i, p)
+	pool := nw.pool
+	if pool == nil {
+		pool = rt.Shared()
 	}
-	wg.Wait()
-	return results
+	run := roundRun{nw: nw, base: base, pairs: pairs, out: make([]bool, len(pairs))}
+	pool.Run(len(pairs), len(pairs), &run)
+	return run.out
+}
+
+// roundRun adapts one round of protocol sessions to the runtime's chunk
+// interface; with one pair per chunk, verdicts land by index.
+type roundRun struct {
+	nw    *Network
+	base  uint64
+	pairs []model.Pair
+	out   []bool
+}
+
+// RunChunk implements runtime.Runner.
+func (r *roundRun) RunChunk(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		r.out[i] = r.nw.runSession(r.base+uint64(i), r.pairs[i].A, r.pairs[i].B)
+	}
 }
 
 // runSession wires two agents together and runs their handshakes.

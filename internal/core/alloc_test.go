@@ -48,6 +48,29 @@ func TestMergeGroupCRAllocs(t *testing.T) {
 	}
 }
 
+func TestSortERAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	truth := oracle.RandomBalanced(1024, 6, rand.New(rand.NewSource(17)))
+	s := model.NewSession(truth, model.ER, model.Workers(1))
+	ar := newERArena(1024)
+	if _, err := sortERArena(s, ar); err != nil { // warm the arena
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := sortERArena(s, ar); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Steady state: every rotation round and pair merge runs out of the
+	// arena (the map-keyed pairPlan path allocated per merge AND per
+	// rotation round).
+	if allocs > 2 {
+		t.Errorf("SortER steady state = %v allocs/op, want <= 2", allocs)
+	}
+}
+
 func TestIncrementalFlushAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are not meaningful under the race detector")

@@ -137,58 +137,84 @@ func (a Answer) Classes() [][]int {
 // partition with two memmoves.
 func (a Answer) Flat() (elems, offs []int) { return a.elems, a.offs }
 
-// mergeMatched combines answers according to an equality relation on
-// their classes, given as a list of matched (class of a, class of b)
-// index pairs: a's classes in order, each extended by its matched b class
-// if any, then b's unmatched classes. Used by the ER pair-merge plan.
-func mergeMatched(a, b Answer, matches []model.Pair) Answer {
-	ka, kb := a.K(), b.K()
-	matchOf := make([]int, ka)
-	for i := range matchOf {
-		matchOf[i] = -1
+// appendMatched writes the merge of a and b implied by a pair plan's
+// match state as one flat answer appended to the elems/offs destination
+// slices (typically the ER arena's level pools) and returns the answer
+// viewing the appended region plus the extended slices. Output classes
+// are a's classes in order, each extended by its matched b class if any,
+// then b's unmatched classes — exactly the ordering the map-based ER
+// engine produced, so results are bit-for-bit identical.
+func appendMatched(a, b Answer, matchOf []int32, matchedB []bool, elems, offs []int) (Answer, []int, []int) {
+	base, offBase := len(elems), len(offs)
+	offs = append(offs, base)
+	for i := 0; i < a.K(); i++ {
+		elems = append(elems, a.Class(i)...)
+		if j := matchOf[i]; j >= 0 {
+			elems = append(elems, b.Class(int(j))...)
+		}
+		offs = append(offs, len(elems))
 	}
-	usedB := make([]bool, kb)
-	for _, m := range matches {
-		matchOf[m.A] = m.B
-		usedB[m.B] = true
+	for j := 0; j < b.K(); j++ {
+		if !matchedB[j] {
+			elems = append(elems, b.Class(j)...)
+			offs = append(offs, len(elems))
+		}
 	}
 	out := Answer{
-		elems: make([]int, 0, a.Size()+b.Size()),
-		offs:  make([]int, 1, ka+kb+1),
+		elems: elems[base:len(elems):len(elems)],
+		offs:  offs[offBase:len(offs):len(offs)],
 	}
-	for i := 0; i < ka; i++ {
-		out.elems = append(out.elems, a.Class(i)...)
-		if j := matchOf[i]; j >= 0 {
-			out.elems = append(out.elems, b.Class(j)...)
-		}
-		out.offs = append(out.offs, len(out.elems))
-	}
-	for j := 0; j < kb; j++ {
-		if !usedB[j] {
-			out.elems = append(out.elems, b.Class(j)...)
-			out.offs = append(out.offs, len(out.elems))
+	// Rebase the answer's offsets to its own elems view.
+	if base != 0 {
+		for i := range out.offs {
+			out.offs[i] -= base
 		}
 	}
-	return out
+	return out, elems, offs
 }
 
 // MergePairER merges two answers in the ER model using the Latin-square
 // rotation schedule: at most max(K(a), K(b)) rounds of disjoint
 // representative tests (the engine of Theorem 2, where this is at most k
 // rounds per merge). For round-sharing across independent merges at the
-// same level of a merge tree, use pairPlan directly (see SortER).
+// same level of a merge tree — with all plan scratch pooled in a
+// reusable arena — see SortER.
 func MergePairER(s *model.Session, a, b Answer) (Answer, error) {
-	plan := newPairPlan(a, b)
+	if a.K() > b.K() {
+		a, b = b, a
+	}
+	// The rep→class table is sized by the largest representative, not
+	// the universe, so a small merge in a huge universe stays cheap.
+	maxRep := 0
+	for i := 0; i < a.K(); i++ {
+		maxRep = max(maxRep, a.Rep(i))
+	}
+	for j := 0; j < b.K(); j++ {
+		maxRep = max(maxRep, b.Rep(j))
+	}
+	classOf := make([]int32, maxRep+1)
+	matchOf := make([]int32, a.K())
+	for i := range matchOf {
+		matchOf[i] = -1
+		classOf[a.Rep(i)] = int32(i)
+	}
+	matchedB := make([]bool, b.K())
+	for j := range matchedB {
+		classOf[b.Rep(j)] = int32(j)
+	}
+	plan := pairPlan{a: a, b: b, matchOf: matchOf, matchedB: matchedB, classOf: classOf}
+	var batch []model.Pair
 	for {
-		pairs := plan.next()
-		if pairs == nil {
-			return plan.result(), nil
+		batch = plan.emitNext(batch[:0])
+		if len(batch) == 0 {
+			out, _, _ := appendMatched(a, b, matchOf, matchedB, nil, nil)
+			return out, nil
 		}
-		res, err := s.Round(pairs)
+		res, err := s.Round(batch)
 		if err != nil {
 			return Answer{}, err
 		}
-		plan.absorb(pairs, res)
+		plan.absorb(batch, res)
 	}
 }
 
@@ -198,70 +224,54 @@ func MergePairER(s *model.Session, a, b Answer) (Answer, error) {
 // K(a)·K(b) class pairs are covered after max(K(a), K(b)) rounds. Classes
 // that have already found their partner are skipped: classes within one
 // answer are mutually distinct, so a matched class needs no further tests.
+//
+// A plan owns no storage: matchOf and matchedB are carved from a level's
+// arena (or allocated once by MergePairER) and classOf is the shared
+// element-indexed representative→class table, so the ER steady state
+// allocates nothing per merge or per rotation round.
 type pairPlan struct {
-	a, b     Answer // K(a) <= K(b) after normalization
-	r        int    // next rotation round to emit
-	matchedA []bool
+	a, b Answer // K(a) <= K(b) after normalization
+	r    int    // next rotation round to emit
+	slot int    // output position in the level's answer list
+	// matchOf[i] is the b-class index matched to a-class i, or -1.
+	matchOf []int32
+	// matchedB[j] reports b-class j has found its partner.
 	matchedB []bool
-	matches  []model.Pair // (class of a, class of b) index pairs
-	classOf  map[int]int  // representative element -> class index
+	// classOf maps representative element -> class index within its own
+	// answer; shared across a level (element sets are disjoint).
+	classOf []int32
 }
 
-func newPairPlan(a, b Answer) *pairPlan {
-	if a.K() > b.K() {
-		a, b = b, a
-	}
-	p := &pairPlan{
-		a:        a,
-		b:        b,
-		matchedA: make([]bool, a.K()),
-		matchedB: make([]bool, b.K()),
-		classOf:  make(map[int]int, a.K()+b.K()),
-	}
-	for i := 0; i < p.a.K(); i++ {
-		p.classOf[p.a.Rep(i)] = i
-	}
-	for j := 0; j < p.b.K(); j++ {
-		p.classOf[p.b.Rep(j)] = j
-	}
-	return p
-}
-
-// next returns the disjoint tests of the next non-empty rotation round, or
-// nil when the schedule is exhausted. The caller must pass the returned
-// tests' results to absorb before calling next again.
-func (p *pairPlan) next() []model.Pair {
+// emitNext appends the disjoint tests of the next non-empty rotation
+// round to dst and returns the extended slice; dst comes back unchanged
+// when the schedule is exhausted. The caller must pass the emitted
+// tests' results to absorb before calling emitNext again.
+func (p *pairPlan) emitNext(dst []model.Pair) []model.Pair {
 	kb := p.b.K()
+	mark := len(dst)
 	for ; p.r < kb; p.r++ {
-		var pairs []model.Pair
 		for i := 0; i < p.a.K(); i++ {
 			j := (i + p.r) % kb
-			if p.matchedA[i] || p.matchedB[j] {
+			if p.matchOf[i] >= 0 || p.matchedB[j] {
 				continue
 			}
-			pairs = append(pairs, model.Pair{A: p.a.Rep(i), B: p.b.Rep(j)})
+			dst = append(dst, model.Pair{A: p.a.Rep(i), B: p.b.Rep(j)})
 		}
-		if len(pairs) > 0 {
+		if len(dst) > mark {
 			p.r++
-			return pairs
+			return dst
 		}
 	}
-	return nil
+	return dst
 }
 
-// absorb records the results of one executed round returned by next.
+// absorb records the results of one executed round emitted by emitNext.
 func (p *pairPlan) absorb(pairs []model.Pair, res []bool) {
 	for idx, eq := range res {
 		if eq {
 			i, j := p.classOf[pairs[idx].A], p.classOf[pairs[idx].B]
-			p.matchedA[i] = true
+			p.matchOf[i] = j
 			p.matchedB[j] = true
-			p.matches = append(p.matches, model.Pair{A: i, B: j})
 		}
 	}
-}
-
-// result folds the matches into the merged answer.
-func (p *pairPlan) result() Answer {
-	return mergeMatched(p.a, p.b, p.matches)
 }

@@ -16,6 +16,12 @@ import (
 // therefore costs max over its merges ≤ k rounds.
 //
 // SortER needs no knowledge of k. The session must be in ER mode.
+//
+// One arena serves the whole sort: level outputs double-buffer between
+// two flat pools sized by n, rotation tests stream into one reusable
+// batch, and every plan's match state is carved from level-wide backing,
+// so — like the CR path — the ER steady state allocates nothing per
+// merge or per rotation round.
 func SortER(s *model.Session) (Result, error) {
 	if s.Mode() != model.ER {
 		return Result{}, fmt.Errorf("core: SortER requires an ER session, got %v", s.Mode())
@@ -24,69 +30,186 @@ func SortER(s *model.Session) (Result, error) {
 	if n == 0 {
 		return Result{Stats: s.Stats()}, nil
 	}
-	answers := Singletons(n)
-	for len(answers) > 1 {
-		merged, err := mergeLevelER(s, answers)
-		if err != nil {
-			return Result{}, err
-		}
-		answers = merged
+	final, err := sortERArena(s, newERArena(n))
+	if err != nil {
+		return Result{}, err
 	}
-	return Result{Classes: answers[0].Classes(), Stats: s.Stats()}, nil
+	return Result{Classes: final.Classes(), Stats: s.Stats()}, nil
+}
+
+// sortERArena runs the Theorem 2 merge tree on a reusable arena and
+// returns the final answer, which views the arena's pools — callers that
+// outlive the arena must materialize it (Classes). Reusing one arena
+// across sorts keeps the steady state allocation-free.
+func sortERArena(s *model.Session, ar *erArena) (Answer, error) {
+	answers := ar.seedSingletons()
+	for len(answers) > 1 {
+		next, err := mergeLevelER(s, ar, answers)
+		if err != nil {
+			return Answer{}, err
+		}
+		ar.nextAns = answers // recycle the headers for the level after next
+		answers = next
+	}
+	return answers[0], nil
+}
+
+// erArena is the reusable scratch of the ER merge tree: double-buffered
+// flat pools for the answers of the current and next level (a level
+// never covers more than n elements), the shared rotation batch and
+// result buffer, and level-wide backing carved into per-plan match
+// state. Buffers grow on demand and are retained across levels and
+// sorts. An erArena is not safe for concurrent use.
+type erArena struct {
+	n int
+
+	// elems/offs double-buffer the flat answer storage of the current
+	// and next level; cur indexes the pool the live answers view.
+	elems [2][]int
+	offs  [2][]int
+	cur   int
+
+	answers []Answer // header slice seeded with the singleton level
+	nextAns []Answer // spare header slice the next level builds into
+
+	plans   []pairPlan
+	active  []int // indices into plans still merging, in creation order
+	spans   []erSpan
+	batch   []model.Pair
+	results []bool
+
+	classOf  []int32 // element-indexed representative -> class index
+	matchOf  []int32 // level-wide backing carved into per-plan matchOf
+	matchedB []bool  // level-wide backing carved into per-plan matchedB
+}
+
+// erSpan marks one plan's slice of a batched rotation round.
+type erSpan struct {
+	plan   int // index into the level's plans
+	lo, hi int // its tests occupy batch[lo:hi]
+}
+
+func newERArena(n int) *erArena {
+	return &erArena{
+		n:        n,
+		classOf:  make([]int32, n),
+		matchOf:  make([]int32, n),
+		matchedB: make([]bool, n),
+	}
+}
+
+// seedSingletons resets the arena to the singleton level: answers[i]
+// views pool element i (step 0 of the merge tree).
+func (ar *erArena) seedSingletons() []Answer {
+	ar.cur = 0
+	pool := growInts(ar.elems[0][:0], ar.n)
+	answers := ar.answers
+	if cap(answers) < ar.n {
+		answers = make([]Answer, ar.n)
+	}
+	answers = answers[:ar.n]
+	for i := range answers {
+		pool[i] = i
+		answers[i] = Answer{elems: pool[i : i+1 : i+1], offs: singletonOffs}
+	}
+	ar.elems[0] = pool
+	ar.answers = answers
+	return answers
+}
+
+// appendAnswer copies a into the elems/offs destination pools and
+// returns the copied view — the carry-over path for an odd answer, so
+// the source pool can be recycled next level.
+func appendAnswer(a Answer, elems, offs []int) (Answer, []int, []int) {
+	base, offBase := len(elems), len(offs)
+	elems = append(elems, a.elems...)
+	offs = append(offs, a.offs...)
+	out := Answer{
+		elems: elems[base : base+a.Size() : base+a.Size()],
+		offs:  offs[offBase : offBase+len(a.offs) : offBase+len(a.offs)],
+	}
+	return out, elems, offs
 }
 
 // mergeLevelER merges answers pairwise — (0,1), (2,3), ... — sharing
 // rounds across the level: the i-th rotation round of every active merge
-// is combined into one parallel round of disjoint tests.
-func mergeLevelER(s *model.Session, answers []Answer) ([]Answer, error) {
-	next := make([]Answer, 0, (len(answers)+1)/2)
-	type activeMerge struct {
-		plan *pairPlan
-		slot int
-	}
-	var active []activeMerge
+// is combined into one parallel round of disjoint tests. Outputs are
+// written into the arena's spare pool, which then becomes current; the
+// input answers' pool is recycled, so callers must not retain answers
+// across calls.
+func mergeLevelER(s *model.Session, ar *erArena, answers []Answer) ([]Answer, error) {
+	dst := 1 - ar.cur
+	elems, offs := ar.elems[dst][:0], ar.offs[dst][:0]
+	next := ar.nextAns[:0]
+	plans := ar.plans[:0]
+	moUsed, mbUsed := 0, 0
 	for start := 0; start < len(answers); start += 2 {
 		if start+1 == len(answers) {
-			next = append(next, answers[start])
+			var out Answer
+			out, elems, offs = appendAnswer(answers[start], elems, offs)
+			next = append(next, out)
 			continue
 		}
-		active = append(active, activeMerge{
-			plan: newPairPlan(answers[start], answers[start+1]),
-			slot: len(next),
-		})
-		next = append(next, Answer{}) // placeholder
-	}
-	for len(active) > 0 {
-		var batch []model.Pair
-		type span struct {
-			idx    int // index into active
-			lo, hi int
+		a, b := answers[start], answers[start+1]
+		if a.K() > b.K() {
+			a, b = b, a
 		}
-		var spans []span
+		mo := ar.matchOf[moUsed : moUsed+a.K() : moUsed+a.K()]
+		mb := ar.matchedB[mbUsed : mbUsed+b.K() : mbUsed+b.K()]
+		moUsed += a.K()
+		mbUsed += b.K()
+		for i := range mo {
+			mo[i] = -1
+			ar.classOf[a.Rep(i)] = int32(i)
+		}
+		for j := range mb {
+			mb[j] = false
+			ar.classOf[b.Rep(j)] = int32(j)
+		}
+		plans = append(plans, pairPlan{
+			a: a, b: b, slot: len(next),
+			matchOf: mo, matchedB: mb, classOf: ar.classOf,
+		})
+		next = append(next, Answer{}) // placeholder until the plan finishes
+	}
+
+	active := ar.active[:0]
+	for i := range plans {
+		active = append(active, i)
+	}
+	batch, spans := ar.batch, ar.spans
+	for len(active) > 0 {
+		batch, spans = batch[:0], spans[:0]
 		still := active[:0]
-		for i := range active {
-			pairs := active[i].plan.next()
-			if pairs == nil {
-				next[active[i].slot] = active[i].plan.result()
+		for _, pi := range active {
+			p := &plans[pi]
+			lo := len(batch)
+			batch = p.emitNext(batch)
+			if len(batch) == lo { // schedule exhausted: finalize the merge
+				next[p.slot], elems, offs = appendMatched(p.a, p.b, p.matchOf, p.matchedB, elems, offs)
 				continue
 			}
-			lo := len(batch)
-			batch = append(batch, pairs...)
-			spans = append(spans, span{idx: len(still), lo: lo, hi: len(batch)})
-			still = append(still, active[i])
+			spans = append(spans, erSpan{plan: pi, lo: lo, hi: len(batch)})
+			still = append(still, pi)
 		}
+		active = still
 		if len(batch) == 0 {
-			active = still
 			continue
 		}
-		res, err := s.Round(batch)
+		res, err := s.RoundBuf(batch, ar.results)
 		if err != nil {
 			return nil, err
 		}
-		for _, sp := range spans {
-			still[sp.idx].plan.absorb(batch[sp.lo:sp.hi], res[sp.lo:sp.hi])
+		if cap(res) > cap(ar.results) {
+			ar.results = res
 		}
-		active = still
+		for _, sp := range spans {
+			plans[sp.plan].absorb(batch[sp.lo:sp.hi], res[sp.lo:sp.hi])
+		}
 	}
+	ar.plans, ar.active = plans, active
+	ar.batch, ar.spans = batch, spans
+	ar.elems[dst], ar.offs[dst] = elems, offs
+	ar.cur = dst
 	return next, nil
 }

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ecsort/internal/model"
+	"ecsort/internal/oracle"
+	rt "ecsort/internal/runtime"
+)
+
+// The parallel determinism guarantee of the persistent round runtime:
+// results are written by index, so at ANY Workers value the partitions,
+// comparisons, physical rounds, and widest round must stay bit-identical
+// to Workers(1) — which the golden cases pin to the pre-rewrite engine.
+
+func goldenByName(t *testing.T, name string) goldenCase {
+	t.Helper()
+	for _, g := range goldenCases {
+		if g.name == name {
+			return g
+		}
+	}
+	t.Fatalf("no golden case %q", name)
+	return goldenCase{}
+}
+
+func checkGolden(t *testing.T, label string, g goldenCase, res Result) {
+	t.Helper()
+	if res.Stats.Comparisons != g.comparisons {
+		t.Errorf("%s: comparisons = %d, golden %d", label, res.Stats.Comparisons, g.comparisons)
+	}
+	if res.Stats.Rounds != g.rounds {
+		t.Errorf("%s: rounds = %d, golden %d", label, res.Stats.Rounds, g.rounds)
+	}
+	if res.Stats.MaxRoundSize != g.maxRoundSize {
+		t.Errorf("%s: max round size = %d, golden %d", label, res.Stats.MaxRoundSize, g.maxRoundSize)
+	}
+	if fp := partitionFingerprint(res.Classes); fp != g.fingerprint {
+		t.Errorf("%s: partition fingerprint = %#x, golden %#x", label, fp, g.fingerprint)
+	}
+}
+
+func TestParallelGoldenDeterminism(t *testing.T) {
+	pool := rt.NewPool(4)
+	defer pool.Close()
+	goldenCR := goldenByName(t, "SortCR/n=1000/k=3/seed=11")
+	goldenER := goldenByName(t, "SortER/n=1024/k=6/seed=17")
+	for _, workers := range []int{1, 2, 3, 8} {
+		truthCR := oracle.RandomBalanced(1000, 3, rand.New(rand.NewSource(11)))
+		s := model.NewSession(truthCR, model.CR, model.Workers(workers), model.WithPool(pool))
+		res, err := SortCR(s, 3)
+		if err != nil {
+			t.Fatalf("SortCR workers=%d: %v", workers, err)
+		}
+		checkGolden(t, fmt.Sprintf("SortCR workers=%d", workers), goldenCR, res)
+
+		truthER := oracle.RandomBalanced(1024, 6, rand.New(rand.NewSource(17)))
+		sER := model.NewSession(truthER, model.ER, model.Workers(workers), model.WithPool(pool))
+		resER, err := SortER(sER)
+		if err != nil {
+			t.Fatalf("SortER workers=%d: %v", workers, err)
+		}
+		checkGolden(t, fmt.Sprintf("SortER workers=%d", workers), goldenER, resER)
+	}
+}

@@ -1,0 +1,105 @@
+package model
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	rt "ecsort/internal/runtime"
+)
+
+// BenchmarkExecute is the tracked-baseline benchmark of physical-round
+// execution (see BENCH_baseline.json and the CI bench smoke): the same
+// one-round workload driven through the persistent runtime pool versus
+// the spawn-per-round path it replaced (fresh goroutines, a WaitGroup,
+// and a result slice every round, reproduced here as a custom executor).
+// Both variants pin the parallel width to 4 so allocs/op is independent
+// of the runner's core count; run with -cpu 1,4 to see the pool's
+// multi-core win on real hardware.
+
+// mixOracle burns a fixed amount of CPU per test — a stand-in for a real
+// equivalence test (certificate comparison, HMAC exchange) that gives
+// parallel execution something to chew on.
+type mixOracle struct {
+	labels []int
+}
+
+func (o mixOracle) N() int { return len(o.labels) }
+
+func (o mixOracle) Same(i, j int) bool {
+	h := uint64(i)*0x9e3779b97f4a7c15 ^ uint64(j)*0xbf58476d1ce4e5b9
+	for r := 0; r < 32; r++ {
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+	}
+	return o.labels[i] == o.labels[j] && h != 0
+}
+
+// spawnExecutor reproduces the pre-runtime execute path for comparison:
+// per-round goroutines over chunked ranges.
+type spawnExecutor struct {
+	oracle  Oracle
+	workers int
+}
+
+func (e spawnExecutor) ExecuteRound(pairs []Pair) []bool {
+	out := make([]bool, len(pairs))
+	w := e.workers
+	if w > len(pairs) {
+		w = len(pairs)
+	}
+	var wg sync.WaitGroup
+	chunk := (len(pairs) + w - 1) / w
+	for start := 0; start < len(pairs); start += chunk {
+		end := min(start+chunk, len(pairs))
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = e.oracle.Same(pairs[i].A, pairs[i].B)
+			}
+		}(start, end)
+	}
+	wg.Wait()
+	return out
+}
+
+func BenchmarkExecute(b *testing.B) {
+	const n = 4096
+	rng := rand.New(rand.NewSource(42))
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = rng.Intn(8)
+	}
+	o := mixOracle{labels: labels}
+	pairs := make([]Pair, n)
+	for i := range pairs {
+		a, c := rng.Intn(n), rng.Intn(n)
+		for a == c {
+			c = rng.Intn(n)
+		}
+		pairs[i] = Pair{a, c}
+	}
+	buf := make([]bool, len(pairs))
+
+	bench := func(b *testing.B, s *Session) {
+		b.Helper()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.RoundBuf(pairs, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("pool", func(b *testing.B) {
+		pool := rt.NewPool(4)
+		defer pool.Close()
+		bench(b, NewSession(o, CR, Workers(4), WithPool(pool), Processors(len(pairs))))
+	})
+	b.Run("spawn", func(b *testing.B) {
+		bench(b, NewSession(o, CR,
+			WithExecutor(spawnExecutor{oracle: o, workers: 4}), Processors(len(pairs))))
+	})
+}

@@ -23,7 +23,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sync"
+
+	rt "ecsort/internal/runtime"
 )
 
 // Mode selects the read-concurrency rule of the comparison model.
@@ -92,6 +93,10 @@ var (
 // silently papered over with false answers.
 var ErrExecutorResults = errors.New("model: executor returned wrong result count")
 
+// ErrBadWorkers reports a negative Workers value — a caller bug.
+// Workers panics with an error wrapping this sentinel.
+var ErrBadWorkers = errors.New("model: negative Workers")
+
 // Option configures a Session.
 type Option func(*Session)
 
@@ -126,15 +131,38 @@ func Processors(p int) Option {
 	return func(s *Session) { s.procs = p }
 }
 
-// Workers sets the number of goroutines used to execute the tests of one
-// round. The default is runtime.GOMAXPROCS(0). Use Workers(1) when the
-// oracle's answers depend on query order (adaptive adversaries).
+// Workers sets the parallel width of a round: the maximum number of
+// chunks a physical round is split into on the session's runtime pool.
+// Workers(0) restores the default, runtime.GOMAXPROCS(0) at session
+// creation. Use Workers(1) when the oracle's answers depend on query
+// order (adaptive adversaries). Negative values are a caller bug and
+// panic with an error wrapping ErrBadWorkers.
+//
+// Actual concurrency is bounded by the pool's width, not by Workers: on
+// the default shared pool that is GOMAXPROCS, so an oracle that blocks
+// in Same (RPCs, timed waits) and wants more in-flight tests per round
+// than cores needs a session on a wider dedicated pool — WithPool over
+// runtime.NewPool(w) overlaps w blocking tests even at GOMAXPROCS=1.
 func Workers(w int) Option {
 	return func(s *Session) {
-		if w > 0 {
+		switch {
+		case w > 0:
 			s.workers = w
+		case w == 0:
+			s.workers = runtime.GOMAXPROCS(0)
+		default:
+			panic(fmt.Errorf("%w: Workers(%d); use 0 for the GOMAXPROCS default", ErrBadWorkers, w))
 		}
 	}
+}
+
+// WithPool executes the session's parallel rounds on p instead of the
+// process-wide shared runtime pool. Sessions never own their pool: a
+// pool outlives the sessions that run on it (the sharded service shares
+// one pool across every collection), and closing it is the creator's
+// job.
+func WithPool(p *rt.Pool) Option {
+	return func(s *Session) { s.pool = p }
 }
 
 // Session executes equivalence tests against an Oracle under the rules of
@@ -149,6 +177,8 @@ type Session struct {
 	procs    int
 	workers  int
 	executor Executor
+	pool     *rt.Pool
+	exec     roundExec // persistent chunk runner, reused every round
 
 	logRounds bool
 	roundLog  []int
@@ -171,6 +201,7 @@ func NewSession(o Oracle, mode Mode, opts ...Option) *Session {
 	for _, opt := range opts {
 		opt(s)
 	}
+	s.exec.oracle = o
 	if s.procs <= 0 {
 		s.procs = s.n
 	}
@@ -319,8 +350,13 @@ func (s *Session) validateCR(pairs []Pair) error {
 	return nil
 }
 
-// execute runs the tests of one physical round, in parallel across the
-// session's worker goroutines (or via the custom executor, if set).
+// execute runs the tests of one physical round on the session's runtime
+// pool (or via the custom executor, if set). The pool splits the pair
+// slice into at most Workers chunks claimed by its persistent
+// goroutines; answers are written by index, so results are bit-identical
+// to Workers(1) no matter how chunks land on workers, and the steady
+// state allocates nothing — no per-round goroutines, closures, or
+// WaitGroups.
 func (s *Session) execute(pairs []Pair, out []bool) error {
 	if s.executor != nil {
 		res := s.executor.ExecuteRound(pairs)
@@ -330,28 +366,37 @@ func (s *Session) execute(pairs []Pair, out []bool) error {
 		copy(out, res)
 		return nil
 	}
-	w := s.workers
-	if w > len(pairs) {
-		w = len(pairs)
-	}
-	if w <= 1 {
+	if s.workers <= 1 || len(pairs) < 2 {
 		for i, p := range pairs {
 			out[i] = s.oracle.Same(p.A, p.B)
 		}
 		return nil
 	}
-	var wg sync.WaitGroup
-	chunk := (len(pairs) + w - 1) / w
-	for start := 0; start < len(pairs); start += chunk {
-		end := min(start+chunk, len(pairs))
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				out[i] = s.oracle.Same(pairs[i].A, pairs[i].B)
-			}
-		}(start, end)
+	// The shared pool is resolved lazily so sessions that never reach a
+	// parallel round — Workers(1), custom executors, Compare-only runs —
+	// don't spin up the process-wide workers.
+	pool := s.pool
+	if pool == nil {
+		pool = rt.Shared()
 	}
-	wg.Wait()
+	s.exec.pairs, s.exec.out = pairs, out
+	pool.Run(len(pairs), s.workers, &s.exec)
+	s.exec.pairs, s.exec.out = nil, nil
 	return nil
+}
+
+// roundExec adapts one physical round to the runtime's chunk interface.
+// It lives inside the Session so taking its address never allocates.
+type roundExec struct {
+	oracle Oracle
+	pairs  []Pair
+	out    []bool
+}
+
+// RunChunk implements runtime.Runner.
+func (e *roundExec) RunChunk(lo, hi int) {
+	pairs, out := e.pairs, e.out
+	for i := lo; i < hi; i++ {
+		out[i] = e.oracle.Same(pairs[i].A, pairs[i].B)
+	}
 }

@@ -3,9 +3,12 @@ package model
 import (
 	"errors"
 	"math/rand"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+
+	rt "ecsort/internal/runtime"
 )
 
 // parityOracle puts even and odd elements in two classes.
@@ -195,6 +198,63 @@ type labelOracle struct{ labels []int }
 func (o labelOracle) N() int             { return len(o.labels) }
 func (o labelOracle) Same(i, j int) bool { return o.labels[i] == o.labels[j] }
 
+// TestWorkersZeroMeansGOMAXPROCS: Workers(0) is the documented explicit
+// spelling of the default.
+func TestWorkersZeroMeansGOMAXPROCS(t *testing.T) {
+	s := NewSession(parityOracle{n: 4}, CR, Workers(1), Workers(0))
+	if want := runtime.GOMAXPROCS(0); s.workers != want {
+		t.Errorf("Workers(0) set width %d, want GOMAXPROCS %d", s.workers, want)
+	}
+}
+
+// TestWorkersNegativePanics: a negative width is a caller bug and must
+// fail loudly with ErrBadWorkers instead of being silently ignored.
+func TestWorkersNegativePanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrBadWorkers) {
+			t.Errorf("Workers(-3) panicked with %v, want ErrBadWorkers", r)
+		}
+	}()
+	NewSession(parityOracle{n: 4}, CR, Workers(-3))
+	t.Error("Workers(-3) did not panic")
+}
+
+// TestWithPoolMatchesDefault: an explicit pool changes where rounds run,
+// never what they answer.
+func TestWithPoolMatchesDefault(t *testing.T) {
+	pool := rt.NewPool(3)
+	defer pool.Close()
+	labels := make([]int, 64)
+	for i := range labels {
+		labels[i] = i % 5
+	}
+	o := labelOracle{labels}
+	var pairs []Pair
+	for i := 0; i+1 < len(labels); i++ {
+		pairs = append(pairs, Pair{i, i + 1})
+	}
+	def := NewSession(o, CR, Workers(8))
+	pooled := NewSession(o, CR, Workers(8), WithPool(pool))
+	want, err1 := def.Round(pairs)
+	got, err2 := pooled.Round(pairs)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pooled answers diverge at %d", i)
+		}
+	}
+	if pool.Stats().Jobs == 0 {
+		t.Error("explicit pool executed no jobs")
+	}
+	if def.Stats() != pooled.Stats() {
+		t.Errorf("stats diverge: %+v vs %+v", def.Stats(), pooled.Stats())
+	}
+}
+
 func TestModeString(t *testing.T) {
 	if ER.String() != "ER" || CR.String() != "CR" {
 		t.Errorf("Mode strings wrong: %v %v", ER, CR)
@@ -252,5 +312,41 @@ func TestRoundBufReuse(t *testing.T) {
 	got, err = s.RoundBuf(pairs, small)
 	if err != nil || len(got) != len(pairs) {
 		t.Fatalf("small-buffer RoundBuf: %v %v", got, err)
+	}
+}
+
+// TestParallelExecuteAllocs guards the pool execute path's zero-alloc
+// steady state at Workers > 1. The benchcmp gate cannot (a 0-alloc
+// baseline disables it) and TestRoundBufReuse only covers the serial
+// Workers(1) path, so this is the deterministic line for the headline
+// no-goroutines-no-garbage claim of the persistent runtime.
+func TestParallelExecuteAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	pool := rt.NewPool(4)
+	defer pool.Close()
+	labels := make([]int, 256)
+	for i := range labels {
+		labels[i] = i % 7
+	}
+	s := NewSession(labelOracle{labels}, CR, Workers(4), WithPool(pool), Processors(1<<20))
+	pairs := make([]Pair, 512)
+	for i := range pairs {
+		pairs[i] = Pair{i % 256, (i*3 + 1) % 256}
+	}
+	buf := make([]bool, len(pairs))
+	if _, err := s.RoundBuf(pairs, buf); err != nil { // warm the job pool
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := s.RoundBuf(pairs, buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Steady state is zero; allow only sync.Pool jitter from a GC that
+	// lands mid-measurement.
+	if allocs > 0.5 {
+		t.Errorf("parallel RoundBuf steady state = %v allocs/op, want 0", allocs)
 	}
 }

@@ -208,6 +208,42 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE ecsort_flushes_total counter\n")
 	fmt.Fprintf(w, "ecsort_flushes_total %d\n", totalFlushes)
 
+	// Execution runtime: the persistent pool every collection's session
+	// runs its parallel rounds on.
+	rs := s.pool.Stats()
+	fmt.Fprintf(w, "# HELP ecsort_runtime_workers Parallel width of the shared execution pool.\n")
+	fmt.Fprintf(w, "# TYPE ecsort_runtime_workers gauge\n")
+	fmt.Fprintf(w, "ecsort_runtime_workers %d\n", rs.Workers)
+	fmt.Fprintf(w, "# HELP ecsort_runtime_jobs_total Parallel round jobs dispatched to the pool.\n")
+	fmt.Fprintf(w, "# TYPE ecsort_runtime_jobs_total counter\n")
+	fmt.Fprintf(w, "ecsort_runtime_jobs_total %d\n", rs.Jobs)
+	fmt.Fprintf(w, "# HELP ecsort_runtime_chunks_total Work chunks executed across all pool jobs.\n")
+	fmt.Fprintf(w, "# TYPE ecsort_runtime_chunks_total counter\n")
+	fmt.Fprintf(w, "ecsort_runtime_chunks_total %d\n", rs.Chunks)
+	fmt.Fprintf(w, "# HELP ecsort_runtime_inline_rounds_total Rounds executed serially on the submitting goroutine.\n")
+	fmt.Fprintf(w, "# TYPE ecsort_runtime_inline_rounds_total counter\n")
+	fmt.Fprintf(w, "ecsort_runtime_inline_rounds_total %d\n", rs.Inline)
+
+	// Backpressure: shard op-queue depth (writer backlog under overload)
+	// and batch-fold latency (how long Flush+publish holds a shard).
+	fmt.Fprintf(w, "# HELP ecsort_shard_queue_depth Queued writer ops per shard.\n")
+	fmt.Fprintf(w, "# TYPE ecsort_shard_queue_depth gauge\n")
+	for i, sh := range s.shards {
+		fmt.Fprintf(w, "ecsort_shard_queue_depth{shard=\"%d\"} %d\n", i, len(sh.ops))
+	}
+	fmt.Fprintf(w, "# HELP ecsort_shard_queue_capacity Bound of each shard's op queue.\n")
+	fmt.Fprintf(w, "# TYPE ecsort_shard_queue_capacity gauge\n")
+	fmt.Fprintf(w, "ecsort_shard_queue_capacity %d\n", cap(s.shards[0].ops))
+	fmt.Fprintf(w, "# HELP ecsort_fold_total Batch folds (flush+publish) executed on shard goroutines.\n")
+	fmt.Fprintf(w, "# TYPE ecsort_fold_total counter\n")
+	fmt.Fprintf(w, "ecsort_fold_total %d\n", s.folds.Load())
+	fmt.Fprintf(w, "# HELP ecsort_fold_duration_seconds_total Cumulative batch-fold latency.\n")
+	fmt.Fprintf(w, "# TYPE ecsort_fold_duration_seconds_total counter\n")
+	fmt.Fprintf(w, "ecsort_fold_duration_seconds_total %.9f\n", float64(s.foldNanos.Load())/1e9)
+	fmt.Fprintf(w, "# HELP ecsort_fold_last_duration_seconds Latency of the most recent batch fold.\n")
+	fmt.Fprintf(w, "# TYPE ecsort_fold_last_duration_seconds gauge\n")
+	fmt.Fprintf(w, "ecsort_fold_last_duration_seconds %.9f\n", float64(s.lastFoldNanos.Load())/1e9)
+
 	// Per-collection gauges from the published snapshots (comparisons,
 	// rounds, widest round, class counts), never touching the writers.
 	fmt.Fprintf(w, "# HELP ecsort_collection_classes Classes in the published snapshot.\n")

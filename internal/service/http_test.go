@@ -299,3 +299,59 @@ func TestHTTPGraphIsoCollection(t *testing.T) {
 		t.Fatalf("graph classes = %v", snap.Classes)
 	}
 }
+
+// TestHTTPMetricsRuntimeAndBackpressure: /metrics must expose the shared
+// execution pool's counters, per-shard op-queue depth, and batch-fold
+// latency — the backpressure view of the single-writer shards.
+func TestHTTPMetricsRuntimeAndBackpressure(t *testing.T) {
+	svc := New(Config{Shards: 2, BatchSize: 4, Workers: 3})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	labels := []int{0, 1, 0, 1, 2, 2, 0, 1}
+	if st := call(t, client, http.MethodPut, ts.URL+"/v1/collections/bp",
+		OracleSpec{Kind: KindLabel, Labels: labels}, nil); st != http.StatusCreated {
+		t.Fatalf("create status %d", st)
+	}
+	var res IngestResult
+	if st := call(t, client, http.MethodPost, ts.URL+"/v1/collections/bp/items?flush=1",
+		map[string]any{"items": []int{0, 1, 2, 3, 4, 5, 6, 7}}, &res); st != http.StatusAccepted {
+		t.Fatalf("ingest status %d", st)
+	}
+	if !res.Flushed {
+		t.Fatal("forced ingest did not flush")
+	}
+
+	resp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	metrics := string(raw)
+	for _, want := range []string{
+		"ecsort_runtime_workers 3",
+		"ecsort_runtime_jobs_total",
+		"ecsort_runtime_chunks_total",
+		"ecsort_runtime_inline_rounds_total",
+		`ecsort_shard_queue_depth{shard="0"} `,
+		`ecsort_shard_queue_depth{shard="1"} `,
+		"ecsort_shard_queue_capacity 64",
+		"ecsort_fold_total 1",
+		"ecsort_fold_duration_seconds_total",
+		"ecsort_fold_last_duration_seconds",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	// The fold-latency counters must have recorded the forced flush.
+	if strings.Contains(metrics, "ecsort_fold_duration_seconds_total 0.000000000\n") {
+		t.Fatal("fold duration total stayed zero after a forced flush")
+	}
+	if svc.RuntimeStats().Workers != 3 {
+		t.Fatalf("RuntimeStats().Workers = %d, want 3", svc.RuntimeStats().Workers)
+	}
+}

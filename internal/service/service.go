@@ -11,6 +11,7 @@ import (
 
 	"ecsort/internal/core"
 	"ecsort/internal/model"
+	rt "ecsort/internal/runtime"
 )
 
 // Errors reported by the service API. The HTTP layer maps them to status
@@ -49,8 +50,10 @@ type Config struct {
 	// Processors caps comparisons per physical round in each
 	// collection's session (Valiant's p); 0 means n.
 	Processors int
-	// Workers is the per-round goroutine count of each collection's
-	// session; 0 means GOMAXPROCS.
+	// Workers is the size of the service-wide execution pool: one
+	// persistent runtime.Pool shared by every collection's session, so
+	// concurrent shard flushes time-slice a fixed set of goroutines
+	// instead of spawning per round. 0 means GOMAXPROCS.
 	Workers int
 }
 
@@ -245,16 +248,28 @@ type shard struct {
 type Service struct {
 	cfg    Config
 	shards []*shard
+	pool   *rt.Pool // execution pool shared by every collection's session
 	start  time.Time
+
+	// Batch-fold latency counters: how long Flush+publish takes on the
+	// shard goroutines, for the /metrics backpressure gauges.
+	folds         atomic.Int64
+	foldNanos     atomic.Int64
+	lastFoldNanos atomic.Int64
 
 	closeMu sync.RWMutex // write-held by Close; read-held around ops sends
 	closed  bool
 	wg      sync.WaitGroup
 }
 
-// New starts a service with cfg.shards() writer goroutines.
+// New starts a service with cfg.shards() writer goroutines. A negative
+// Workers is a caller bug and panics with model.ErrBadWorkers, matching
+// the model layer's loud-failure policy for bad widths.
 func New(cfg Config) *Service {
-	s := &Service{cfg: cfg, start: time.Now()}
+	if cfg.Workers < 0 {
+		panic(fmt.Errorf("%w: service Workers(%d); use 0 for the GOMAXPROCS default", model.ErrBadWorkers, cfg.Workers))
+	}
+	s := &Service{cfg: cfg, pool: rt.NewPool(cfg.Workers), start: time.Now()}
 	s.shards = make([]*shard, cfg.shards())
 	for i := range s.shards {
 		sh := &shard{
@@ -285,13 +300,12 @@ func (s *Service) runShard(sh *shard) {
 			o.done <- o.fn()
 		case <-tick:
 			for c := range sh.dirty {
-				if err := c.inc.Flush(); err != nil {
+				if err := s.fold(c); err != nil {
 					// An oracle/session failure here has no caller to
 					// report to; leave the collection dirty and let the
 					// next synchronous op surface the error.
 					continue
 				}
-				c.publish()
 				delete(sh.dirty, c)
 			}
 		case <-sh.quit:
@@ -307,6 +321,26 @@ func (s *Service) runShard(sh *shard) {
 		}
 	}
 }
+
+// fold flushes c's pending buffer into its answer and publishes the new
+// snapshot, tracking batch-fold latency for the /metrics backpressure
+// gauges. Shard goroutine only.
+func (s *Service) fold(c *collection) error {
+	start := time.Now()
+	if err := c.inc.Flush(); err != nil {
+		return err
+	}
+	c.publish()
+	d := time.Since(start).Nanoseconds()
+	s.folds.Add(1)
+	s.foldNanos.Add(d)
+	s.lastFoldNanos.Store(d)
+	return nil
+}
+
+// RuntimeStats reports the shared execution pool's counters (parallel
+// width, jobs, chunks, inline rounds) — surfaced in /metrics.
+func (s *Service) RuntimeStats() rt.Stats { return s.pool.Stats() }
 
 // do runs fn on the shard's writer goroutine and waits for it.
 func (s *Service) do(sh *shard, fn func() error) error {
@@ -336,6 +370,9 @@ func (s *Service) Close() {
 	}
 	s.closeMu.Unlock()
 	s.wg.Wait()
+	// All shard goroutines have exited, so no session can still be
+	// submitting rounds — safe to stop the pool's workers.
+	s.pool.Close()
 }
 
 // shardOf hashes a collection key onto its shard. The modulo happens in
@@ -368,12 +405,9 @@ func (s *Service) CreateCollection(key string, spec OracleSpec) error {
 	if err != nil {
 		return err
 	}
-	var opts []model.Option
+	opts := []model.Option{model.WithPool(s.pool), model.Workers(s.pool.Size())}
 	if s.cfg.Processors > 0 {
 		opts = append(opts, model.Processors(s.cfg.Processors))
-	}
-	if s.cfg.Workers > 0 {
-		opts = append(opts, model.Workers(s.cfg.Workers))
 	}
 	inc, err := core.NewIncremental(model.NewSession(o, model.CR, opts...))
 	if err != nil {
@@ -456,10 +490,9 @@ func (s *Service) Ingest(key string, items []int, forceFlush bool) (IngestResult
 		res.Accepted = len(items)
 		flush := forceFlush || s.cfg.BatchSize <= 0 || c.inc.Pending() >= s.cfg.BatchSize
 		if flush && c.inc.Pending() > 0 {
-			if err := c.inc.Flush(); err != nil {
+			if err := s.fold(c); err != nil {
 				return err
 			}
-			c.publish()
 			delete(sh.dirty, c)
 			res.Flushed = true
 		} else if c.inc.Pending() > 0 {
@@ -497,10 +530,9 @@ func (s *Service) Flush(key string) (*Snapshot, error) {
 			snap = c.snap.Load()
 			return nil
 		}
-		if err := c.inc.Flush(); err != nil {
+		if err := s.fold(c); err != nil {
 			return err
 		}
-		c.publish()
 		delete(sh.dirty, c)
 		snap = c.snap.Load()
 		return nil

@@ -399,3 +399,17 @@ func TestRunStress(t *testing.T) {
 		t.Fatalf("report = %+v", rep)
 	}
 }
+
+// TestNegativeWorkersPanics: the service boundary must reject a negative
+// pool width as loudly as the model layer does.
+func TestNegativeWorkersPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, model.ErrBadWorkers) {
+			t.Errorf("New(Config{Workers: -1}) panicked with %v, want model.ErrBadWorkers", r)
+		}
+	}()
+	New(Config{Workers: -1})
+	t.Error("New(Config{Workers: -1}) did not panic")
+}

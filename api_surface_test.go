@@ -1,0 +1,169 @@
+package ecsort
+
+// The API-surface golden: every exported symbol of the facade —
+// functions, methods on exported types, types, consts, vars — is
+// rendered from the package AST and diffed against the checked-in
+// manifest api_surface.txt, so an accidental rename, signature change,
+// or deletion fails CI instead of shipping. After an intentional API
+// change, regenerate with:
+//
+//	ECSORT_UPDATE_API=1 go test -run TestAPISurface .
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+const apiManifest = "api_surface.txt"
+
+// apiSurface renders the exported surface of the package in this
+// directory, one printed declaration per block, sorted.
+func apiSurface(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	// Comments are not parsed, so doc-comment edits never churn the
+	// manifest — only real signature changes do.
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["ecsort"]
+	if !ok {
+		t.Fatalf("package ecsort not found in %v", pkgs)
+	}
+
+	var decls []string
+	add := func(node any) {
+		var buf bytes.Buffer
+		if err := printer.Fprint(&buf, fset, node); err != nil {
+			t.Fatal(err)
+		}
+		decls = append(decls, buf.String())
+	}
+
+	fileNames := make([]string, 0, len(pkg.Files))
+	for name := range pkg.Files {
+		fileNames = append(fileNames, name)
+	}
+	sort.Strings(fileNames)
+	for _, name := range fileNames {
+		for _, decl := range pkg.Files[name].Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				if d.Recv != nil && !exportedRecv(d.Recv) {
+					continue
+				}
+				add(&ast.FuncDecl{Recv: d.Recv, Name: d.Name, Type: d.Type})
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if sp.Name.IsExported() {
+							add(&ast.GenDecl{Tok: d.Tok, Specs: []ast.Spec{sp}})
+						}
+					case *ast.ValueSpec:
+						if anyExported(sp.Names) {
+							add(&ast.GenDecl{Tok: d.Tok, Specs: []ast.Spec{sp}})
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(decls)
+	return strings.Join(decls, "\n\n") + "\n"
+}
+
+// exportedRecv reports whether a method receiver names an exported
+// type (generic receivers like Classes[T] included).
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) != 1 {
+		return false
+	}
+	typ := recv.List[0].Type
+	for {
+		switch tt := typ.(type) {
+		case *ast.StarExpr:
+			typ = tt.X
+		case *ast.IndexExpr:
+			typ = tt.X
+		case *ast.IndexListExpr:
+			typ = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+func anyExported(names []*ast.Ident) bool {
+	for _, n := range names {
+		if n.IsExported() {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAPISurface(t *testing.T) {
+	got := apiSurface(t)
+	if os.Getenv("ECSORT_UPDATE_API") != "" {
+		if err := os.WriteFile(apiManifest, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", apiManifest, len(got))
+		return
+	}
+	wantBytes, err := os.ReadFile(apiManifest)
+	if err != nil {
+		t.Fatalf("read %s: %v (regenerate with ECSORT_UPDATE_API=1 go test -run TestAPISurface .)", apiManifest, err)
+	}
+	want := string(wantBytes)
+	if got == want {
+		return
+	}
+	gotSet := strings.Split(got, "\n\n")
+	wantSet := strings.Split(want, "\n\n")
+	inWant := map[string]bool{}
+	for _, d := range wantSet {
+		inWant[d] = true
+	}
+	inGot := map[string]bool{}
+	for _, d := range gotSet {
+		inGot[d] = true
+	}
+	var diff []string
+	for _, d := range gotSet {
+		if !inWant[d] {
+			diff = append(diff, fmt.Sprintf("+ %s", firstLine(d)))
+		}
+	}
+	for _, d := range wantSet {
+		if !inGot[d] {
+			diff = append(diff, fmt.Sprintf("- %s", firstLine(d)))
+		}
+	}
+	t.Errorf("exported API surface drifted from %s:\n%s\n\nIf intentional, regenerate with ECSORT_UPDATE_API=1 go test -run TestAPISurface .",
+		apiManifest, strings.Join(diff, "\n"))
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i] + " …"
+	}
+	return s
+}

@@ -15,12 +15,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
+	"os/signal"
 	"path/filepath"
 
+	"ecsort"
 	"ecsort/internal/dist"
 	"ecsort/internal/harness"
 	"ecsort/internal/service"
@@ -28,13 +32,16 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all | fig5-uniform | fig5-geometric | fig5-poisson | fig5-zeta | fig1 | rounds-cr | rounds-er | rounds-const | lb-equal | lb-smallest | dominance | zeta-exponent | procs | profile | serve-stress")
+		exp     = flag.String("exp", "all", "experiment: all | algo | fig5-uniform | fig5-geometric | fig5-poisson | fig5-zeta | fig1 | rounds-cr | rounds-er | rounds-const | lb-equal | lb-smallest | dominance | zeta-exponent | procs | profile | serve-stress")
 		scale   = flag.Int("scale", 10, "divide the paper's input sizes by this factor")
 		trials  = flag.Int("trials", 3, "trials per input size (paper: 10)")
 		n       = flag.Int("n", 1024, "input size for lower-bound and dominance experiments")
 		seed    = flag.Int64("seed", 2016, "random seed")
 		csvDir  = flag.String("csv", "", "also write raw observations as CSV files into this directory")
 		workers = flag.Int("workers", 0, "execution-pool width for the serve-stress experiment (0: GOMAXPROCS)")
+		algoSel = flag.String("algo", "auto", "algorithm registry name for the algo experiment (ecsort -algos lists them)")
+		kHint   = flag.Int("k", 8, "class count for the algo experiment's inputs and its k hint")
+		lamHint = flag.Float64("lambda", 0, "lambda hint for the algo experiment (const regimens, auto)")
 	)
 	flag.Parse()
 	if *workers < 0 {
@@ -56,6 +63,35 @@ func main() {
 
 	run := func(name string) error {
 		switch name {
+		case "algo":
+			// Dispatch any registry regimen over the size ladder — the
+			// generic form of the rounds-cr/-er/-const sweeps, wired
+			// through the same registry the CLIs and the service use.
+			// Ctrl-C cancels the current sort between rounds.
+			alg, err := ecsort.AlgorithmByName(*algoSel, ecsort.Hints{
+				K: *kHint, Lambda: *lamHint, Seed: *seed, MaxRetries: 5,
+			})
+			if err != nil {
+				return err
+			}
+			ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+			defer stop()
+			fmt.Printf("algorithm sweep: -algo %s (k=%d, lambda=%g)\n", *algoSel, *kHint, *lamHint)
+			fmt.Printf("%10s  %-24s %14s %8s %14s\n", "n", "algorithm", "comparisons", "rounds", "widest round")
+			for _, size := range scaledSizes(*scale) {
+				rng := rand.New(rand.NewSource(*seed))
+				labels := ecsort.SampleLabels(ecsort.NewUniform(*kHint), size, rng)
+				res, err := ecsort.Sort(ctx, ecsort.NewLabelOracle(labels), alg, ecsort.Config{})
+				if err != nil {
+					return err
+				}
+				if !ecsort.SameClassification(res.Labels(size), labels) {
+					return fmt.Errorf("n=%d: wrong classification", size)
+				}
+				fmt.Printf("%10d  %-24s %14d %8d %14d\n",
+					size, res.Algorithm, res.Stats.Comparisons, res.Stats.Rounds, res.Stats.MaxRoundSize)
+			}
+			return nil
 		case "fig5-uniform", "fig5-geometric", "fig5-poisson", "fig5-zeta":
 			family := name[len("fig5-"):]
 			panel, err := harness.RunFig5Panel(family, *scale, *trials, *seed)

@@ -12,11 +12,17 @@
 // Then, over HTTP:
 //
 //	curl -X PUT  localhost:8080/v1/collections/demo -d '{"kind":"label","labels":[0,1,0,1,2]}'
+//	curl -X PUT  localhost:8080/v1/collections/er -d '{"kind":"label","labels":[0,1,0,1,2],"algorithm":"er"}'
 //	curl -X POST localhost:8080/v1/collections/demo/items -d '{"items":[0,1,2,3,4]}'
 //	curl localhost:8080/v1/collections/demo/classes?fresh=1
 //	curl localhost:8080/v1/collections/demo/classes/3
 //	curl localhost:8080/v1/collections/demo/stats
+//	curl localhost:8080/v1/algorithms
 //	curl localhost:8080/metrics
+//
+// Each collection may pin its own sorting regimen via the PUT body's
+// "algorithm" field (default: the incremental compounding engine);
+// GET /v1/algorithms lists the registry with hint requirements.
 package main
 
 import (

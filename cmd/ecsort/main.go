@@ -4,41 +4,65 @@
 //
 // Usage:
 //
-//	ecsort -algo cr   -n 100000 -k 25
-//	ecsort -algo er   -n 50000 -dist zeta -param 2.0
+//	ecsort -algo cr    -n 100000 -k 25
+//	ecsort -algo er    -n 50000 -dist zeta -param 2.0
 //	ecsort -algo const -n 20000 -k 3 -lambda 0.2
-//	ecsort -algo rr   -n 100000 -dist geometric -param 0.1
+//	ecsort -algo auto  -n 100000 -k 2
+//	ecsort -algo rr    -n 100000 -dist geometric -param 0.1
 //	ecsort -algo naive -n 10000 -k 10 -oracle handshake
+//	ecsort -algos                      # list the registry
 //
-// The -oracle flag picks the comparison mechanism: plain labels (fast),
-// simulated secret handshakes (HMAC challenge–response between agent
-// goroutines), simulated fault diagnosis, or graph isomorphism.
+// The -algo flag dispatches through the ecsort algorithm registry
+// (ecsort.AlgorithmByName); -algos lists every regimen with its mode and
+// hint requirements. "auto" plans the cheapest applicable regimen from
+// the -k/-lambda hints and reports its choice. The -oracle flag picks
+// the comparison mechanism: plain labels (fast), simulated secret
+// handshakes (HMAC challenge–response between agent goroutines),
+// simulated fault diagnosis, or graph isomorphism. Interrupting a run
+// (Ctrl-C) cancels the sort between parallel rounds.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
+	"strings"
 
 	"ecsort"
 )
 
 func main() {
 	var (
-		algo    = flag.String("algo", "cr", "algorithm: cr | er | const | rr | naive")
-		n       = flag.Int("n", 10000, "number of elements")
-		k       = flag.Int("k", 10, "number of classes (uniform inputs; also SortCR's k hint)")
-		distKin = flag.String("dist", "uniform", "class distribution: uniform | geometric | poisson | zeta")
-		param   = flag.Float64("param", 0, "distribution parameter (p, λ, or s); 0 = default")
-		lambda  = flag.Float64("lambda", 0.2, "const algorithm: smallest class fraction λ")
-		d       = flag.Int("d", 0, "const algorithm: Hamiltonian cycles (0 = theory constant)")
-		oracleK = flag.String("oracle", "label", "oracle: label | handshake | fault | graphiso | graphiso-cached | agents")
-		seed    = flag.Int64("seed", 1, "random seed")
-		verbose = flag.Bool("v", false, "print every class")
-		certify = flag.Bool("certify", false, "re-verify the answer with a minimal certificate schedule")
+		algoName = flag.String("algo", "cr", "algorithm registry name or alias (see -algos)")
+		list     = flag.Bool("algos", false, "list the algorithm registry and exit")
+		n        = flag.Int("n", 10000, "number of elements")
+		k        = flag.Int("k", 10, "number of classes (uniform inputs; also the registry's k hint)")
+		distKin  = flag.String("dist", "uniform", "class distribution: uniform | geometric | poisson | zeta")
+		param    = flag.Float64("param", 0, "distribution parameter (p, λ, or s); 0 = default")
+		lambda   = flag.Float64("lambda", 0, "smallest class fraction hint λ (const regimens, auto)")
+		d        = flag.Int("d", 0, "const regimens: Hamiltonian cycles (0 = theory constant)")
+		oracleK  = flag.String("oracle", "label", "oracle: label | handshake | fault | graphiso | graphiso-cached | agents")
+		seed     = flag.Int64("seed", 1, "random seed")
+		verbose  = flag.Bool("v", false, "print every class")
+		certify  = flag.Bool("certify", false, "re-verify the answer with a minimal certificate schedule")
 	)
 	flag.Parse()
+
+	if *list {
+		printRegistry()
+		return
+	}
+
+	alg, err := ecsort.AlgorithmByName(*algoName, ecsort.Hints{
+		K: *k, Lambda: *lambda, D: *d, Seed: *seed, MaxRetries: 5,
+	})
+	if err != nil {
+		fatal(err)
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	dist, err := pickDistribution(*distKin, *k, *param)
@@ -52,28 +76,20 @@ func main() {
 		fatal(err)
 	}
 
-	var res ecsort.Result
-	switch *algo {
-	case "cr":
-		res, err = ecsort.SortCR(oracle, *k, ecsort.Config{})
-	case "er":
-		res, err = ecsort.SortER(oracle, ecsort.Config{})
-	case "const":
-		res, err = ecsort.SortConstRoundER(oracle, ecsort.ConstRoundOptions{
-			Lambda: *lambda, D: *d, MaxRetries: 5, Seed: *seed,
-		}, ecsort.Config{})
-	case "rr":
-		res, err = ecsort.SortRoundRobin(oracle, ecsort.Config{})
-	case "naive":
-		res, err = ecsort.SortNaive(oracle, ecsort.Config{})
-	default:
-		err = fmt.Errorf("unknown algorithm %q", *algo)
-	}
+	// Ctrl-C cancels between parallel rounds; the sort returns ctx.Err().
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	res, err := ecsort.Sort(ctx, oracle, alg, ecsort.Config{})
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "ecsort: interrupted — sort cancelled between rounds")
+			os.Exit(130)
+		}
 		fatal(err)
 	}
 
-	fmt.Printf("algorithm:    %s\n", *algo)
+	fmt.Printf("algorithm:    %s\n", res.Algorithm)
 	fmt.Printf("oracle:       %s\n", *oracleK)
 	fmt.Printf("input:        n=%d, %s\n", *n, dist.Name())
 	fmt.Printf("classes:      %d\n", res.NumClasses())
@@ -97,6 +113,25 @@ func main() {
 		for i, c := range res.Canonical() {
 			fmt.Printf("class %d (%d members): %v\n", i, len(c), c)
 		}
+	}
+}
+
+func printRegistry() {
+	fmt.Printf("%-24s %-4s %-22s %s\n", "NAME", "MODE", "ROUNDS", "HINTS (required*)")
+	for _, info := range ecsort.Algorithms() {
+		hints := make([]string, 0, len(info.Hints))
+		req := map[string]bool{}
+		for _, r := range info.Required {
+			req[r] = true
+		}
+		for _, h := range info.Hints {
+			if req[h] {
+				h += "*"
+			}
+			hints = append(hints, h)
+		}
+		fmt.Printf("%-24s %-4s %-22s %s\n", info.Name, info.Mode, info.Rounds, strings.Join(hints, ","))
+		fmt.Printf("%-24s   %s\n", "", info.Description)
 	}
 }
 

@@ -27,12 +27,21 @@
 // which are adaptive oracles that force any algorithm to spend Ω(n²/f)
 // comparisons.
 //
+// The v2 API exposes the regimens as first-class Algorithm values (CR,
+// ER, ConstRoundER, ...; see v2.go): Sort runs one through a
+// context.Context with cancellation checked between parallel rounds,
+// Auto plans the cheapest applicable regimen from workload Hints,
+// Algorithms/AlgorithmByName expose the name registry, and Classify is
+// a typed generic front end over any slice plus equivalence predicate.
+// The SortXxx free functions below remain as thin deprecated wrappers.
+//
 // Costs are accounted in Valiant's model: only equivalence tests count,
 // grouped into parallel rounds. Result.Stats reports total comparisons,
 // rounds, and the widest round.
 package ecsort
 
 import (
+	"context"
 	"math/rand"
 
 	"ecsort/internal/adversary"
@@ -54,16 +63,18 @@ type Oracle = model.Oracle
 // Mode selects the read-concurrency rule of the comparison model.
 type Mode = model.Mode
 
-// Comparison model variants.
+// Comparison model variants. (v1 named these ER and CR; those names now
+// belong to the Algorithm constructors, so the constants carry a Mode
+// prefix.)
 const (
-	// ER (exclusive read): each element joins at most one comparison per
-	// round — elements perform the tests themselves (secret handshakes,
-	// fault probes).
-	ER = model.ER
-	// CR (concurrent read): an element may join many comparisons per
+	// ModeER (exclusive read): each element joins at most one comparison
+	// per round — elements perform the tests themselves (secret
+	// handshakes, fault probes).
+	ModeER = model.ER
+	// ModeCR (concurrent read): an element may join many comparisons per
 	// round — elements are passive objects (graphs under isomorphism
 	// tests).
-	CR = model.CR
+	ModeCR = model.CR
 )
 
 // Pair is a single equivalence test between two elements.
@@ -140,14 +151,20 @@ func NewSession(o Oracle, mode Mode, cfg Config) *Session {
 // rounds with n processors (Theorem 1). k must be the number of classes
 // or an upper bound; correctness holds for any k ≥ 1 (k only steers the
 // round schedule).
+//
+// Deprecated: v1 entry point, kept as a thin wrapper. Use the Algorithm
+// value CR(k) with Sort for cancellation support.
 func SortCR(o Oracle, k int, cfg Config) (Result, error) {
-	return core.SortCR(NewSession(o, CR, cfg), k)
+	return Sort(context.Background(), o, CR(k), cfg)
 }
 
 // SortER sorts in the exclusive-read model in O(k log n) parallel rounds
 // with n processors (Theorem 2). It needs no knowledge of k.
+//
+// Deprecated: v1 entry point, kept as a thin wrapper. Use the Algorithm
+// value ER() with Sort for cancellation support.
 func SortER(o Oracle, cfg Config) (Result, error) {
-	return core.SortER(NewSession(o, ER, cfg))
+	return Sort(context.Background(), o, ER(), cfg)
 }
 
 // ConstRoundOptions configures SortConstRoundER.
@@ -173,20 +190,21 @@ var ErrConstRoundFailed = core.ErrConstRoundFailed
 // SortConstRoundER sorts in the exclusive-read model in O(1) parallel
 // rounds with n processors, provided every class has at least
 // Lambda·n elements (Theorem 4).
+//
+// Deprecated: v1 entry point, kept as a thin wrapper. Use the Algorithm
+// value ConstRoundER(opt) with Sort for cancellation support.
 func SortConstRoundER(o Oracle, opt ConstRoundOptions, cfg Config) (Result, error) {
-	return core.SortConstRoundER(NewSession(o, ER, cfg), core.ConstRoundConfig{
-		Lambda:     opt.Lambda,
-		D:          opt.D,
-		MaxRetries: opt.MaxRetries,
-		Rng:        rand.New(rand.NewSource(opt.Seed)),
-	})
+	return Sort(context.Background(), o, ConstRoundER(opt), cfg)
 }
 
 // SortCRUnknownK sorts in the concurrent-read model with no prior
 // knowledge of k, adapting the compounding schedule to the largest class
 // count observed so far. Rounds match SortCR's asymptotics.
+//
+// Deprecated: v1 entry point, kept as a thin wrapper. Use the Algorithm
+// value CRUnknownK() with Sort for cancellation support.
 func SortCRUnknownK(o Oracle, cfg Config) (Result, error) {
-	return core.SortCRUnknownK(NewSession(o, CR, cfg))
+	return Sort(context.Background(), o, CRUnknownK(), cfg)
 }
 
 // ErrAdaptiveExhausted is returned by SortConstRoundERAdaptive when
@@ -196,8 +214,12 @@ var ErrAdaptiveExhausted = core.ErrAdaptiveExhausted
 // SortConstRoundERAdaptive runs the Theorem 4 algorithm without knowing
 // λ, halving a starting guess after every failure (the paper's remark).
 // It returns the λ that succeeded alongside the result.
+//
+// Deprecated: v1 entry point, kept because the Algorithm interface does
+// not surface the successful λ. Prefer ConstRoundERAdaptive(opt) with
+// Sort when the final λ is not needed.
 func SortConstRoundERAdaptive(o Oracle, opt ConstRoundOptions, cfg Config) (Result, float64, error) {
-	return core.SortConstRoundERAdaptive(NewSession(o, ER, cfg), core.AdaptiveConstRoundConfig{
+	return core.SortConstRoundERAdaptive(NewSession(o, ModeER, cfg), core.AdaptiveConstRoundConfig{
 		StartLambda: opt.Lambda,
 		D:           opt.D,
 		MaxRetries:  opt.MaxRetries,
@@ -209,8 +231,11 @@ func SortConstRoundERAdaptive(o Oracle, opt ConstRoundOptions, cfg Config) (Resu
 // O(1) ER rounds, with no lower bound on the smaller class — the k = 2
 // case the paper's conclusion notes follows from classic parallel fault
 // diagnosis. If the two-class promise might be false, Certify the result.
+//
+// Deprecated: v1 entry point, kept as a thin wrapper. Use the Algorithm
+// value TwoClassER(maxRetries, seed) with Sort for cancellation support.
 func SortTwoClassER(o Oracle, maxRetries int, seed int64, cfg Config) (Result, error) {
-	return core.SortTwoClassER(NewSession(o, ER, cfg), maxRetries, rand.New(rand.NewSource(seed)))
+	return Sort(context.Background(), o, TwoClassER(maxRetries, seed), cfg)
 }
 
 // Majority finds an element of the strict-majority class (> n/2 members)
@@ -219,27 +244,33 @@ func SortTwoClassER(o Oracle, maxRetries int, seed int64, cfg Config) (Result, e
 // strict majority — one of the related problems (Section 1.1) this
 // substrate solves directly.
 func Majority(o Oracle, cfg Config) (candidate, size int, isMajority bool) {
-	return majority.Majority(NewSession(o, ER, cfg))
+	return majority.Majority(NewSession(o, ModeER, cfg))
 }
 
 // LargestClass finds an element of the largest equivalence class (the
 // comparison-model "mode") and its size.
 func LargestClass(o Oracle, cfg Config) (candidate, size int) {
-	return majority.Mode(NewSession(o, ER, cfg))
+	return majority.Mode(NewSession(o, ModeER, cfg))
 }
 
 // SortRoundRobin runs the sequential round-robin regimen of Jayapaul et
 // al. — the algorithm whose total comparisons Section 4 of the paper
 // bounds distribution by distribution. Comparisons are charged one per
 // round.
+//
+// Deprecated: v1 entry point, kept as a thin wrapper. Use the Algorithm
+// value RoundRobin() with Sort for cancellation support.
 func SortRoundRobin(o Oracle, cfg Config) (Result, error) {
-	return core.RoundRobin(NewSession(o, ER, cfg))
+	return Sort(context.Background(), o, RoundRobin(), cfg)
 }
 
 // SortNaive runs the sequential one-representative-per-class baseline
 // (≤ n·k comparisons).
+//
+// Deprecated: v1 entry point, kept as a thin wrapper. Use the Algorithm
+// value Naive() with Sort for cancellation support.
 func SortNaive(o Oracle, cfg Config) (Result, error) {
-	return core.Naive(NewSession(o, ER, cfg))
+	return Sort(context.Background(), o, Naive(), cfg)
 }
 
 // SameClassification reports whether two labelings induce the same
@@ -251,7 +282,7 @@ func SameClassification(a, b []int) bool { return core.SameClassification(a, b) 
 // all representative pairs — n−k+(k choose 2) tests in shared ER rounds.
 // It returns nil iff the classes are correct and complete.
 func Certify(o Oracle, classes [][]int, cfg Config) error {
-	return core.Certify(NewSession(o, ER, cfg), classes)
+	return core.Certify(NewSession(o, ModeER, cfg), classes)
 }
 
 // Recorder wraps an oracle and keeps a transcript of every test — useful
@@ -270,7 +301,7 @@ type Incremental = core.Incremental
 // NewIncremental creates an incremental sorter over the oracle's
 // universe; elements are classified as they are Added.
 func NewIncremental(o Oracle, cfg Config) (*Incremental, error) {
-	return core.NewIncremental(NewSession(o, CR, cfg))
+	return core.NewIncremental(NewSession(o, ModeCR, cfg))
 }
 
 //
@@ -435,30 +466,28 @@ func StateAgents(states []uint64) []Agent { return agents.StateRoster(states) }
 // NewAgentSession creates an ER session whose rounds execute on the
 // network — each comparison is a real two-goroutine protocol run. The
 // network's protocol sessions dispatch from cfg.Runtime, or from the
-// shared pool when it is nil — each call rebinds the network, so a pool
-// installed by an earlier session never outlives its Config. Every ER
-// algorithm accepts the returned session; for the packaged sorts, pass
-// the network itself as the Oracle and route rounds with this session
-// via core algorithms, e.g.:
+// shared pool when it is nil. The binding is per-session: each call gets
+// its own bound executor, so creating a second session over the same
+// network never re-routes an earlier session's rounds. Every ER
+// Algorithm accepts the returned session, e.g.:
 //
 //	nw := ecsort.NewAgentNetwork(ecsort.KeyAgents(labels, seed))
-//	res, err := ecsort.SortERDistributed(nw, ecsort.Config{})
+//	res, err := ecsort.ER().Sort(ctx, ecsort.NewAgentSession(nw, ecsort.Config{}))
 func NewAgentSession(nw *AgentNetwork, cfg Config) *Session {
-	nw.UsePool(cfg.Runtime) // nil restores the shared pool
-	opts := append(cfg.options(), model.WithExecutor(nw))
-	return model.NewSession(nw, ER, opts...)
+	opts := append(cfg.options(), model.WithExecutor(nw.Bound(cfg.Runtime)))
+	return model.NewSession(nw, ModeER, opts...)
 }
 
 // SortERDistributed runs the Theorem 2 algorithm with every round
 // executed as concurrent protocol sessions on the network.
 func SortERDistributed(nw *AgentNetwork, cfg Config) (Result, error) {
-	return core.SortER(NewAgentSession(nw, cfg))
+	return ER().Sort(context.Background(), NewAgentSession(nw, cfg))
 }
 
 // SortRoundRobinDistributed runs the sequential regimen over the network
 // (one protocol session per comparison).
 func SortRoundRobinDistributed(nw *AgentNetwork, cfg Config) (Result, error) {
-	return core.RoundRobin(NewAgentSession(nw, cfg))
+	return RoundRobin().Sort(context.Background(), NewAgentSession(nw, cfg))
 }
 
 //

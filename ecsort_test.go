@@ -240,7 +240,7 @@ func TestDistributedSorts(t *testing.T) {
 
 func TestCustomSession(t *testing.T) {
 	o := NewLabelOracle([]int{0, 0, 1, 1})
-	s := NewSession(o, ER, Config{})
+	s := NewSession(o, ModeER, Config{})
 	res, err := s.Round([]Pair{{A: 0, B: 1}, {A: 2, B: 3}})
 	if err != nil {
 		t.Fatal(err)
@@ -296,5 +296,5 @@ func TestNegativeWorkersPanics(t *testing.T) {
 			t.Error("Config{Workers: -2} did not panic")
 		}
 	}()
-	NewSession(NewLabelOracle([]int{0, 1}), CR, Config{Workers: -2})
+	NewSession(NewLabelOracle([]int{0, 1}), ModeCR, Config{Workers: -2})
 }

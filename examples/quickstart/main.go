@@ -1,11 +1,14 @@
-// Quickstart: sort 1,000 elements drawn from 8 hidden classes with every
-// algorithm in the library and compare their costs in Valiant's parallel
-// comparison model.
+// Quickstart for the v2 API: sort 1,000 elements drawn from 8 hidden
+// classes with every regimen in the registry as a first-class Algorithm
+// value, let Auto plan one from workload hints, and classify a typed
+// slice with the generic front end — comparing costs in Valiant's
+// parallel comparison model throughout.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -16,6 +19,7 @@ import (
 func main() {
 	const n, k = 1000, 8
 	rng := rand.New(rand.NewSource(42))
+	ctx := context.Background()
 
 	// Hidden ground truth: each element gets one of k classes uniformly.
 	labels := ecsort.SampleLabels(ecsort.NewUniform(k), n, rng)
@@ -24,39 +28,68 @@ func main() {
 	fmt.Printf("equivalence class sorting: n=%d elements, k=%d hidden classes\n\n", n, k)
 	fmt.Printf("%-22s %12s %8s %12s\n", "algorithm", "comparisons", "rounds", "widest round")
 
-	show := func(name string, res ecsort.Result, err error) {
+	show := func(res ecsort.Result, err error) {
 		if err != nil {
-			log.Fatalf("%s: %v", name, err)
+			log.Fatal(err)
 		}
 		if !ecsort.SameClassification(res.Labels(n), labels) {
-			log.Fatalf("%s: wrong classification", name)
+			log.Fatalf("%s: wrong classification", res.Algorithm)
 		}
 		fmt.Printf("%-22s %12d %8d %12d\n",
-			name, res.Stats.Comparisons, res.Stats.Rounds, res.Stats.MaxRoundSize)
+			res.Algorithm, res.Stats.Comparisons, res.Stats.Rounds, res.Stats.MaxRoundSize)
 	}
 
-	// Theorem 1: O(k + log log n) rounds, concurrent-read model.
-	res, err := ecsort.SortCR(oracle, k, ecsort.Config{})
-	show("SortCR (Thm 1)", res, err)
+	// Algorithms are values: build once, pass anywhere, sort through a
+	// context (cancellation is checked between parallel rounds).
+	for _, alg := range []ecsort.Algorithm{
+		ecsort.CR(k),        // Theorem 1: O(k + log log n) rounds, CR model
+		ecsort.CRUnknownK(), // Theorem 1 without knowing k
+		ecsort.ER(),         // Theorem 2: O(k log n) rounds, ER model
+		ecsort.ConstRoundER(ecsort.ConstRoundOptions{ // Theorem 4: O(1) rounds for ℓ ≥ λn
+			Lambda: 0.1, D: 10, MaxRetries: 5, Seed: 7,
+		}),
+		ecsort.RoundRobin(), // the sequential Section 4 analysis subject
+		ecsort.Naive(),      // the sequential baseline
+	} {
+		show(ecsort.Sort(ctx, oracle, alg, ecsort.Config{}))
+	}
 
-	// Theorem 2: O(k log n) rounds, exclusive-read model.
-	res, err = ecsort.SortER(oracle, ecsort.Config{})
-	show("SortER (Thm 2)", res, err)
+	// Auto plans the cheapest applicable regimen from workload hints
+	// and records its choice in Result.Algorithm.
+	res, err := ecsort.Sort(ctx, oracle, ecsort.Auto(ecsort.Hints{Lambda: 0.1, Seed: 7}), ecsort.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nAuto(Hints{Lambda: 0.1}) planned %q\n", res.Algorithm)
 
-	// Theorem 4: O(1) rounds when every class has ≥ λn elements.
-	// Uniform k=8 gives class sizes ≈ n/8, so λ = 0.1 is safe.
-	res, err = ecsort.SortConstRoundER(oracle, ecsort.ConstRoundOptions{
-		Lambda: 0.1, D: 10, MaxRetries: 5, Seed: 7,
-	}, ecsort.Config{})
-	show("SortConstRoundER (Thm 4)", res, err)
+	// Or dispatch by registry name — the same path the CLIs and the
+	// classification service use.
+	alg, err := ecsort.AlgorithmByName("er", ecsort.Hints{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err = ecsort.Sort(ctx, oracle, alg, ecsort.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("AlgorithmByName(\"er\") re-sorted in %d rounds\n", res.Stats.Rounds)
 
-	// The sequential baselines of the distribution-based analysis.
-	res, err = ecsort.SortRoundRobin(oracle, ecsort.Config{})
-	show("SortRoundRobin [12]", res, err)
-	res, err = ecsort.SortNaive(oracle, ecsort.Config{})
-	show("SortNaive", res, err)
+	// The typed generic front end: no hand-rolled index oracle.
+	type sample struct{ cohort int }
+	samples := make([]sample, 60)
+	for i := range samples {
+		samples[i] = sample{cohort: i % 3}
+	}
+	classes, err := ecsort.Classify(ctx, samples,
+		func(a, b sample) bool { return a.cohort == b.cohort },
+		ecsort.CRUnknownK(), ecsort.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Classify grouped %d samples into %d cohorts via %q\n",
+		len(samples), classes.NumClasses(), classes.Algorithm)
 
-	fmt.Println("\nAll five algorithms recovered the same hidden classes.")
-	fmt.Println("Note the trade: SortCR spends the fewest rounds; the sequential")
+	fmt.Println("\nAll regimens recovered the same hidden classes.")
+	fmt.Println("Note the trade: CR spends the fewest rounds; the sequential")
 	fmt.Println("baselines spend one round per comparison but fewer comparisons total.")
 }

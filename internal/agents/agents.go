@@ -67,8 +67,31 @@ func NewNetwork(agents []Agent) *Network {
 
 // UsePool makes subsequent rounds dispatch their protocol sessions from
 // p instead of the shared runtime pool; nil restores the shared pool.
-// Not safe to call concurrently with ExecuteRound.
+// Not safe to call concurrently with ExecuteRound. The binding is
+// network-wide and last-writer-wins; sessions that need their own pool
+// without re-routing everyone else's rounds should execute through
+// Bound instead.
 func (nw *Network) UsePool(p *rt.Pool) { nw.pool = p }
+
+// Bound returns an executor view of the network whose rounds dispatch
+// from p (nil: the shared pool), without touching the network's own
+// binding. Each session gets its own Bound executor, so creating a
+// second session never silently re-routes an earlier session's rounds —
+// the per-session binding NewAgentSession relies on.
+func (nw *Network) Bound(p *rt.Pool) model.Executor {
+	return &boundNetwork{nw: nw, pool: p}
+}
+
+// boundNetwork pins one pool to the network's round executor.
+type boundNetwork struct {
+	nw   *Network
+	pool *rt.Pool
+}
+
+// ExecuteRound implements model.Executor on the pinned pool.
+func (b *boundNetwork) ExecuteRound(pairs []model.Pair) []bool {
+	return b.nw.executeRound(b.pool, pairs)
+}
 
 // N returns the number of agents.
 func (nw *Network) N() int { return len(nw.agents) }
@@ -101,6 +124,12 @@ func (nw *Network) Same(i, j int) bool {
 // sides of a session must agree on the verdict; disagreement panics,
 // because it means the pairwise protocol itself is broken.
 func (nw *Network) ExecuteRound(pairs []model.Pair) []bool {
+	return nw.executeRound(nw.pool, pairs)
+}
+
+// executeRound runs one round's protocol sessions on the given pool
+// (nil: shared), the common core of ExecuteRound and Bound executors.
+func (nw *Network) executeRound(pool *rt.Pool, pairs []model.Pair) []bool {
 	busy := make(map[int]struct{}, 2*len(pairs))
 	for _, p := range pairs {
 		if _, dup := busy[p.A]; dup {
@@ -118,7 +147,6 @@ func (nw *Network) ExecuteRound(pairs []model.Pair) []bool {
 	nw.sessions += int64(len(pairs))
 	nw.mu.Unlock()
 
-	pool := nw.pool
 	if pool == nil {
 		pool = rt.Shared()
 	}

@@ -7,6 +7,7 @@ import (
 
 	"ecsort/internal/core"
 	"ecsort/internal/model"
+	rt "ecsort/internal/runtime"
 )
 
 func TestKeyAgentsHandshake(t *testing.T) {
@@ -176,5 +177,47 @@ func BenchmarkNetworkRound(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		nw.ExecuteRound(pairs)
+	}
+}
+
+// TestBoundExecutorPerSessionPools is the regression test for the pool
+// rebinding bug: creating a second session over the same network (with a
+// different pool) must not re-route the first session's rounds. Each
+// Bound executor pins its own pool, so rounds land on the pool the
+// session was created with.
+func TestBoundExecutorPerSessionPools(t *testing.T) {
+	labels := make([]int, 32)
+	for i := range labels {
+		labels[i] = i % 2
+	}
+	nw := NewNetwork(GroupKeys(labels, 11))
+	poolA := rt.NewPool(3)
+	defer poolA.Close()
+	poolB := rt.NewPool(3)
+	defer poolB.Close()
+
+	sessA := model.NewSession(nw, model.ER, model.WithExecutor(nw.Bound(poolA)))
+	// Creating a second bound executor (the NewAgentSession path) must
+	// not rebind A's rounds.
+	sessB := model.NewSession(nw, model.ER, model.WithExecutor(nw.Bound(poolB)))
+
+	round := make([]model.Pair, 0, 16)
+	for i := 0; i < 32; i += 2 {
+		round = append(round, model.Pair{A: i, B: i + 1})
+	}
+	if _, err := sessA.Round(round); err != nil {
+		t.Fatal(err)
+	}
+	if jobs := poolA.Stats().Jobs; jobs == 0 {
+		t.Errorf("session A's round did not dispatch on its own pool")
+	}
+	if jobs := poolB.Stats().Jobs; jobs != 0 {
+		t.Errorf("session A's round leaked onto session B's pool (%d jobs)", jobs)
+	}
+	if _, err := sessB.Round(round); err != nil {
+		t.Fatal(err)
+	}
+	if jobs := poolB.Stats().Jobs; jobs == 0 {
+		t.Errorf("session B's round did not dispatch on its own pool")
 	}
 }

@@ -1,0 +1,168 @@
+package algo
+
+import (
+	"context"
+	"fmt"
+
+	"ecsort/internal/core"
+	"ecsort/internal/model"
+)
+
+// ModeHint constrains which comparison-model variant the planner may
+// pick. The zero value places no constraint.
+type ModeHint int
+
+const (
+	// AnyMode lets the planner use either model variant.
+	AnyMode ModeHint = iota
+	// RequireER restricts the plan to exclusive-read regimens — the
+	// elements perform the tests themselves (handshakes, fault probes).
+	RequireER
+	// RequireCR restricts the plan to concurrent-read regimens —
+	// elements are passive objects an outside processor compares.
+	RequireCR
+)
+
+// String returns "any", "ER", or "CR".
+func (m ModeHint) String() string {
+	switch m {
+	case RequireER:
+		return "ER"
+	case RequireCR:
+		return "CR"
+	default:
+		return "any"
+	}
+}
+
+// Hints describes what a caller knows about a workload, for Auto and
+// the registry factories. The zero value means "nothing is known".
+type Hints struct {
+	// K is the number of equivalence classes if known, 0 if not. K = 2
+	// unlocks the constant-round two-class regimen.
+	K int
+	// Lambda is a guaranteed lower bound on (smallest class size)/n in
+	// (0, 0.4], 0 if unknown. A positive Lambda unlocks the O(1)-round
+	// Theorem 4 regimen.
+	Lambda float64
+	// Mode constrains the comparison-model variant.
+	Mode ModeHint
+	// Online marks workloads whose elements arrive over time; the
+	// planner then prefers the compounding CR family, the engine behind
+	// the incremental sorter, whose schedule stays cheap under
+	// repeated folds.
+	Online bool
+	// Seed drives randomized regimens.
+	Seed int64
+	// D overrides the Hamiltonian-cycle count of the constant-round
+	// regimens (0: theory constant).
+	D int
+	// MaxRetries bounds redraws of the constant-round random graphs
+	// (0: defaultRetries for planned/registry-built regimens).
+	MaxRetries int
+}
+
+// defaultRetries is applied when a factory or the planner builds a
+// randomized regimen and the caller left MaxRetries at zero — one
+// attempt with no retry is almost never what a hint-driven caller
+// wants.
+const defaultRetries = 5
+
+func (h Hints) retries() int {
+	if h.MaxRetries > 0 {
+		return h.MaxRetries
+	}
+	return defaultRetries
+}
+
+func (h Hints) validate() error {
+	if h.K < 0 {
+		return fmt.Errorf("algo: hint K = %d is negative", h.K)
+	}
+	if h.Lambda < 0 || h.Lambda > 0.4 {
+		return fmt.Errorf("algo: hint Lambda = %v outside [0, 0.4]", h.Lambda)
+	}
+	return nil
+}
+
+// Plan picks the cheapest applicable regimen for the hinted workload,
+// ordering candidates by round complexity in Valiant's model:
+//
+//	O(1)            two-class-er (K = 2), const-round-er (Lambda > 0) — ER
+//	O(k + log log n) cr / cr-unknown-k — CR
+//	O(k log n)       er — ER, always applicable
+//
+// Online workloads are pinned to the compounding CR family when the
+// mode allows it (that schedule is what the incremental sorter folds
+// batches with); the constant-round regimens need the whole input at
+// once, so they are never planned for online workloads.
+func Plan(h Hints) (Algorithm, error) {
+	if err := h.validate(); err != nil {
+		return nil, err
+	}
+	erOK := h.Mode == AnyMode || h.Mode == RequireER
+	crOK := h.Mode == AnyMode || h.Mode == RequireCR
+	switch {
+	case h.Online:
+		if crOK {
+			return planCR(h), nil
+		}
+		return ER(), nil
+	case erOK && h.K == 2:
+		return TwoClassER(h.retries(), h.Seed), nil
+	case erOK && h.Lambda > 0:
+		return ConstRoundER(ConstRoundOpts{Lambda: h.Lambda, D: h.D, MaxRetries: h.retries(), Seed: h.Seed}), nil
+	case crOK:
+		return planCR(h), nil
+	default:
+		return ER(), nil
+	}
+}
+
+func planCR(h Hints) Algorithm {
+	if h.K > 0 {
+		return CR(h.K)
+	}
+	return CRUnknownK()
+}
+
+// Auto is the planner as an Algorithm: it picks the cheapest applicable
+// regimen for h up front and delegates to it, so Result.Algorithm
+// records the regimen actually run. Invalid hints surface as the Sort
+// error.
+func Auto(h Hints) Algorithm {
+	chosen, err := Plan(h)
+	return &auto{chosen: chosen, err: err}
+}
+
+type auto struct {
+	chosen Algorithm
+	err    error
+}
+
+// Name returns "auto(<chosen>)", or "auto" when planning failed.
+func (a *auto) Name() string {
+	if a.err != nil {
+		return "auto"
+	}
+	return "auto(" + a.chosen.Name() + ")"
+}
+
+// Mode returns the planned regimen's mode (ER when planning failed, so
+// a session can still be built before Sort surfaces the error).
+func (a *auto) Mode() model.Mode {
+	if a.err != nil {
+		return model.ER
+	}
+	return a.chosen.Mode()
+}
+
+// Chosen exposes the planned regimen, for tests and introspection.
+func (a *auto) Chosen() (Algorithm, error) { return a.chosen, a.err }
+
+func (a *auto) Sort(ctx context.Context, s *model.Session) (core.Result, error) {
+	if a.err != nil {
+		return core.Result{}, a.err
+	}
+	return a.chosen.Sort(ctx, s)
+}

@@ -15,6 +15,10 @@ func Naive(s *model.Session) (Result, error) {
 	}
 	classes := [][]int{{0}}
 	for x := 1; x < n; x++ {
+		// Compare cannot report cancellation; poll between rounds.
+		if err := s.Err(); err != nil {
+			return Result{}, err
+		}
 		placed := false
 		for ci := range classes {
 			if s.Compare(classes[ci][0], x) {

@@ -40,6 +40,12 @@ func RoundRobin(s *model.Session) (Result, error) {
 		progress := false
 		still := active[:0]
 		for _, x := range active {
+			// Comparisons go through Compare (one sequential round each),
+			// which cannot report cancellation — poll the session context
+			// here so a cancelled sort stops between rounds.
+			if err := s.Err(); err != nil {
+				return Result{}, err
+			}
 			if g.DoneFor(x) {
 				continue
 			}

@@ -20,6 +20,7 @@
 package model
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -165,6 +166,15 @@ func WithPool(p *rt.Pool) Option {
 	return func(s *Session) { s.pool = p }
 }
 
+// WithContext binds ctx to the session: cancellation is checked between
+// physical rounds, so a batch in flight finishes its current round (the
+// runtime pool drains cleanly) and the next round returns ctx.Err().
+// Sequential algorithms built on Compare must poll Err themselves —
+// Compare cannot report cancellation.
+func WithContext(ctx context.Context) Option {
+	return func(s *Session) { s.ctx = ctx }
+}
+
 // Session executes equivalence tests against an Oracle under the rules of
 // Valiant's model, accounting rounds and comparisons.
 //
@@ -178,7 +188,8 @@ type Session struct {
 	workers  int
 	executor Executor
 	pool     *rt.Pool
-	exec     roundExec // persistent chunk runner, reused every round
+	ctx      context.Context // nil means never cancelled
+	exec     roundExec       // persistent chunk runner, reused every round
 
 	logRounds bool
 	roundLog  []int
@@ -224,6 +235,30 @@ func (s *Session) N() int { return s.n }
 // Stats returns the cost accounted so far.
 func (s *Session) Stats() Stats { return s.stats }
 
+// SetContext rebinds the session's cancellation context; Algorithm
+// values install their Sort ctx here before issuing rounds. A nil ctx
+// removes the binding (never cancelled).
+func (s *Session) SetContext(ctx context.Context) { s.ctx = ctx }
+
+// Context returns the session's cancellation context, never nil.
+func (s *Session) Context() context.Context {
+	if s.ctx == nil {
+		return context.Background()
+	}
+	return s.ctx
+}
+
+// Err reports the session context's cancellation state: nil while live,
+// the context's error once cancelled. Round and RoundBuf consult it
+// between physical rounds; sequential algorithms built on Compare must
+// poll it in their own loops.
+func (s *Session) Err() error {
+	if s.ctx == nil {
+		return nil
+	}
+	return s.ctx.Err()
+}
+
 // Round executes one logical round of equivalence tests and returns the
 // answers, results[i] corresponding to pairs[i]. In ER mode every element
 // may appear at most once in pairs. If the batch exceeds the processor
@@ -263,6 +298,9 @@ func (s *Session) RoundBuf(pairs []Pair, buf []bool) ([]bool, error) {
 		results = make([]bool, len(pairs))
 	}
 	for start := 0; start < len(pairs); start += s.procs {
+		if err := s.Err(); err != nil {
+			return nil, err
+		}
 		end := min(start+s.procs, len(pairs))
 		chunk := pairs[start:end]
 		if s.mode == CR {

@@ -1,0 +1,255 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ecsort/internal/core"
+)
+
+// labelsFor spreads n elements over k classes round-robin and shuffles.
+func labelsFor(n, k int, seed int64) []int {
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i % k
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(n, func(i, j int) { labels[i], labels[j] = labels[j], labels[i] })
+	return labels
+}
+
+// TestPerCollectionAlgorithms: collections created with different
+// regimens in one service all classify correctly, report their regimen,
+// and accumulate cost across flushes.
+func TestPerCollectionAlgorithms(t *testing.T) {
+	svc := New(Config{Shards: 2, BatchSize: 16})
+	defer svc.Close()
+
+	const n, k = 96, 3
+	labels := labelsFor(n, k, 5)
+	for _, tc := range []struct {
+		key  string
+		spec OracleSpec
+		want string // expected CollectionInfo.Algorithm
+	}{
+		{"default", OracleSpec{Kind: KindLabel, Labels: labels}, AlgorithmIncremental},
+		{"explicit-incremental", OracleSpec{Kind: KindLabel, Labels: labels, Algorithm: AlgorithmIncremental}, AlgorithmIncremental},
+		{"er", OracleSpec{Kind: KindLabel, Labels: labels, Algorithm: "er"}, "er"},
+		{"const", OracleSpec{Kind: KindLabel, Labels: labels, Algorithm: "const-round-er", Lambda: 0.25, Seed: 7}, "const-round-er"},
+		{"adaptive", OracleSpec{Kind: KindLabel, Labels: labels, Algorithm: "const-round-er-adaptive", Seed: 7}, "const-round-er-adaptive"},
+		{"auto-any", OracleSpec{Kind: KindLabel, Labels: labels, Algorithm: "auto", K: k}, AlgorithmIncremental},
+		{"auto-er", OracleSpec{Kind: KindLabel, Labels: labels, Algorithm: "auto", Mode: "ER"}, "er"},
+		{"handshake-er", OracleSpec{Kind: KindHandshake, Labels: labels, Seed: 3, Algorithm: "er"}, "er"},
+	} {
+		t.Run(tc.key, func(t *testing.T) {
+			if err := svc.CreateCollection(tc.key, tc.spec); err != nil {
+				t.Fatal(err)
+			}
+			perm := rand.New(rand.NewSource(9)).Perm(n)
+			for start := 0; start < n; start += 24 {
+				end := min(start+24, n)
+				if _, err := svc.Ingest(tc.key, perm[start:end], false); err != nil {
+					t.Fatal(err)
+				}
+			}
+			snap, err := svc.Classes(tc.key, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if snap.Size != n {
+				t.Fatalf("snapshot covers %d elements, want %d", snap.Size, n)
+			}
+			res := core.Result{Classes: snap.Classes}
+			if !core.SameClassification(res.Labels(n), labels) {
+				t.Fatal("wrong classification")
+			}
+			info, err := svc.CollectionStats(tc.key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Algorithm != tc.want {
+				t.Errorf("CollectionInfo.Algorithm = %q, want %q", info.Algorithm, tc.want)
+			}
+			if info.Flushes < 2 {
+				t.Errorf("flushes = %d, want >= 2 (batched ingestion)", info.Flushes)
+			}
+			if snap.Stats.Comparisons == 0 || snap.Stats.Rounds == 0 {
+				t.Errorf("cost not accumulated: %+v", snap.Stats)
+			}
+			// Point lookups work over batch-regimen snapshots too.
+			view, err := svc.ClassOf(tc.key, perm[0], false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range view.Members {
+				if labels[m] != labels[perm[0]] {
+					t.Errorf("ClassOf mixed classes: %d with %d", m, perm[0])
+				}
+			}
+		})
+	}
+}
+
+// TestBatchRegimenRoundEconomy: the point of a per-collection regimen —
+// a const-round collection spends O(1) physical rounds per fold no
+// matter how large the collection grows (Theorem 4), where the ER merge
+// tree's rounds grow with log n.
+func TestBatchRegimenRoundEconomy(t *testing.T) {
+	rounds := func(n int) int {
+		labels := labelsFor(n, 3, 21)
+		svc := New(Config{Shards: 1})
+		defer svc.Close()
+		spec := OracleSpec{Kind: KindLabel, Labels: labels, Algorithm: "const-round-er", Lambda: 0.25, D: 10, Seed: 3}
+		if err := svc.CreateCollection("c", spec); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := svc.Ingest("c", seq(0, n), true); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := svc.Classes("c", false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := core.Result{Classes: snap.Classes}
+		if !core.SameClassification(res.Labels(n), labels) {
+			t.Fatal("wrong classification")
+		}
+		return snap.Stats.Rounds
+	}
+	small, large := rounds(512), rounds(4096)
+	// O(1) in n: an 8x larger input may cost retries but not a
+	// log-factor blowup. Allow 2x slack for unlucky redraws.
+	if large > 2*small {
+		t.Errorf("const-round fold rounds grew with n: %d @ n=512 vs %d @ n=4096", small, large)
+	}
+}
+
+// TestBadAlgorithmSpecs: unknown names, missing required hints, and bad
+// mode strings are rejected at collection creation with ErrBadSpec.
+func TestBadAlgorithmSpecs(t *testing.T) {
+	svc := New(Config{Shards: 1})
+	defer svc.Close()
+	labels := []int{0, 1, 0, 1}
+	for name, spec := range map[string]OracleSpec{
+		"unknown algorithm": {Kind: KindLabel, Labels: labels, Algorithm: "quantum"},
+		"cr without k":      {Kind: KindLabel, Labels: labels, Algorithm: "cr"},
+		"const without λ":   {Kind: KindLabel, Labels: labels, Algorithm: "const-round-er"},
+		"bad mode":          {Kind: KindLabel, Labels: labels, Algorithm: "auto", Mode: "XR"},
+		"bad lambda":        {Kind: KindLabel, Labels: labels, Algorithm: "auto", Lambda: 0.7},
+	} {
+		if err := svc.CreateCollection("bad", spec); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("%s: err = %v, want ErrBadSpec", name, err)
+		}
+	}
+}
+
+// TestCloseUnderInFlightBatches: Close during a storm of concurrent
+// batched ingestion must return promptly (the service context aborts
+// folds between rounds), and every in-flight call must either succeed
+// or fail with ErrClosed/cancellation — never hang or corrupt state.
+func TestCloseUnderInFlightBatches(t *testing.T) {
+	const n, k, writers = 4096, 8, 6
+	labels := labelsFor(n, k, 31)
+	svc := New(Config{Shards: 4, BatchSize: 0})
+	for w := 0; w < writers; w++ {
+		key := fmt.Sprintf("col-%d", w)
+		if err := svc.CreateCollection(key, OracleSpec{Kind: KindLabel, Labels: labels}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	var unexpected atomic.Int64
+	start := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := fmt.Sprintf("col-%d", w)
+			<-start
+			for e := 0; e < n; e += 64 {
+				_, err := svc.Ingest(key, seq(e, min(e+64, n)), false)
+				if err != nil {
+					if !errors.Is(err, ErrClosed) && !errors.Is(err, context.Canceled) {
+						unexpected.Add(1)
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	close(start)
+	time.Sleep(5 * time.Millisecond) // let batches get in flight
+
+	done := make(chan struct{})
+	go func() {
+		svc.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung under in-flight batches")
+	}
+	wg.Wait()
+	if got := unexpected.Load(); got != 0 {
+		t.Errorf("%d writers saw unexpected errors", got)
+	}
+	// The service is fully closed: subsequent calls are rejected.
+	if _, err := svc.Ingest("col-0", []int{0}, false); !errors.Is(err, ErrClosed) {
+		t.Errorf("post-Close ingest err = %v, want ErrClosed", err)
+	}
+}
+
+// TestFailedFoldKeepsCollectionConsistent is the regression test for
+// the fold-error bookkeeping: a const-round collection whose λ promise
+// is violated fails its fold, but the accepted items stay buffered, the
+// pending gauge stays truthful, the collection stays retryable, and
+// reads keep serving the last good snapshot.
+func TestFailedFoldKeepsCollectionConsistent(t *testing.T) {
+	// 39:1 split — smallest class fraction 1/40, hopeless for λ = 0.4.
+	labels := make([]int, 40)
+	labels[7] = 1
+	svc := New(Config{Shards: 1})
+	defer svc.Close()
+	spec := OracleSpec{Kind: KindLabel, Labels: labels, Algorithm: "const-round-er", Lambda: 0.4, D: 2, Seed: 3}
+	if err := svc.CreateCollection("c", spec); err != nil {
+		t.Fatal(err)
+	}
+	_, err := svc.Ingest("c", seq(0, 40), true)
+	if !errors.Is(err, core.ErrConstRoundFailed) {
+		t.Fatalf("ingest err = %v, want ErrConstRoundFailed", err)
+	}
+	info, err := svc.CollectionStats("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Pending != 40 {
+		t.Errorf("pending gauge = %d after failed fold, want 40", info.Pending)
+	}
+	if info.Ingested != 40 {
+		t.Errorf("ingested = %d, want 40", info.Ingested)
+	}
+	// The last good (empty) snapshot still serves.
+	snap, err := svc.Classes("c", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Size != 0 {
+		t.Errorf("failed fold published a snapshot of size %d", snap.Size)
+	}
+	// Retry is reachable: an explicit flush re-runs the fold (and fails
+	// the same way — λ is still violated — without corrupting state).
+	if _, err := svc.Flush("c"); !errors.Is(err, core.ErrConstRoundFailed) {
+		t.Fatalf("flush retry err = %v, want ErrConstRoundFailed", err)
+	}
+	if info, _ = svc.CollectionStats("c"); info.Pending != 40 {
+		t.Errorf("pending gauge = %d after retried fold, want 40", info.Pending)
+	}
+}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,13 +10,17 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"ecsort/internal/algo"
+	"ecsort/internal/core"
 )
 
 // Handler returns the service's HTTP API:
 //
-//	PUT    /v1/collections/{key}         create a collection (body: OracleSpec)
+//	PUT    /v1/collections/{key}         create a collection (body: OracleSpec; "algorithm" picks the regimen)
 //	DELETE /v1/collections/{key}         drop a collection
 //	GET    /v1/collections               list collections
+//	GET    /v1/algorithms                list the sorting-regimen registry (name, mode, hints)
 //	POST   /v1/collections/{key}/items   batch add (body: {"items":[...]}; ?flush=1 forces a flush)
 //	GET    /v1/collections/{key}/classes current partition (?fresh=1 flushes first)
 //	GET    /v1/collections/{key}/classes/{element}  one element's class (O(1) index lookup; ?fresh=1 flushes first)
@@ -29,6 +34,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/collections", s.handleList)
+	mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	mux.HandleFunc("PUT /v1/collections/{key}", s.handleCreate)
 	mux.HandleFunc("DELETE /v1/collections/{key}", s.handleDrop)
 	mux.HandleFunc("POST /v1/collections/{key}/items", s.handleIngest)
@@ -66,7 +72,14 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusConflict
 	case errors.Is(err, ErrBadItem), errors.Is(err, ErrBadSpec):
 		status = http.StatusBadRequest
-	case errors.Is(err, ErrClosed):
+	case errors.Is(err, core.ErrConstRoundFailed), errors.Is(err, core.ErrAdaptiveExhausted):
+		// A const-round fold failed its λ promise on the collection's
+		// current sub-universe — a documented, retryable regimen outcome
+		// (the buffered items survive; a later fold may succeed as data
+		// arrives), not a server bug.
+		status = http.StatusConflict
+	case errors.Is(err, ErrClosed), errors.Is(err, context.Canceled):
+		// context.Canceled surfaces from folds aborted by Close.
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, errorResponse{Error: err.Error()})
@@ -96,6 +109,16 @@ func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"collections": s.Collections()})
 }
 
+// handleAlgorithms serves the sorting-regimen registry: the names a
+// collection spec's "algorithm" field accepts, each with its
+// comparison-model mode, consumed/required hints, and round complexity.
+func (s *Service) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"default":    AlgorithmIncremental,
+		"algorithms": algo.Infos(),
+	})
+}
+
 func (s *Service) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var spec OracleSpec
 	if err := decodeBody(r, &spec); err != nil {
@@ -107,10 +130,12 @@ func (s *Service) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	_, algoName, _ := spec.algorithm() // validated by CreateCollection
 	writeJSON(w, http.StatusCreated, map[string]any{
-		"key":      key,
-		"kind":     spec.Kind,
-		"universe": spec.N(),
+		"key":       key,
+		"kind":      spec.Kind,
+		"universe":  spec.N(),
+		"algorithm": algoName,
 	})
 }
 

@@ -355,3 +355,110 @@ func TestHTTPMetricsRuntimeAndBackpressure(t *testing.T) {
 		t.Fatalf("RuntimeStats().Workers = %d, want 3", svc.RuntimeStats().Workers)
 	}
 }
+
+// TestHTTPAlgorithms: GET /v1/algorithms lists the registry, and a
+// collection created with a per-collection regimen over HTTP reports it
+// and classifies correctly.
+func TestHTTPAlgorithms(t *testing.T) {
+	svc := New(Config{Shards: 2})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	var listing struct {
+		Default    string `json:"default"`
+		Algorithms []struct {
+			Name     string   `json:"name"`
+			Mode     string   `json:"mode"`
+			Hints    []string `json:"hints"`
+			Required []string `json:"required"`
+			Rounds   string   `json:"rounds"`
+		} `json:"algorithms"`
+	}
+	if code := call(t, client, "GET", ts.URL+"/v1/algorithms", nil, &listing); code != http.StatusOK {
+		t.Fatalf("GET /v1/algorithms = %d", code)
+	}
+	if listing.Default != AlgorithmIncremental {
+		t.Errorf("default = %q, want %q", listing.Default, AlgorithmIncremental)
+	}
+	byName := map[string]bool{}
+	for _, a := range listing.Algorithms {
+		byName[a.Name] = true
+		if a.Mode == "" || a.Rounds == "" {
+			t.Errorf("%s: incomplete listing %+v", a.Name, a)
+		}
+	}
+	for _, want := range []string{"cr", "cr-unknown-k", "er", "const-round-er", "const-round-er-adaptive", "two-class-er", "round-robin", "naive", "auto"} {
+		if !byName[want] {
+			t.Errorf("registry listing missing %q", want)
+		}
+	}
+	for _, a := range listing.Algorithms {
+		if a.Name == "cr" && (len(a.Required) != 1 || a.Required[0] != "k") {
+			t.Errorf("cr required hints = %v, want [k]", a.Required)
+		}
+		if a.Name == "const-round-er" && (len(a.Required) != 1 || a.Required[0] != "lambda") {
+			t.Errorf("const-round-er required hints = %v, want [lambda]", a.Required)
+		}
+	}
+
+	// Create an ER-regimen collection through the PUT body and use it.
+	labels := []int{0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2}
+	var created struct {
+		Algorithm string `json:"algorithm"`
+	}
+	code := call(t, client, "PUT", ts.URL+"/v1/collections/hats",
+		OracleSpec{Kind: KindLabel, Labels: labels, Algorithm: "er"}, &created)
+	if code != http.StatusCreated {
+		t.Fatalf("PUT = %d", code)
+	}
+	if created.Algorithm != "er" {
+		t.Errorf("created algorithm = %q", created.Algorithm)
+	}
+	items := map[string][]int{"items": seq(0, len(labels))}
+	if code := call(t, client, "POST", ts.URL+"/v1/collections/hats/items?flush=1", items, nil); code != http.StatusAccepted {
+		t.Fatalf("POST items = %d", code)
+	}
+	var snap Snapshot
+	if code := call(t, client, "GET", ts.URL+"/v1/collections/hats/classes", nil, &snap); code != http.StatusOK {
+		t.Fatalf("GET classes = %d", code)
+	}
+	res := core.Result{Classes: snap.Classes}
+	if !core.SameClassification(res.Labels(len(labels)), labels) {
+		t.Fatal("wrong classification over HTTP with per-collection regimen")
+	}
+	var info CollectionInfo
+	if code := call(t, client, "GET", ts.URL+"/v1/collections/hats/stats", nil, &info); code != http.StatusOK {
+		t.Fatalf("GET stats = %d", code)
+	}
+	if info.Algorithm != "er" {
+		t.Errorf("stats algorithm = %q, want er", info.Algorithm)
+	}
+
+	// A bad regimen spec is a 400.
+	if code := call(t, client, "PUT", ts.URL+"/v1/collections/bad",
+		OracleSpec{Kind: KindLabel, Labels: labels, Algorithm: "quantum"}, nil); code != http.StatusBadRequest {
+		t.Errorf("PUT bad algorithm = %d, want 400", code)
+	}
+}
+
+// TestHTTPConstRoundFoldConflict: a λ-promise fold failure is a 409,
+// not a 500 — a documented retryable regimen outcome.
+func TestHTTPConstRoundFoldConflict(t *testing.T) {
+	labels := make([]int, 40)
+	labels[3] = 1
+	svc := New(Config{Shards: 1})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	spec := OracleSpec{Kind: KindLabel, Labels: labels, Algorithm: "const-round-er", Lambda: 0.4, D: 2, Seed: 5}
+	if code := call(t, client, "PUT", ts.URL+"/v1/collections/c", spec, nil); code != http.StatusCreated {
+		t.Fatalf("PUT = %d", code)
+	}
+	items := map[string][]int{"items": seq(0, 40)}
+	if code := call(t, client, "POST", ts.URL+"/v1/collections/c/items?flush=1", items, nil); code != http.StatusConflict {
+		t.Fatalf("POST with failing fold = %d, want 409", code)
+	}
+}

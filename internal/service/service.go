@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -119,6 +120,9 @@ type CollectionInfo struct {
 	Key string `json:"key"`
 	// Kind is the oracle kind behind the collection.
 	Kind string `json:"kind"`
+	// Algorithm is the sorting regimen folding the collection's batches
+	// ("incremental" for the default online engine).
+	Algorithm string `json:"algorithm"`
 	// Universe is the oracle's element count (insertable ids are
 	// 0..Universe-1).
 	Universe int `json:"universe"`
@@ -149,13 +153,15 @@ type IngestResult struct {
 	Version int64 `json:"version"`
 }
 
-// collection is one keyed namespace: an incremental sorter plus its
-// published snapshot. The inc and session fields are owned by the shard
-// goroutine; snap and the atomic counters are shared with readers.
+// collection is one keyed namespace: a sorter (the incremental engine,
+// or a batch regimen from the registry) plus its published snapshot.
+// The srt field is owned by the shard goroutine; snap and the atomic
+// counters are shared with readers.
 type collection struct {
-	key  string
-	spec OracleSpec
-	inc  *core.Incremental
+	key      string
+	spec     OracleSpec
+	algoName string
+	srt      sorter
 
 	snap     atomic.Pointer[Snapshot]
 	ingested atomic.Int64
@@ -169,7 +175,7 @@ type collection struct {
 // views into that copy, so publication costs a handful of allocations
 // regardless of how many classes the collection has grown.
 func (c *collection) publish() {
-	elems, offs := c.inc.Flat()
+	elems, offs := c.srt.Flat()
 	k := 0
 	if len(offs) > 0 {
 		k = len(offs) - 1
@@ -193,27 +199,28 @@ func (c *collection) publish() {
 		}
 	}
 	c.snap.Store(&Snapshot{
-		Version: int64(c.inc.Flushes()),
+		Version: int64(c.srt.Flushes()),
 		Classes: classes,
 		Size:    len(backing),
-		Stats:   c.inc.Stats(),
+		Stats:   c.srt.Stats(),
 		classOf: classOf,
 	})
-	c.pending.Store(int64(c.inc.Pending()))
-	c.flushes.Store(int64(c.inc.Flushes()))
+	c.pending.Store(int64(c.srt.Pending()))
+	c.flushes.Store(int64(c.srt.Flushes()))
 }
 
 func (c *collection) info(withSnapshot bool) CollectionInfo {
 	snap := c.snap.Load()
 	info := CollectionInfo{
-		Key:      c.key,
-		Kind:     c.spec.Kind,
-		Universe: c.spec.N(),
-		Ingested: c.ingested.Load(),
-		Pending:  c.pending.Load(),
-		Batches:  c.batches.Load(),
-		Flushes:  c.flushes.Load(),
-		Classes:  snap.numClasses(),
+		Key:       c.key,
+		Kind:      c.spec.Kind,
+		Algorithm: c.algoName,
+		Universe:  c.spec.N(),
+		Ingested:  c.ingested.Load(),
+		Pending:   c.pending.Load(),
+		Batches:   c.batches.Load(),
+		Flushes:   c.flushes.Load(),
+		Classes:   snap.numClasses(),
 	}
 	if withSnapshot {
 		info.Snapshot = snap
@@ -251,6 +258,12 @@ type Service struct {
 	pool   *rt.Pool // execution pool shared by every collection's session
 	start  time.Time
 
+	// ctx is bound to every collection session; Close cancels it so
+	// in-flight folds stop between physical rounds instead of holding
+	// shutdown hostage to a large batch.
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	// Batch-fold latency counters: how long Flush+publish takes on the
 	// shard goroutines, for the /metrics backpressure gauges.
 	folds         atomic.Int64
@@ -270,6 +283,7 @@ func New(cfg Config) *Service {
 		panic(fmt.Errorf("%w: service Workers(%d); use 0 for the GOMAXPROCS default", model.ErrBadWorkers, cfg.Workers))
 	}
 	s := &Service{cfg: cfg, pool: rt.NewPool(cfg.Workers), start: time.Now()}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
 	s.shards = make([]*shard, cfg.shards())
 	for i := range s.shards {
 		sh := &shard{
@@ -327,7 +341,7 @@ func (s *Service) runShard(sh *shard) {
 // gauges. Shard goroutine only.
 func (s *Service) fold(c *collection) error {
 	start := time.Now()
-	if err := c.inc.Flush(); err != nil {
+	if err := c.srt.Flush(); err != nil {
 		return err
 	}
 	c.publish()
@@ -355,9 +369,11 @@ func (s *Service) do(sh *shard, fn func() error) error {
 	return <-o.done
 }
 
-// Close stops all shard goroutines. The operation a shard is currently
-// executing completes; operations still queued (and all subsequent
-// calls) may be rejected with ErrClosed.
+// Close stops all shard goroutines. The service context is cancelled
+// first, so a fold in flight stops at its next physical round (its
+// collection keeps the pending buffer and stays consistent); operations
+// still queued (and all subsequent calls) may be rejected with
+// ErrClosed or the cancellation error.
 func (s *Service) Close() {
 	s.closeMu.Lock()
 	if s.closed {
@@ -365,6 +381,7 @@ func (s *Service) Close() {
 		return
 	}
 	s.closed = true
+	s.cancel()
 	for _, sh := range s.shards {
 		close(sh.quit)
 	}
@@ -396,7 +413,10 @@ func (sh *shard) lookup(key string) (*collection, error) {
 }
 
 // CreateCollection registers key with the given oracle spec. The oracle
-// is built eagerly so spec errors surface here, not during ingestion.
+// and the sorting regimen are built eagerly so spec errors surface
+// here, not during ingestion. The spec's Algorithm field selects the
+// regimen: the default incremental engine, or any registry regimen
+// re-sorting the ingested sub-universe per flush.
 func (s *Service) CreateCollection(key string, spec OracleSpec) error {
 	if key == "" {
 		return fmt.Errorf("%w: empty collection key", ErrBadSpec)
@@ -405,13 +425,23 @@ func (s *Service) CreateCollection(key string, spec OracleSpec) error {
 	if err != nil {
 		return err
 	}
-	opts := []model.Option{model.WithPool(s.pool), model.Workers(s.pool.Size())}
+	alg, algoName, err := spec.algorithm()
+	if err != nil {
+		return err
+	}
+	opts := []model.Option{model.WithPool(s.pool), model.Workers(s.pool.Size()), model.WithContext(s.ctx)}
 	if s.cfg.Processors > 0 {
 		opts = append(opts, model.Processors(s.cfg.Processors))
 	}
-	inc, err := core.NewIncremental(model.NewSession(o, model.CR, opts...))
-	if err != nil {
-		return err
+	var srt sorter
+	if alg == nil {
+		inc, err := core.NewIncremental(model.NewSession(o, model.CR, opts...))
+		if err != nil {
+			return err
+		}
+		srt = inc
+	} else {
+		srt = newBatchSorter(alg, o, s.ctx, opts)
 	}
 	sh := s.shardOf(key)
 	return s.do(sh, func() error {
@@ -420,7 +450,7 @@ func (s *Service) CreateCollection(key string, spec OracleSpec) error {
 		if _, ok := sh.cols[key]; ok {
 			return fmt.Errorf("%w: %q", ErrExists, key)
 		}
-		c := &collection{key: key, spec: spec, inc: inc}
+		c := &collection{key: key, spec: spec, algoName: algoName, srt: srt}
 		c.snap.Store(&Snapshot{Classes: [][]int{}})
 		sh.cols[key] = c
 		return nil
@@ -473,13 +503,13 @@ func (s *Service) Ingest(key string, items []int, forceFlush bool) (IngestResult
 			if _, dup := inBatch[e]; dup {
 				return fmt.Errorf("%w: element %d appears twice in batch", ErrBadItem, e)
 			}
-			if c.inc.Has(e) {
+			if c.srt.Has(e) {
 				return fmt.Errorf("%w: element %d already ingested", ErrBadItem, e)
 			}
 			inBatch[e] = struct{}{}
 		}
 		for _, e := range items {
-			if err := c.inc.Add(e); err != nil {
+			if err := c.srt.Add(e); err != nil {
 				// Unreachable after pre-validation; Add only rejects
 				// out-of-range and duplicate elements.
 				return err
@@ -488,18 +518,25 @@ func (s *Service) Ingest(key string, items []int, forceFlush bool) (IngestResult
 		c.ingested.Add(int64(len(items)))
 		c.batches.Add(1)
 		res.Accepted = len(items)
-		flush := forceFlush || s.cfg.BatchSize <= 0 || c.inc.Pending() >= s.cfg.BatchSize
-		if flush && c.inc.Pending() > 0 {
+		flush := forceFlush || s.cfg.BatchSize <= 0 || c.srt.Pending() >= s.cfg.BatchSize
+		if flush && c.srt.Pending() > 0 {
 			if err := s.fold(c); err != nil {
+				// A failed fold is live now that batch regimens can fail
+				// (const-round λ overestimates, Close cancellation). The
+				// accepted items stay buffered; keep the pending gauge
+				// truthful and the collection dirty so the interval
+				// flusher retries and staleness stays bounded.
+				c.pending.Store(int64(c.srt.Pending()))
+				sh.dirty[c] = struct{}{}
 				return err
 			}
 			delete(sh.dirty, c)
 			res.Flushed = true
-		} else if c.inc.Pending() > 0 {
-			c.pending.Store(int64(c.inc.Pending()))
+		} else if c.srt.Pending() > 0 {
+			c.pending.Store(int64(c.srt.Pending()))
 			sh.dirty[c] = struct{}{}
 		}
-		res.Pending = c.inc.Pending()
+		res.Pending = c.srt.Pending()
 		res.Version = c.snap.Load().Version
 		return nil
 	})
@@ -524,13 +561,17 @@ func (s *Service) Flush(key string) (*Snapshot, error) {
 		} else if cur != c {
 			return fmt.Errorf("%w: %q was recreated mid-flush", ErrNotFound, key)
 		}
-		if c.inc.Pending() == 0 {
+		if c.srt.Pending() == 0 {
 			// Nothing buffered: the published snapshot is already
 			// current, so skip the O(n) rebuild a republish would cost.
 			snap = c.snap.Load()
 			return nil
 		}
 		if err := s.fold(c); err != nil {
+			// Same bookkeeping as the Ingest fold path: buffered items
+			// survive, so the gauge and the dirty set must say so.
+			c.pending.Store(int64(c.srt.Pending()))
+			sh.dirty[c] = struct{}{}
 			return err
 		}
 		delete(sh.dirty, c)

@@ -1,0 +1,137 @@
+package service
+
+import (
+	"context"
+	"fmt"
+
+	"ecsort/internal/algo"
+	"ecsort/internal/model"
+)
+
+// sorter is what a collection needs from its classification engine. The
+// default implementation is core.Incremental (online compounding CR
+// folds); batchSorter adapts any batch Algorithm from the registry so a
+// collection can run ER or const-round regimens instead.
+type sorter interface {
+	// Add buffers element e; it rejects out-of-range and duplicates.
+	Add(e int) error
+	// Has reports whether e was already added (buffered or folded).
+	Has(e int) bool
+	// Pending counts buffered elements awaiting the next Flush.
+	Pending() int
+	// Flush folds the buffer into the answer.
+	Flush() error
+	// Flushes counts non-empty folds so far.
+	Flushes() int
+	// Stats is the accumulated session cost.
+	Stats() model.Stats
+	// Flat exposes the answer's flat storage (elements grouped by
+	// class + class offsets), valid until the next Flush.
+	Flat() (elems, offs []int)
+}
+
+// subOracle restricts a base oracle to the sub-universe ids, the view a
+// batch regimen sorts: position i of the sub-universe is base element
+// ids[i].
+type subOracle struct {
+	base model.Oracle
+	ids  []int
+}
+
+func (o *subOracle) N() int { return len(o.ids) }
+
+func (o *subOracle) Same(i, j int) bool { return o.base.Same(o.ids[i], o.ids[j]) }
+
+// batchSorter runs a batch Algorithm as a collection engine. Where the
+// incremental sorter folds only the new arrivals, a batch regimen is
+// defined over its whole input at once, so every flush re-sorts the
+// sub-universe of members ingested so far through the chosen regimen
+// (on a fresh session whose costs accumulate into Stats). That trades
+// fold cost for the regimen's guarantees — e.g. const-round-er spends
+// O(1) physical rounds per fold no matter how large the collection has
+// grown, where the compounding fold's single logical round widens with
+// (batch + k)².
+type batchSorter struct {
+	alg  algo.Algorithm
+	base model.Oracle
+	opts []model.Option
+	ctx  context.Context
+
+	members []int // ingested elements in arrival order
+	seen    []bool
+	pending int // members added since the last completed flush
+
+	elems   []int // flat answer in base-oracle element ids
+	offs    []int
+	stats   model.Stats
+	flushes int
+}
+
+func newBatchSorter(alg algo.Algorithm, base model.Oracle, ctx context.Context, opts []model.Option) *batchSorter {
+	return &batchSorter{
+		alg:  alg,
+		base: base,
+		opts: opts,
+		ctx:  ctx,
+		seen: make([]bool, base.N()),
+		offs: []int{0},
+	}
+}
+
+func (b *batchSorter) Add(e int) error {
+	if e < 0 || e >= len(b.seen) {
+		return fmt.Errorf("service: element %d out of range [0,%d)", e, len(b.seen))
+	}
+	if b.seen[e] {
+		return fmt.Errorf("service: element %d added twice", e)
+	}
+	b.seen[e] = true
+	b.members = append(b.members, e)
+	b.pending++
+	return nil
+}
+
+func (b *batchSorter) Has(e int) bool { return e >= 0 && e < len(b.seen) && b.seen[e] }
+
+func (b *batchSorter) Pending() int { return b.pending }
+
+func (b *batchSorter) Flush() error {
+	if b.pending == 0 {
+		return nil
+	}
+	s := model.NewSession(&subOracle{base: b.base, ids: b.members}, b.alg.Mode(), b.opts...)
+	res, err := b.alg.Sort(b.ctx, s)
+	if err != nil {
+		// The answer and pending count are untouched, so a failed fold
+		// (cancellation, a const-round λ overestimate) leaves the
+		// collection consistent and retryable.
+		return err
+	}
+	b.elems = b.elems[:0]
+	b.offs = b.offs[:1]
+	for _, cls := range res.Classes {
+		for _, i := range cls {
+			b.elems = append(b.elems, b.members[i])
+		}
+		b.offs = append(b.offs, len(b.elems))
+	}
+	b.stats.Comparisons += res.Stats.Comparisons
+	b.stats.Rounds += res.Stats.Rounds
+	if res.Stats.MaxRoundSize > b.stats.MaxRoundSize {
+		b.stats.MaxRoundSize = res.Stats.MaxRoundSize
+	}
+	b.pending = 0
+	b.flushes++
+	return nil
+}
+
+func (b *batchSorter) Flushes() int { return b.flushes }
+
+func (b *batchSorter) Stats() model.Stats { return b.stats }
+
+func (b *batchSorter) Flat() (elems, offs []int) {
+	if len(b.elems) == 0 {
+		return nil, nil
+	}
+	return b.elems, b.offs
+}

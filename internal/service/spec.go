@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"ecsort/internal/agents"
+	"ecsort/internal/algo"
 	"ecsort/internal/model"
 	"ecsort/internal/oracle"
 )
@@ -53,6 +54,10 @@ type GraphSpec struct {
 	Edges [][2]int `json:"edges,omitempty"`
 }
 
+// AlgorithmIncremental is the default collection regimen: the online
+// incremental sorter folding each batch with one compounding CR round.
+const AlgorithmIncremental = "incremental"
+
 // OracleSpec declares the ground-truth oracle behind a collection. Kind
 // selects the application; exactly one of Labels / States / Graphs must
 // be populated, matching the kind. The universe of insertable elements
@@ -65,8 +70,79 @@ type OracleSpec struct {
 	States []uint64 `json:"states,omitempty"`
 	// Graphs drives KindGraphIso.
 	Graphs []GraphSpec `json:"graphs,omitempty"`
-	// Seed feeds key derivation for the handshake kinds.
+	// Seed feeds key derivation for the handshake kinds and the
+	// randomized sorting regimens.
 	Seed int64 `json:"seed,omitempty"`
+
+	// Algorithm selects the sorting regimen folding this collection's
+	// batches. Empty or "incremental" keeps the default online
+	// compounding engine; any registry name (er, const-round-er, auto,
+	// ...) re-sorts the ingested sub-universe with that regimen on every
+	// flush. "auto" plans from the K/Lambda hints with the online flag
+	// set, landing on the incremental engine when the plan is in the CR
+	// family.
+	Algorithm string `json:"algorithm,omitempty"`
+	// K is the expected class count, a workload hint for "cr" and
+	// "auto".
+	K int `json:"k,omitempty"`
+	// Lambda is a guaranteed lower bound on (smallest class size)/n, a
+	// workload hint for the const-round regimens and "auto".
+	Lambda float64 `json:"lambda,omitempty"`
+	// D overrides the Hamiltonian-cycle count of the const-round
+	// regimens (0: the theory constant d(λ), which is safe but
+	// pessimistic — hundreds of cycles for small λ).
+	D int `json:"d,omitempty"`
+	// Mode constrains which model variant "auto" may plan: "" (any),
+	// "ER", or "CR". ER-bound workloads (agents performing their own
+	// tests) set "ER" so the planner stays inside exclusive-read
+	// regimens.
+	Mode string `json:"mode,omitempty"`
+}
+
+// hints assembles the spec's workload hints for the algorithm registry.
+func (sp OracleSpec) hints() (algo.Hints, error) {
+	h := algo.Hints{K: sp.K, Lambda: sp.Lambda, D: sp.D, Seed: sp.Seed, Online: true}
+	switch sp.Mode {
+	case "":
+	case "ER":
+		h.Mode = algo.RequireER
+	case "CR":
+		h.Mode = algo.RequireCR
+	default:
+		return h, fmt.Errorf("%w: mode %q (want \"\", \"ER\", or \"CR\")", ErrBadSpec, sp.Mode)
+	}
+	return h, nil
+}
+
+// algorithm resolves the spec's sorting regimen. It returns (nil, name,
+// nil) for the default incremental engine — also when "auto" plans into
+// the compounding CR family, which the incremental sorter is the online
+// form of — and a batch Algorithm otherwise. Unknown names and missing
+// required hints surface as ErrBadSpec.
+func (sp OracleSpec) algorithm() (algo.Algorithm, string, error) {
+	h, err := sp.hints()
+	if err != nil {
+		return nil, "", err
+	}
+	switch sp.Algorithm {
+	case "", AlgorithmIncremental:
+		return nil, AlgorithmIncremental, nil
+	case "auto":
+		planned, err := algo.Plan(h)
+		if err != nil {
+			return nil, "", fmt.Errorf("%w: %v", ErrBadSpec, err)
+		}
+		if planned.Mode() == model.CR {
+			return nil, AlgorithmIncremental, nil
+		}
+		return planned, planned.Name(), nil
+	default:
+		a, err := algo.ByName(sp.Algorithm, h)
+		if err != nil {
+			return nil, "", fmt.Errorf("%w: %v", ErrBadSpec, err)
+		}
+		return a, a.Name(), nil
+	}
 }
 
 // N returns the universe size the spec defines.

@@ -1,0 +1,72 @@
+// Command ecs-vet runs the project-invariant static analyzer suite of
+// internal/analysis over a module tree, printing findings in the
+// file:line:col convention and exiting non-zero when any survive.
+//
+// Usage:
+//
+//	ecs-vet [-run analyzer,analyzer] [-list] [dir | ./...]
+//
+// The argument names the module root; "./..." (the go-tool idiom) and
+// "." both mean the module in the current directory — the suite always
+// analyzes the whole module. Exit status is 0 for a clean tree, 1 when
+// findings exist, and 2 when the module itself fails to load or
+// type-check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ecsort/internal/analysis"
+)
+
+func main() {
+	runList := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ecs-vet [-run analyzer,analyzer] [-list] [dir | ./...]\n\nAnalyzers:\n")
+		for _, a := range analysis.All {
+			fmt.Fprintf(os.Stderr, "  %-18s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	dir := "."
+	if args := flag.Args(); len(args) > 0 {
+		dir = args[0]
+		// The go-tool "./..." spelling means "this module"; the suite is
+		// always whole-module, so strip the pattern down to the root.
+		dir = strings.TrimSuffix(dir, "...")
+		dir = strings.TrimSuffix(dir, "/")
+		if dir == "" {
+			dir = "."
+		}
+	}
+
+	analyzers, err := analysis.ByName(*runList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ecs-vet:", err)
+		os.Exit(2)
+	}
+	findings, err := analysis.Vet(dir, analyzers...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ecs-vet:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f.String())
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "ecs-vet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -480,12 +480,18 @@ func NewAgentSession(nw *AgentNetwork, cfg Config) *Session {
 
 // SortERDistributed runs the Theorem 2 algorithm with every round
 // executed as concurrent protocol sessions on the network.
+//
+// Deprecated: use ER().Sort with a caller-supplied context and
+// NewAgentSession, which keeps the sort cancellable.
 func SortERDistributed(nw *AgentNetwork, cfg Config) (Result, error) {
 	return ER().Sort(context.Background(), NewAgentSession(nw, cfg))
 }
 
 // SortRoundRobinDistributed runs the sequential regimen over the network
 // (one protocol session per comparison).
+//
+// Deprecated: use RoundRobin().Sort with a caller-supplied context and
+// NewAgentSession, which keeps the sort cancellable.
 func SortRoundRobinDistributed(nw *AgentNetwork, cfg Config) (Result, error) {
 	return RoundRobin().Sort(context.Background(), NewAgentSession(nw, cfg))
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -181,6 +182,76 @@ func TestRegistryAliasesAndErrors(t *testing.T) {
 	}
 	if _, err := ByName("const-round-er", Hints{}); err == nil {
 		t.Error("const-round-er without Lambda accepted")
+	}
+}
+
+// TestRegistryErrorPaths pins the factory error behaviour the registry
+// documents: boundary hint values, the auto entry surfacing its planner
+// error, and error messages actionable enough to fix the call.
+func TestRegistryErrorPaths(t *testing.T) {
+	if _, err := ByName("const-round-er", Hints{Lambda: 0.41}); err == nil {
+		t.Error("const-round-er accepted Lambda above 0.4")
+	}
+	if _, err := ByName("const-round-er", Hints{Lambda: 0.4}); err != nil {
+		t.Errorf("const-round-er rejected boundary Lambda 0.4: %v", err)
+	}
+	if _, err := ByName("const-round-er", Hints{Lambda: -0.1}); err == nil {
+		t.Error("const-round-er accepted negative Lambda")
+	}
+	if _, err := ByName("cr", Hints{K: -3}); err == nil {
+		t.Error("cr accepted negative K")
+	}
+	if _, err := ByName("auto", Hints{K: -1}); err == nil {
+		t.Error("auto entry accepted hints its planner rejects")
+	}
+	if _, err := ByName("auto", Hints{Lambda: 0.5}); err == nil {
+		t.Error("auto entry accepted an out-of-range Lambda hint")
+	}
+	if a, err := ByName("auto", Hints{K: 2}); err != nil || a == nil {
+		t.Errorf("auto entry with valid hints: %v", err)
+	}
+	_, err := ByName("nope", Hints{})
+	if err == nil || !strings.Contains(err.Error(), "naive") {
+		t.Errorf("unknown-name error should list known names, got: %v", err)
+	}
+	if _, err := ByName("cr", Hints{}); err == nil || !strings.Contains(err.Error(), "K >= 1") {
+		t.Errorf("cr error should name the missing hint, got: %v", err)
+	}
+}
+
+// TestRegistryTableInvariants checks the registry data itself: no name
+// or alias collisions, required hints listed among consumed hints, and
+// ModeOf round-tripping every listed mode.
+func TestRegistryTableInvariants(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range registry {
+		for _, name := range append([]string{e.info.Name}, e.aliases...) {
+			if seen[name] {
+				t.Errorf("registry name/alias %q registered twice", name)
+			}
+			seen[name] = true
+		}
+		hints := map[string]bool{}
+		for _, h := range e.info.Hints {
+			hints[h] = true
+		}
+		for _, r := range e.info.Required {
+			if !hints[r] {
+				t.Errorf("%q: required hint %q not listed in Hints", e.info.Name, r)
+			}
+		}
+		if _, ok := ModeOf(e.info.Mode); !ok && e.info.Mode != "any" {
+			t.Errorf("%q: unmappable mode %q", e.info.Name, e.info.Mode)
+		}
+	}
+	if _, ok := ModeOf("any"); ok {
+		t.Error(`ModeOf("any") should not map to a model constant`)
+	}
+	if m, ok := ModeOf("ER"); !ok || m != model.ER {
+		t.Error(`ModeOf("ER") mismatch`)
+	}
+	if m, ok := ModeOf("CR"); !ok || m != model.CR {
+		t.Error(`ModeOf("CR") mismatch`)
 	}
 }
 

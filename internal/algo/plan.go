@@ -96,6 +96,8 @@ func (h Hints) validate() error {
 // mode allows it (that schedule is what the incremental sorter folds
 // batches with); the constant-round regimens need the whole input at
 // once, so they are never planned for online workloads.
+//
+//ecsort:ignore registrycomplete reached via Auto, the registry's "auto" entry
 func Plan(h Hints) (Algorithm, error) {
 	if err := h.validate(); err != nil {
 		return nil, err

@@ -1,0 +1,512 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotAlloc proves the allocation discipline of the flat-core hot paths
+// statically, complementing the AllocsPerRun tests that are skipped
+// under -race. Inside a function annotated //ecsort:hotpath it flags:
+//
+//   - any call into package fmt (every fmt call allocates);
+//   - map composite literals and make(map[...]...);
+//   - make of slices and channels, unless the call sits under an if
+//     whose condition checks cap(...) — the grow-on-demand arena idiom;
+//   - append whose destination is a fresh local (declared nil, a slice
+//     literal, or make without an explicit capacity) — growth that
+//     reallocates every call instead of reusing arena backing; appends
+//     to parameters, struct fields, and slices derived from them are
+//     the arena pattern and stay legal;
+//   - function literals declared inside a loop that capture the loop's
+//     variables (a closure allocation per iteration);
+//   - implicit interface conversions of non-pointer concrete values in
+//     calls, assignments, and returns (boxing allocates).
+//
+// The hot path keeps its annotation honest: this analyzer checks what
+// the PR 3/4 benchmarks measured, forever.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "allocation patterns inside //ecsort:hotpath functions",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	hot := pass.HotpathFuncs()
+	if len(hot) == 0 {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		funcScope(file, func(fd *ast.FuncDecl) {
+			if !hot[fd] {
+				return
+			}
+			h := &hotWalker{pass: pass, fd: fd, info: pass.Pkg.Info}
+			h.walk(fd.Body, nil)
+		})
+	}
+}
+
+// hotWalker carries the loop stack so closures can be checked against
+// the variables of every enclosing loop.
+type hotWalker struct {
+	pass *Pass
+	fd   *ast.FuncDecl
+	info *types.Info
+}
+
+// loopFrame records the variable objects one enclosing loop declares.
+type loopFrame struct {
+	vars map[types.Object]bool
+}
+
+func (h *hotWalker) walk(n ast.Node, loops []*loopFrame) {
+	if n == nil {
+		return
+	}
+	switch node := n.(type) {
+	case *ast.ForStmt:
+		frame := &loopFrame{vars: map[types.Object]bool{}}
+		if init, ok := node.Init.(*ast.AssignStmt); ok {
+			for _, lhs := range init.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := h.info.Defs[id]; obj != nil {
+						frame.vars[obj] = true
+					}
+				}
+			}
+		}
+		h.walk(node.Init, loops)
+		h.walk(node.Cond, loops)
+		h.walk(node.Post, loops)
+		h.walk(node.Body, append(loops, frame))
+		return
+	case *ast.RangeStmt:
+		frame := &loopFrame{vars: map[types.Object]bool{}}
+		for _, e := range []ast.Expr{node.Key, node.Value} {
+			if id, ok := e.(*ast.Ident); ok {
+				if obj := h.info.Defs[id]; obj != nil {
+					frame.vars[obj] = true
+				}
+			}
+		}
+		h.walk(node.X, loops)
+		h.walk(node.Body, append(loops, frame))
+		return
+	case *ast.FuncLit:
+		if captured := h.capturedLoopVar(node, loops); captured != "" {
+			h.pass.Reportf(node.Pos(), "closure in hot path captures loop variable %s: allocates every iteration; hoist the closure or write by index", captured)
+		} else if outer := h.capturedOuterVar(node); outer != "" {
+			h.pass.Reportf(node.Pos(), "closure in hot path captures %s: capturing closures allocate; use a method on a reused struct instead", outer)
+		}
+		// Still walk the body: allocations inside the closure run on the
+		// hot path too.
+		h.walk(node.Body, loops)
+		return
+	case *ast.CompositeLit:
+		if tv, ok := h.info.Types[node]; ok {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				h.pass.Reportf(node.Pos(), "map literal in hot path: allocates; use a slice-indexed table or a reused arena map")
+			}
+		}
+	case *ast.CallExpr:
+		h.checkCall(node)
+	case *ast.AssignStmt:
+		h.checkAssign(node)
+	case *ast.ReturnStmt:
+		h.checkReturn(node)
+	case *ast.IfStmt:
+		// Descend with the if recorded so make-under-cap-guard resolves.
+		h.walk(node.Init, loops)
+		h.walk(node.Cond, loops)
+		h.walk(node.Body, loops)
+		h.walk(node.Else, loops)
+		return
+	}
+	// Generic descent for everything not handled structurally above.
+	for _, child := range childNodes(n) {
+		h.walk(child, loops)
+	}
+}
+
+// capturedLoopVar returns the name of a loop variable referenced by the
+// literal, or "".
+func (h *hotWalker) capturedLoopVar(lit *ast.FuncLit, loops []*loopFrame) string {
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := h.info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		for _, frame := range loops {
+			if frame.vars[obj] {
+				captured = id.Name
+				return false
+			}
+		}
+		return true
+	})
+	return captured
+}
+
+// capturedOuterVar returns the name of a variable of the enclosing
+// function (parameter or local, not a field or package-level var) that
+// the literal captures, or "". Capture-free literals compile to static
+// closures and never allocate, so they stay legal.
+func (h *hotWalker) capturedOuterVar(lit *ast.FuncLit) string {
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := h.info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		// Captured iff declared inside the enclosing declaration but
+		// outside the literal itself.
+		if obj.Pos() >= h.fd.Pos() && obj.Pos() < h.fd.End() && (obj.Pos() < lit.Pos() || obj.Pos() >= lit.End()) {
+			captured = id.Name
+			return false
+		}
+		return true
+	})
+	return captured
+}
+
+func (h *hotWalker) checkCall(call *ast.CallExpr) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		switch h.builtinName(fun) {
+		case "make":
+			h.checkMake(call)
+		case "append":
+			h.checkAppend(call)
+		case "new":
+			h.pass.Reportf(call.Pos(), "new(...) in hot path: allocates; reuse arena storage")
+		}
+	case *ast.SelectorExpr:
+		if obj := h.info.Uses[fun.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			h.pass.Reportf(call.Pos(), "fmt.%s in hot path: fmt always allocates; predeclare errors or move formatting off the hot path", fun.Sel.Name)
+		}
+	}
+	h.checkBoxing(call)
+}
+
+// builtinName resolves an identifier to the builtin it names, or "".
+func (h *hotWalker) builtinName(id *ast.Ident) string {
+	if obj := h.info.Uses[id]; obj != nil {
+		if _, ok := obj.(*types.Builtin); ok {
+			return obj.Name()
+		}
+	}
+	return ""
+}
+
+// checkMake flags map makes always, and slice/channel makes unless the
+// call is dominated by a cap(...) guard — the grow-on-demand idiom
+// (if cap(buf) < n { buf = make(...) }) that amortizes to zero.
+func (h *hotWalker) checkMake(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	tv, ok := h.info.Types[call.Args[0]]
+	if !ok {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Map:
+		h.pass.Reportf(call.Pos(), "make(map) in hot path: maps allocate on growth; use a slice-indexed table")
+	case *types.Slice, *types.Chan:
+		if !h.underCapGuard(call) {
+			h.pass.Reportf(call.Pos(), "make in hot path outside a cap(...) growth guard: allocates every call; use the grow-on-demand arena idiom")
+		}
+	}
+}
+
+// underCapGuard reports whether node sits inside an if statement of this
+// function whose condition mentions cap(...).
+func (h *hotWalker) underCapGuard(node ast.Node) bool {
+	guarded := false
+	var walk func(n ast.Node, inGuard bool)
+	walk = func(n ast.Node, inGuard bool) {
+		if n == nil || guarded {
+			return
+		}
+		if n == ast.Node(node) {
+			guarded = inGuard
+			return
+		}
+		if ifs, ok := n.(*ast.IfStmt); ok {
+			capGuard := inGuard || mentionsCap(ifs.Cond, h.info)
+			walk(ifs.Init, inGuard)
+			walk(ifs.Cond, inGuard)
+			walk(ifs.Body, capGuard)
+			walk(ifs.Else, capGuard)
+			return
+		}
+		for _, child := range childNodes(n) {
+			walk(child, inGuard)
+		}
+	}
+	walk(h.fd.Body, false)
+	return guarded
+}
+
+// mentionsCap reports whether the expression calls the builtin cap.
+func mentionsCap(e ast.Expr, info *types.Info) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				if obj, isB := info.Uses[id].(*types.Builtin); isB && obj.Name() == "cap" {
+					found = true
+					return false
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkAppend flags appends whose destination is a fresh local slice.
+func (h *hotWalker) checkAppend(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	dst := call.Args[0]
+	id, ok := dst.(*ast.Ident)
+	if !ok {
+		// Field selectors, index expressions: arena-backed, allowed.
+		return
+	}
+	obj, ok := h.info.Uses[id].(*types.Var)
+	if !ok || obj.IsField() {
+		return
+	}
+	if h.isParam(obj) {
+		return
+	}
+	if origin, fresh := h.freshLocalOrigin(obj); fresh {
+		h.pass.Reportf(call.Pos(), "append to fresh local %q (declared via %s) in hot path: grows a new backing every call; append into an arena slice or preallocate with explicit capacity", id.Name, origin)
+	}
+}
+
+// isParam reports whether obj is a parameter (or named result) of the
+// enclosing function or one of its literals.
+func (h *hotWalker) isParam(obj *types.Var) bool {
+	found := false
+	ast.Inspect(h.fd, func(n ast.Node) bool {
+		var ft *ast.FuncType
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			ft = fn.Type
+		case *ast.FuncLit:
+			ft = fn.Type
+		default:
+			return !found
+		}
+		for _, fl := range []*ast.FieldList{ft.Params, ft.Results} {
+			if fl == nil {
+				continue
+			}
+			for _, field := range fl.List {
+				for _, name := range field.Names {
+					if h.info.Defs[name] == obj {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// freshLocalOrigin finds the defining statement of a local slice and
+// classifies it: origins that provably allocate a fresh, capacity-less
+// backing ("var x []T", "x := []T{...}", "x := make([]T, n)") report
+// fresh=true. Origins derived from parameters, fields, other locals, or
+// calls are treated as arena-backed and allowed — the analyzer stays
+// conservative so annotated code never needs false-positive waivers.
+func (h *hotWalker) freshLocalOrigin(obj *types.Var) (origin string, fresh bool) {
+	ast.Inspect(h.fd, func(n ast.Node) bool {
+		if fresh {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range node.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || h.info.Defs[id] != obj {
+					continue
+				}
+				if i >= len(node.Rhs) {
+					continue
+				}
+				switch rhs := node.Rhs[i].(type) {
+				case *ast.CompositeLit:
+					origin, fresh = "slice literal", true
+				case *ast.CallExpr:
+					if fn, ok := rhs.Fun.(*ast.Ident); ok && h.builtinName(fn) == "make" && len(rhs.Args) < 3 {
+						if _, isSlice := h.info.Types[rhs.Args[0]].Type.Underlying().(*types.Slice); isSlice {
+							origin, fresh = "make without capacity", true
+						}
+					}
+				}
+			}
+		case *ast.DeclStmt:
+			gd, ok := node.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if h.info.Defs[name] != obj {
+						continue
+					}
+					if len(vs.Values) == 0 {
+						origin, fresh = "var with nil backing", true
+					} else if i < len(vs.Values) {
+						if _, isLit := vs.Values[i].(*ast.CompositeLit); isLit {
+							origin, fresh = "slice literal", true
+						}
+					}
+				}
+			}
+		}
+		return !fresh
+	})
+	return origin, fresh
+}
+
+// checkBoxing flags implicit interface conversions of concrete
+// non-pointer values in call arguments.
+func (h *hotWalker) checkBoxing(call *ast.CallExpr) {
+	sig := h.callSignature(call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var paramType types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // x... passes the slice through, no per-element boxing
+			}
+			paramType = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			paramType = params.At(i).Type()
+		default:
+			continue
+		}
+		h.checkConvert(arg, paramType, "argument")
+	}
+}
+
+// callSignature resolves a call's static signature, nil for builtins,
+// conversions, and type expressions.
+func (h *hotWalker) callSignature(call *ast.CallExpr) *types.Signature {
+	tv, ok := h.info.Types[call.Fun]
+	if !ok || tv.IsType() || tv.IsBuiltin() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// checkAssign flags boxing in assignments to interface-typed
+// destinations.
+func (h *hotWalker) checkAssign(assign *ast.AssignStmt) {
+	if len(assign.Lhs) != len(assign.Rhs) {
+		return
+	}
+	for i, lhs := range assign.Lhs {
+		tv, ok := h.info.Types[lhs]
+		if !ok {
+			continue
+		}
+		h.checkConvert(assign.Rhs[i], tv.Type, "assignment")
+	}
+}
+
+// checkReturn flags boxing in return statements.
+func (h *hotWalker) checkReturn(ret *ast.ReturnStmt) {
+	sig := h.fdSignature()
+	if sig == nil || sig.Results().Len() != len(ret.Results) {
+		return
+	}
+	for i, res := range ret.Results {
+		h.checkConvert(res, sig.Results().At(i).Type(), "return value")
+	}
+}
+
+func (h *hotWalker) fdSignature() *types.Signature {
+	obj := h.info.Defs[h.fd.Name]
+	if obj == nil {
+		return nil
+	}
+	sig, _ := obj.Type().(*types.Signature)
+	return sig
+}
+
+// checkConvert reports a finding when expr's concrete non-pointer value
+// is implicitly converted to an interface destination — the boxing
+// allocation the PR 3/4 hot paths eliminated (their idiom: pass a
+// pointer to a session-embedded struct, which converts for free).
+func (h *hotWalker) checkConvert(expr ast.Expr, dst types.Type, what string) {
+	if dst == nil || !types.IsInterface(dst.Underlying()) {
+		return
+	}
+	tv, ok := h.info.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	src := tv.Type
+	if types.IsInterface(src.Underlying()) {
+		return // interface-to-interface carries the existing box
+	}
+	if tv.IsNil() {
+		return
+	}
+	switch src.Underlying().(type) {
+	case *types.Pointer, *types.Signature, *types.Map, *types.Chan:
+		return // pointer-shaped: the iface data word holds it without heap allocation
+	}
+	h.pass.Reportf(expr.Pos(), "interface conversion boxes %s (%s) in hot path: allocates; pass a pointer to reused storage instead",
+		types.TypeString(src, types.RelativeTo(h.pass.Pkg.Types)), what)
+}
+
+// childNodes enumerates a node's direct children via ast.Inspect.
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(child ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if child != nil {
+			out = append(out, child)
+		}
+		return false
+	})
+	return out
+}

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// OracleRound proves the accounting model's core invariant: equivalence
+// tests happen only inside scheduled rounds. Outside internal/model and
+// internal/core's round machinery, no code may call Oracle.Same (or any
+// method of a BatchOracle, should one land) directly — every comparison
+// must flow through model.Session so Result's comparison and round
+// counts stay truthful. A method of a type that itself implements
+// model.Oracle may delegate to an inner oracle (the wrapper pattern:
+// recorders, adversaries, the service's sub-universe views); everything
+// else is a finding.
+var OracleRound = &Analyzer{
+	Name: "oracleround",
+	Doc:  "direct Oracle.Same calls outside model.Session round machinery",
+	Run:  runOracleRound,
+}
+
+// oracleRoundExempt lists the packages that ARE the round machinery.
+var oracleRoundExempt = map[string]bool{
+	"internal/model": true,
+	"internal/core":  true,
+}
+
+func runOracleRound(pass *Pass) {
+	rel := strings.TrimPrefix(pass.Pkg.Path, pass.Module.Path+"/")
+	if oracleRoundExempt[rel] {
+		return
+	}
+	oracleIface := lookupOracleInterface(pass)
+	if oracleIface == nil {
+		return
+	}
+	batchIface := lookupInterface(pass, "BatchOracle")
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		funcScope(file, func(fd *ast.FuncDecl) {
+			// Delegation exemption: a method of an Oracle implementation
+			// may call its inner oracle — that call IS the oracle's
+			// answer, not an unaccounted comparison.
+			if named := recvNamed(pass.Pkg, fd); named != nil {
+				if types.Implements(named, oracleIface) || types.Implements(types.NewPointer(named), oracleIface) {
+					return
+				}
+			}
+			ast.Inspect(fd, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				selection, ok := info.Selections[sel]
+				if !ok || selection.Kind() != types.MethodVal {
+					return true
+				}
+				recv := selection.Recv()
+				switch {
+				case sel.Sel.Name == "Same" && implementsOracle(recv, oracleIface) && isSameSig(selection.Obj()):
+					pass.Reportf(call.Pos(),
+						"direct Oracle.Same call on %s: comparisons must flow through model.Session (Round/RoundBuf/Compare) so Result stats stay truthful",
+						types.TypeString(recv, types.RelativeTo(pass.Pkg.Types)))
+				case batchIface != nil && implementsOracle(recv, batchIface):
+					pass.Reportf(call.Pos(),
+						"direct BatchOracle call on %s: batch answers must be scheduled as model.Session rounds",
+						types.TypeString(recv, types.RelativeTo(pass.Pkg.Types)))
+				}
+				return true
+			})
+		})
+	}
+}
+
+// lookupOracleInterface finds model.Oracle in the module universe, via
+// this package's own declaration when analyzing internal/model itself.
+func lookupOracleInterface(pass *Pass) *types.Interface {
+	return lookupInterface(pass, "Oracle")
+}
+
+// lookupInterface resolves internal/model's named interface by name, or
+// nil when the module has no model package (fixture mini-modules).
+func lookupInterface(pass *Pass, name string) *types.Interface {
+	model := pass.Module.Lookup(pass.Module.Path + "/internal/model")
+	if model == nil {
+		return nil
+	}
+	obj := model.Types.Scope().Lookup(name)
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// implementsOracle reports whether t (or *t) satisfies the interface.
+func implementsOracle(t types.Type, iface *types.Interface) bool {
+	if types.IsInterface(t) {
+		// Interface-typed receivers: the static type must subsume the
+		// oracle contract.
+		return types.Implements(t, iface) || types.AssignableTo(t, iface)
+	}
+	return types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface)
+}
+
+// isSameSig pins the exact Same(i, j int) bool shape, so unrelated Same
+// methods (e.g. a set's Same(other Set)) never match even on types that
+// coincidentally implement Oracle.
+func isSameSig(obj types.Object) bool {
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 2 || sig.Results().Len() != 1 {
+		return false
+	}
+	isInt := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Kind() == types.Int
+	}
+	b, ok := sig.Results().At(0).Type().Underlying().(*types.Basic)
+	return isInt(sig.Params().At(0).Type()) && isInt(sig.Params().At(1).Type()) && ok && b.Kind() == types.Bool
+}

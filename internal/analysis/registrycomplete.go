@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+)
+
+// RegistryComplete keeps the algorithm registry exhaustive. The registry
+// (internal/algo/registry.go) is the single dispatch point for the
+// CLIs, the service, and Auto planning — an exported Algorithm
+// constructor that never gets wired in is unreachable from every name-
+// driven surface and silently missing from `ecs-bench -algo` sweeps.
+// In any package that declares an interface named Algorithm and has a
+// registry.go, every exported function returning that Algorithm must be
+// referenced somewhere in registry.go.
+var RegistryComplete = &Analyzer{
+	Name: "registrycomplete",
+	Doc:  "exported Algorithm constructors not wired into registry.go",
+	Run:  runRegistryComplete,
+}
+
+func runRegistryComplete(pass *Pass) {
+	algType := localAlgorithmInterface(pass.Pkg)
+	if algType == nil {
+		return
+	}
+	var registryFile *ast.File
+	for _, file := range pass.Pkg.Files {
+		if filepath.Base(pass.Module.Fset.Position(file.Pos()).Filename) == "registry.go" {
+			registryFile = file
+			break
+		}
+	}
+	if registryFile == nil {
+		return
+	}
+	// Everything registry.go references, by object.
+	used := make(map[types.Object]bool)
+	ast.Inspect(registryFile, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Pkg.Info.Uses[id]; obj != nil {
+				used[obj] = true
+			}
+		}
+		return true
+	})
+	for _, file := range pass.Pkg.Files {
+		if file == registryFile {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || !fd.Name.IsExported() {
+				continue
+			}
+			obj := pass.Pkg.Info.Defs[fd.Name]
+			if obj == nil || !returnsType(obj, algType) {
+				continue
+			}
+			if !used[obj] {
+				pass.Reportf(fd.Name.Pos(),
+					"exported Algorithm constructor %s is not referenced in registry.go: wire it into the registry so name-driven dispatch (CLIs, service, Auto) can reach it",
+					fd.Name.Name)
+			}
+		}
+	}
+}
+
+// localAlgorithmInterface returns the package's own interface type named
+// Algorithm, or nil.
+func localAlgorithmInterface(pkg *Package) types.Type {
+	obj, ok := pkg.Types.Scope().Lookup("Algorithm").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	if _, isIface := obj.Type().Underlying().(*types.Interface); !isIface {
+		return nil
+	}
+	return obj.Type()
+}
+
+// returnsType reports whether fn's results include typ (directly, not
+// wrapped).
+func returnsType(fn types.Object, typ types.Type) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Identical(sig.Results().At(i).Type(), typ) {
+			return true
+		}
+	}
+	return false
+}

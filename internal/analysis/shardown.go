@@ -1,0 +1,250 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ShardOwn proves the single-writer discipline of the sharded service
+// statically, where the race detector can only sample it:
+//
+//   - A struct field annotated //ecsort:owned-by-shard may be touched
+//     only from (a) methods of its declaring struct, (b) functions
+//     annotated //ecsort:shard-goroutine (the writer loop and its
+//     helpers), or (c) function literals passed directly to a function
+//     annotated //ecsort:shard-dispatch (Service.do, which executes
+//     them on the owner goroutine). Any other access is a cross-
+//     goroutine mutation waiting to happen.
+//
+//   - A field whose type comes from sync/atomic (atomic.Pointer,
+//     atomic.Int64, ...) may appear only as the receiver of a method
+//     call (.Load/.Store/.Add/...). Copying it, aliasing it, or
+//     passing it by value is a non-atomic access that silently forks
+//     the counter.
+var ShardOwn = &Analyzer{
+	Name: "shardown",
+	Doc:  "shard-owned fields touched off their writer goroutine; non-atomic use of sync/atomic fields",
+	Run:  runShardOwn,
+}
+
+func runShardOwn(pass *Pass) {
+	facts := pass.vet.facts(pass.Pkg)
+	for _, file := range pass.Pkg.Files {
+		funcScope(file, func(fd *ast.FuncDecl) {
+			ctx := &shardCtx{pass: pass, facts: facts, fd: fd}
+			ctx.allowedFn = facts.shardGo[fd]
+			ctx.recv = recvNamed(pass.Pkg, fd)
+			ctx.walk(fd.Body, ctx.allowedFn)
+		})
+	}
+}
+
+type shardCtx struct {
+	pass      *Pass
+	facts     *fileFacts
+	fd        *ast.FuncDecl
+	recv      *types.Named
+	allowedFn bool
+}
+
+// walk descends fd's body tracking whether the current lexical region
+// runs on the owner goroutine (inShard).
+func (c *shardCtx) walk(n ast.Node, inShard bool) {
+	if n == nil {
+		return
+	}
+	switch node := n.(type) {
+	case *ast.CallExpr:
+		// Function literals handed to a //ecsort:shard-dispatch callee
+		// execute on the owner goroutine.
+		dispatch := c.isDispatchCall(node)
+		c.walk(node.Fun, inShard)
+		for _, arg := range node.Args {
+			if lit, ok := arg.(*ast.FuncLit); ok && dispatch {
+				c.walk(lit.Body, true)
+				continue
+			}
+			c.walk(arg, inShard)
+		}
+		// The call expression itself may also be an atomic method call;
+		// selector checks below handle receivers, so nothing more here.
+		return
+	case *ast.SelectorExpr:
+		c.checkSelector(node, inShard)
+		c.walk(node.X, inShard)
+		return
+	case *ast.CompositeLit:
+		c.checkCompositeLit(node, inShard)
+	}
+	for _, child := range childNodes(n) {
+		c.walk(child, inShard)
+	}
+}
+
+// isDispatchCall reports whether the call's callee carries
+// //ecsort:shard-dispatch.
+func (c *shardCtx) isDispatchCall(call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	obj := c.pass.Pkg.Info.Uses[id]
+	return obj != nil && c.facts.dispatch[obj]
+}
+
+// checkSelector enforces both rules on one field access.
+func (c *shardCtx) checkSelector(sel *ast.SelectorExpr, inShard bool) {
+	info := c.pass.Pkg.Info
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		// Method selections: if the receiver chain contains an atomic
+		// field access, the nested SelectorExpr is checked on descent.
+		return
+	}
+	field, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	if c.facts.ownedVars[field] && !inShard && !c.isOwningMethod(field) {
+		c.pass.Reportf(sel.Pos(),
+			"field %s.%s is //ecsort:owned-by-shard: accessed outside its owning goroutine's methods (use the shard dispatch, or annotate the function //ecsort:shard-goroutine if it provably runs there)",
+			fieldOwnerName(field), field.Name())
+	}
+	if isAtomicType(field.Type()) && !c.atomicUseOK(sel) {
+		c.pass.Reportf(sel.Pos(),
+			"non-atomic access to atomic field %s.%s: sync/atomic values may only be used as method-call receivers (.Load/.Store/...), never copied or aliased",
+			fieldOwnerName(field), field.Name())
+	}
+}
+
+// checkCompositeLit treats writing an owned field in a composite
+// literal as an access (construction counts: &collection{srt: ...}).
+func (c *shardCtx) checkCompositeLit(lit *ast.CompositeLit, inShard bool) {
+	if inShard {
+		return
+	}
+	info := c.pass.Pkg.Info
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		field, ok := info.Uses[key].(*types.Var)
+		if !ok || !field.IsField() {
+			continue
+		}
+		if c.facts.ownedVars[field] && !c.isOwningMethod(field) {
+			c.pass.Reportf(kv.Pos(),
+				"field %s.%s is //ecsort:owned-by-shard: initialized outside its owning goroutine",
+				fieldOwnerName(field), field.Name())
+		}
+	}
+}
+
+// isOwningMethod reports whether the enclosing declaration is a method
+// on the struct that declares field.
+func (c *shardCtx) isOwningMethod(field *types.Var) bool {
+	if c.recv == nil {
+		return false
+	}
+	st, ok := c.recv.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i) == field {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldOwnerName best-effort names the struct declaring a field for
+// messages.
+func fieldOwnerName(field *types.Var) string {
+	if field.Pkg() == nil {
+		return "?"
+	}
+	scope := field.Pkg().Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == field {
+				return name
+			}
+		}
+	}
+	return "?"
+}
+
+// atomicTypeNames are the sync/atomic value types whose every use must
+// be a method call.
+var atomicTypeNames = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+	"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+}
+
+// isAtomicType reports whether t is one of sync/atomic's value types.
+func isAtomicType(t types.Type) bool {
+	named := namedBase(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && atomicTypeNames[obj.Name()]
+}
+
+// atomicUseOK reports whether the atomic field selector is used as a
+// method-call receiver: the parent expression must be sel.Method(...).
+func (c *shardCtx) atomicUseOK(sel *ast.SelectorExpr) bool {
+	parent := c.parentOf(sel)
+	outerSel, ok := parent.(*ast.SelectorExpr)
+	if !ok || outerSel.X != ast.Expr(sel) {
+		return false
+	}
+	if selection, ok := c.pass.Pkg.Info.Selections[outerSel]; ok && selection.Kind() == types.MethodVal {
+		grand := c.parentOf(outerSel)
+		call, ok := grand.(*ast.CallExpr)
+		return ok && call.Fun == ast.Expr(outerSel)
+	}
+	return false
+}
+
+// parentOf finds the immediate parent of target within the enclosing
+// declaration.
+func (c *shardCtx) parentOf(target ast.Node) ast.Node {
+	var parent ast.Node
+	var stack []ast.Node
+	ast.Inspect(c.fd, func(n ast.Node) bool {
+		if parent != nil {
+			return false
+		}
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if n == target && len(stack) > 0 {
+			parent = stack[len(stack)-1]
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parent
+}

@@ -1,0 +1,21 @@
+// Package apidocfix seeds violations for the apidoc analyzer: committed
+// surface symbols with and without doc comments, and a v1-style wrapper
+// missing its Deprecated marker.
+package apidocfix
+
+// Version is documented.
+const Version = 1
+
+// Documented carries a doc comment, as every surface symbol must.
+func Documented() int { return 0 }
+
+func Undocumented() int { return 1 } // want apidoc
+
+// SortOld reads like a v1 wrapper but lacks the Deprecated marker.
+func SortOld(xs []int) []int { return xs } // want apidoc
+
+// Thing is documented.
+type Thing struct{ Field int }
+
+// Get is a documented surface method.
+func (t Thing) Get() int { return t.Field }

@@ -1,0 +1,3 @@
+module apidocfix
+
+go 1.24

@@ -1,0 +1,62 @@
+// Package hotalloc seeds violations for the hotalloc analyzer: each
+// forbidden allocation pattern inside an annotated function, next to the
+// legal arena idioms that must stay silent.
+package hotalloc
+
+import "fmt"
+
+type arena struct {
+	buf []int
+}
+
+// grow is the legal grow-on-demand idiom: make under a cap guard, and
+// appends into field-backed storage.
+//
+//ecsort:hotpath
+func (a *arena) grow(n int) []int {
+	if cap(a.buf) < n {
+		a.buf = make([]int, 0, n)
+	}
+	a.buf = append(a.buf[:0], n)
+	return a.buf
+}
+
+// bad seeds one of each forbidden pattern.
+//
+//ecsort:hotpath
+func bad(n int) string {
+	m := map[int]int{} // want hotalloc
+	m[n] = n
+	s := make([]int, n) // want hotalloc
+	s[0] = n
+	var fresh []int
+	fresh = append(fresh, n) // want hotalloc
+	p := new(int)            // want hotalloc
+	*p = fresh[0]
+	// Two findings: the fmt call, and *p boxing into its ...any parameter.
+	return fmt.Sprintf("%d", *p) // want hotalloc hotalloc
+}
+
+// closures seeds the per-iteration closure allocation.
+//
+//ecsort:hotpath
+func closures() int {
+	total := 0
+	for i := 0; i < 3; i++ {
+		f := func() int { return i } // want hotalloc
+		total += f()
+	}
+	return total
+}
+
+// boxing seeds the implicit interface conversion of a concrete value.
+//
+//ecsort:hotpath
+func boxing(v int) any {
+	return v // want hotalloc
+}
+
+// cold is unannotated, so the same patterns stay legal here.
+func cold(n int) string {
+	return fmt.Sprintf("%d", n)
+}

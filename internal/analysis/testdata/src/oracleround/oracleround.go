@@ -1,0 +1,37 @@
+// Package oracleround seeds violations for the oracleround analyzer:
+// direct Oracle.Same calls outside the round machinery, the legal
+// wrapper-delegation pattern, and a coincidental Same method that must
+// never match.
+package oracleround
+
+import "ecsort/internal/model"
+
+// direct calls Same on the interface outside any round.
+func direct(o model.Oracle) bool {
+	return o.Same(0, 1) // want oracleround
+}
+
+// labelOracle is a concrete oracle implementation.
+type labelOracle struct{ labels []int }
+
+func (l *labelOracle) N() int             { return len(l.labels) }
+func (l *labelOracle) Same(i, j int) bool { return l.labels[i] == l.labels[j] }
+
+// concrete calls Same on a concrete implementation.
+func concrete(l *labelOracle) bool {
+	return l.Same(2, 3) // want oracleround
+}
+
+// wrapper implements model.Oracle itself, so its methods may delegate to
+// the inner oracle — the recorder/adversary pattern.
+type wrapper struct{ inner model.Oracle }
+
+func (w *wrapper) N() int             { return w.inner.N() }
+func (w *wrapper) Same(i, j int) bool { return w.inner.Same(i, j) }
+
+// set has a Same method with an unrelated signature; calling it is fine.
+type set struct{}
+
+func (set) Same(other set) bool { return true }
+
+func unrelated(s set) bool { return s.Same(set{}) }

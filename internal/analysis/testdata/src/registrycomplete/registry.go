@@ -1,0 +1,12 @@
+package registrycomplete
+
+// registry is the name→factory table; Orphan is deliberately missing.
+var registry = map[string]func() Algorithm{
+	"wired": Wired,
+}
+
+// byName resolves a factory.
+func byName(name string) (func() Algorithm, bool) {
+	f, ok := registry[name]
+	return f, ok
+}

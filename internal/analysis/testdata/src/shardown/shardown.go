@@ -1,0 +1,61 @@
+// Package shardown seeds violations for the shardown analyzer: owned
+// fields touched off the writer goroutine, construction outside it, and
+// non-atomic use of sync/atomic fields — next to every legal access
+// shape.
+package shardown
+
+import "sync/atomic"
+
+type coll struct {
+	state []int //ecsort:owned-by-shard
+
+	hits atomic.Int64
+}
+
+type engine struct {
+	cols []*coll
+}
+
+// dispatch runs fn on the owner goroutine.
+//
+//ecsort:shard-dispatch
+func (e *engine) dispatch(fn func()) { fn() }
+
+// loop is the owner goroutine: owned access is legal here.
+//
+//ecsort:shard-goroutine
+func (e *engine) loop() {
+	for _, c := range e.cols {
+		c.state = append(c.state, 1)
+	}
+}
+
+// reset is a method of the declaring struct: legal.
+func (c *coll) reset() { c.state = c.state[:0] }
+
+// offGoroutine touches owned state from a plain function.
+func offGoroutine(c *coll) {
+	c.state = nil // want shardown
+}
+
+// construct initializes owned state outside the owner goroutine.
+func construct() *coll {
+	return &coll{state: []int{1}} // want shardown
+}
+
+// viaDispatch is legal: the literal executes on the owner goroutine.
+func viaDispatch(e *engine, c *coll) {
+	e.dispatch(func() { c.state = nil })
+}
+
+// atomicOK uses the atomic field through methods only.
+func atomicOK(c *coll) int64 {
+	c.hits.Add(1)
+	return c.hits.Load()
+}
+
+// atomicCopy copies the atomic field, forking the counter.
+func atomicCopy(c *coll) int64 {
+	h := c.hits // want shardown
+	return h.Load()
+}

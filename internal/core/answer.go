@@ -78,6 +78,8 @@ func Singletons(n int) []Answer {
 }
 
 // K returns the number of classes in the answer.
+//
+//ecsort:hotpath
 func (a Answer) K() int {
 	if len(a.offs) == 0 {
 		return 0
@@ -86,13 +88,19 @@ func (a Answer) K() int {
 }
 
 // Size returns the number of elements covered by the answer.
+//
+//ecsort:hotpath
 func (a Answer) Size() int { return len(a.elems) }
 
 // Class returns the members of class i as a read-only view into the
 // answer's backing array. Class i's first member is its representative.
+//
+//ecsort:hotpath
 func (a Answer) Class(i int) []int { return a.elems[a.offs[i]:a.offs[i+1]] }
 
 // Rep returns the representative element of class i (its first member).
+//
+//ecsort:hotpath
 func (a Answer) Rep(i int) int { return a.elems[a.offs[i]] }
 
 // Reps returns the representative element of each class (the first
@@ -144,6 +152,8 @@ func (a Answer) Flat() (elems, offs []int) { return a.elems, a.offs }
 // are a's classes in order, each extended by its matched b class if any,
 // then b's unmatched classes — exactly the ordering the map-based ER
 // engine produced, so results are bit-for-bit identical.
+//
+//ecsort:hotpath
 func appendMatched(a, b Answer, matchOf []int32, matchedB []bool, elems, offs []int) (Answer, []int, []int) {
 	base, offBase := len(elems), len(offs)
 	offs = append(offs, base)
@@ -246,6 +256,8 @@ type pairPlan struct {
 // round to dst and returns the extended slice; dst comes back unchanged
 // when the schedule is exhausted. The caller must pass the emitted
 // tests' results to absorb before calling emitNext again.
+//
+//ecsort:hotpath
 func (p *pairPlan) emitNext(dst []model.Pair) []model.Pair {
 	kb := p.b.K()
 	mark := len(dst)
@@ -266,6 +278,8 @@ func (p *pairPlan) emitNext(dst []model.Pair) []model.Pair {
 }
 
 // absorb records the results of one executed round emitted by emitNext.
+//
+//ecsort:hotpath
 func (p *pairPlan) absorb(pairs []model.Pair, res []bool) {
 	for idx, eq := range res {
 		if eq {

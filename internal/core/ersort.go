@@ -41,6 +41,8 @@ func SortER(s *model.Session) (Result, error) {
 // returns the final answer, which views the arena's pools — callers that
 // outlive the arena must materialize it (Classes). Reusing one arena
 // across sorts keeps the steady state allocation-free.
+//
+//ecsort:hotpath
 func sortERArena(s *model.Session, ar *erArena) (Answer, error) {
 	answers := ar.seedSingletons()
 	for len(answers) > 1 {
@@ -100,6 +102,8 @@ func newERArena(n int) *erArena {
 
 // seedSingletons resets the arena to the singleton level: answers[i]
 // views pool element i (step 0 of the merge tree).
+//
+//ecsort:hotpath
 func (ar *erArena) seedSingletons() []Answer {
 	ar.cur = 0
 	pool := growInts(ar.elems[0][:0], ar.n)
@@ -120,6 +124,8 @@ func (ar *erArena) seedSingletons() []Answer {
 // appendAnswer copies a into the elems/offs destination pools and
 // returns the copied view — the carry-over path for an odd answer, so
 // the source pool can be recycled next level.
+//
+//ecsort:hotpath
 func appendAnswer(a Answer, elems, offs []int) (Answer, []int, []int) {
 	base, offBase := len(elems), len(offs)
 	elems = append(elems, a.elems...)
@@ -137,6 +143,8 @@ func appendAnswer(a Answer, elems, offs []int) (Answer, []int, []int) {
 // written into the arena's spare pool, which then becomes current; the
 // input answers' pool is recycled, so callers must not retain answers
 // across calls.
+//
+//ecsort:hotpath
 func mergeLevelER(s *model.Session, ar *erArena, answers []Answer) ([]Answer, error) {
 	dst := 1 - ar.cur
 	elems, offs := ar.elems[dst][:0], ar.offs[dst][:0]

@@ -71,6 +71,8 @@ func (inc *Incremental) Add(e int) error {
 // flush allocates nothing: the group is a view over the pending buffer,
 // the cross tests stream through the arena, and the merged answer is
 // written into the spare backing, which then swaps with the current one.
+//
+//ecsort:hotpath
 func (inc *Incremental) Flush() error {
 	if len(inc.pending) == 0 {
 		return nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -32,6 +33,10 @@ type mergeScratch struct {
 	spans    []mergeSpan
 }
 
+// errSmallGroup rejects degenerate merge group sizes; predeclared so the
+// per-level hot path never touches fmt.
+var errSmallGroup = errors.New("core: merge group size < 2")
+
 // mergeSpan marks one group's slice of a batched logical round.
 type mergeSpan struct {
 	start, end int // answers[start:end] form the group
@@ -43,6 +48,8 @@ type mergeSpan struct {
 // against each class j of group[v] — and returns the extended slice. The
 // unite step re-walks the same order, so no pair-to-slot mapping is ever
 // materialized.
+//
+//ecsort:hotpath
 func appendCross(dst []model.Pair, group []Answer) []model.Pair {
 	for u := 0; u < len(group); u++ {
 		gu := group[u]
@@ -64,6 +71,8 @@ func appendCross(dst []model.Pair, group []Answer) []model.Pair {
 // unite folds one group's equality results into the arena's union-find
 // over (answer, class) slots. res must hold the answers to the tests
 // appendCross emitted for this group, in that order.
+//
+//ecsort:hotpath
 func (sc *mergeScratch) unite(group []Answer, res []bool) {
 	slots := 0
 	sc.slotBase = sc.slotBase[:0]
@@ -96,6 +105,8 @@ func (sc *mergeScratch) unite(group []Answer, res []bool) {
 // each united component and members concatenate in slot order — exactly
 // the ordering the map-based engine produced, so results are
 // bit-for-bit identical. Call unite for the group first.
+//
+//ecsort:hotpath
 func (sc *mergeScratch) buildMerged(group []Answer, elems, offs []int) (Answer, []int, []int) {
 	slots := sc.dsu.Len()
 	if cap(sc.classID) < slots {
@@ -163,17 +174,21 @@ func (sc *mergeScratch) buildMerged(group []Answer, elems, offs []int) (Answer, 
 
 // growInts extends s to length n, preserving contents and doubling the
 // capacity when a reallocation is needed so pool growth amortizes away.
+//
+//ecsort:hotpath
 func growInts(s []int, n int) []int {
-	if cap(s) >= n {
-		return s[:n]
+	if cap(s) < n {
+		grown := make([]int, n, max(n, 2*cap(s)))
+		copy(grown, s)
+		return grown
 	}
-	grown := make([]int, n, max(n, 2*cap(s)))
-	copy(grown, s)
-	return grown
+	return s[:n]
 }
 
 // round executes one logical round of the arena's emitted pairs through
 // the session, keeping the result buffer for reuse when it grew.
+//
+//ecsort:hotpath
 func (sc *mergeScratch) round(s *model.Session) ([]bool, error) {
 	res, err := s.RoundBuf(sc.pairs, sc.results)
 	if err != nil {
@@ -188,6 +203,8 @@ func (sc *mergeScratch) round(s *model.Session) ([]bool, error) {
 // streamGroup runs one group's whole merge round through the arena —
 // appendCross → session round → unite — leaving the slot union-find
 // ready for buildMerged.
+//
+//ecsort:hotpath
 func (sc *mergeScratch) streamGroup(s *model.Session, group []Answer) error {
 	sc.pairs = appendCross(sc.pairs[:0], group)
 	res, err := sc.round(s)
@@ -291,9 +308,11 @@ func mergePairsCR(s *model.Session, ar *crArena, answers []Answer) ([]Answer, er
 // merged or carried over. Outputs are written into the arena's spare
 // pool, which then becomes current; the input answers' pool is recycled
 // as the next spare, so callers must not retain answers across calls.
+//
+//ecsort:hotpath
 func mergeGroupsCR(s *model.Session, ar *crArena, answers []Answer, g int) ([]Answer, error) {
 	if g < 2 {
-		return nil, fmt.Errorf("core: group size %d < 2", g)
+		return nil, errSmallGroup
 	}
 	sc := &ar.sc
 	sc.pairs = sc.pairs[:0]

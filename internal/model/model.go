@@ -243,6 +243,7 @@ func (s *Session) SetContext(ctx context.Context) { s.ctx = ctx }
 // Context returns the session's cancellation context, never nil.
 func (s *Session) Context() context.Context {
 	if s.ctx == nil {
+		//ecsort:ignore ctxflow contract fallback: unbound sessions are documented as never-cancelled
 		return context.Background()
 	}
 	return s.ctx
@@ -282,6 +283,8 @@ func (s *Session) Round(pairs []Pair) ([]bool, error) {
 // after the earlier chunks have executed and been charged — malformed
 // batches indicate a bug in the calling algorithm, not a recoverable
 // condition, so partial accounting on that path is acceptable.
+//
+//ecsort:hotpath
 func (s *Session) RoundBuf(pairs []Pair, buf []bool) ([]bool, error) {
 	if len(pairs) == 0 {
 		return nil, nil
@@ -331,6 +334,8 @@ func (s *Session) RoundLog() []int { return s.roundLog }
 // Compare executes a single sequential equivalence test, charged as one
 // comparison in its own round. It panics on out-of-range or self
 // comparisons, which are always caller bugs.
+//
+//ecsort:hotpath
 func (s *Session) Compare(i, j int) bool {
 	if i < 0 || i >= s.n || j < 0 || j >= s.n {
 		panic(ErrOutOfRange)
@@ -432,6 +437,8 @@ type roundExec struct {
 }
 
 // RunChunk implements runtime.Runner.
+//
+//ecsort:hotpath
 func (e *roundExec) RunChunk(lo, hi int) {
 	pairs, out := e.pairs, e.out
 	for i := lo; i < hi; i++ {

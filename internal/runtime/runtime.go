@@ -137,6 +137,8 @@ func (p *Pool) Close() {
 // contiguous chunks claimed by the pool's workers and the calling
 // goroutine; par <= 1 (or n < 2, or a closed pool) runs the whole range
 // inline. Run allocates nothing in steady state.
+//
+//ecsort:hotpath
 func (p *Pool) Run(n, par int, r Runner) {
 	if n <= 0 {
 		return
@@ -191,6 +193,8 @@ func (p *Pool) worker() {
 
 // work claims and executes chunks of j until none remain. The goroutine
 // that finishes the last live chunk signals the job's done channel.
+//
+//ecsort:hotpath
 func (p *Pool) work(j *job) {
 	for {
 		c := j.next.Add(1) - 1
@@ -212,6 +216,8 @@ func (p *Pool) work(j *job) {
 
 // release drops one hold on j and recycles it once nobody — submitter or
 // announced worker, however late it dequeues — references it anymore.
+//
+//ecsort:hotpath
 func (p *Pool) release(j *job) {
 	if j.refs.Add(-1) == 0 {
 		j.runner = nil

@@ -91,6 +91,8 @@ type Snapshot struct {
 
 // ClassIndexOf returns the index into Classes of element e's class, or -1
 // if e is not covered by this snapshot. O(1).
+//
+//ecsort:hotpath
 func (s *Snapshot) ClassIndexOf(e int) int {
 	if s == nil || e < 0 || e >= len(s.classOf) {
 		return -1
@@ -161,7 +163,7 @@ type collection struct {
 	key      string
 	spec     OracleSpec
 	algoName string
-	srt      sorter
+	srt      sorter //ecsort:owned-by-shard
 
 	snap     atomic.Pointer[Snapshot]
 	ingested atomic.Int64
@@ -247,7 +249,7 @@ type shard struct {
 
 	// dirty tracks collections with unflushed pending elements, for the
 	// FlushInterval ticker. Shard goroutine only.
-	dirty map[*collection]struct{}
+	dirty map[*collection]struct{} //ecsort:owned-by-shard
 }
 
 // Service is the sharded classification engine. Create one with New,
@@ -283,13 +285,15 @@ func New(cfg Config) *Service {
 		panic(fmt.Errorf("%w: service Workers(%d); use 0 for the GOMAXPROCS default", model.ErrBadWorkers, cfg.Workers))
 	}
 	s := &Service{cfg: cfg, pool: rt.NewPool(cfg.Workers), start: time.Now()}
+	//ecsort:ignore ctxflow service lifetime root: Close cancels it; per-request contexts layer on top
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	s.shards = make([]*shard, cfg.shards())
 	for i := range s.shards {
 		sh := &shard{
-			ops:   make(chan op, 64),
-			quit:  make(chan struct{}),
-			cols:  make(map[string]*collection),
+			ops:  make(chan op, 64),
+			quit: make(chan struct{}),
+			cols: make(map[string]*collection),
+			//ecsort:ignore shardown constructed before the shard goroutine starts; the go statement publishes it
 			dirty: make(map[*collection]struct{}),
 		}
 		s.shards[i] = sh
@@ -300,6 +304,8 @@ func New(cfg Config) *Service {
 }
 
 // runShard is the single-writer loop of one shard.
+//
+//ecsort:shard-goroutine
 func (s *Service) runShard(sh *shard) {
 	defer s.wg.Done()
 	var tick <-chan time.Time
@@ -339,6 +345,8 @@ func (s *Service) runShard(sh *shard) {
 // fold flushes c's pending buffer into its answer and publishes the new
 // snapshot, tracking batch-fold latency for the /metrics backpressure
 // gauges. Shard goroutine only.
+//
+//ecsort:shard-goroutine
 func (s *Service) fold(c *collection) error {
 	start := time.Now()
 	if err := c.srt.Flush(); err != nil {
@@ -357,6 +365,8 @@ func (s *Service) fold(c *collection) error {
 func (s *Service) RuntimeStats() rt.Stats { return s.pool.Stats() }
 
 // do runs fn on the shard's writer goroutine and waits for it.
+//
+//ecsort:shard-dispatch
 func (s *Service) do(sh *shard, fn func() error) error {
 	s.closeMu.RLock()
 	if s.closed {

@@ -27,6 +27,8 @@ func New(n int) *DSU {
 // Reset reinitializes d to n singleton sets, reusing the backing arrays
 // whenever they are large enough. Hot merge loops call this between
 // merges so the forest costs no allocations in steady state.
+//
+//ecsort:hotpath
 func (d *DSU) Reset(n int) {
 	if cap(d.parent) < n {
 		d.parent = make([]int, n)
@@ -48,6 +50,8 @@ func (d *DSU) Len() int { return len(d.parent) }
 func (d *DSU) Sets() int { return d.sets }
 
 // Find returns the canonical representative of x's set.
+//
+//ecsort:hotpath
 func (d *DSU) Find(x int) int {
 	root := x
 	for d.parent[root] != root {
@@ -63,6 +67,8 @@ func (d *DSU) Find(x int) int {
 // Union merges the sets containing a and b and returns the representative
 // of the merged set. It reports whether a merge actually happened (false if
 // a and b were already in the same set).
+//
+//ecsort:hotpath
 func (d *DSU) Union(a, b int) (root int, merged bool) {
 	ra, rb := d.Find(a), d.Find(b)
 	if ra == rb {
@@ -78,9 +84,13 @@ func (d *DSU) Union(a, b int) (root int, merged bool) {
 }
 
 // Same reports whether a and b are in the same set.
+//
+//ecsort:hotpath
 func (d *DSU) Same(a, b int) bool { return d.Find(a) == d.Find(b) }
 
 // SizeOf returns the size of the set containing x.
+//
+//ecsort:hotpath
 func (d *DSU) SizeOf(x int) int { return d.size[d.Find(x)] }
 
 // Groups returns the current sets as slices of element indices. Elements

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestCrashRecoverySmoke is the end-to-end durability smoke CI runs: it
+// builds the real ecs-serve binary, ingests over HTTP, SIGKILLs the
+// process mid-flight, restarts it on the same data directory, and
+// asserts the recovered classes and stats fingerprints are bit-identical
+// to the pre-kill state. Gated by ECSORT_CRASH_SMOKE=1 because it builds
+// a binary and binds a TCP port.
+func TestCrashRecoverySmoke(t *testing.T) {
+	if os.Getenv("ECSORT_CRASH_SMOKE") != "1" {
+		t.Skip("set ECSORT_CRASH_SMOKE=1 to run the SIGKILL recovery smoke")
+	}
+	bin := filepath.Join(t.TempDir(), "ecs-serve")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build ecs-serve: %v\n%s", err, out)
+	}
+	dataDir := filepath.Join(t.TempDir(), "data")
+	addr := pickAddr(t)
+	base := "http://" + addr
+
+	start := func() *exec.Cmd {
+		cmd := exec.Command(bin, "-addr", addr, "-data-dir", dataDir, "-fsync", "always", "-shards", "4")
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start ecs-serve: %v", err)
+		}
+		waitHealthy(t, base)
+		return cmd
+	}
+
+	cmd := start()
+	defer cmd.Process.Kill()
+
+	put(t, base+"/v1/collections/smoke", `{"kind":"label","labels":[0,1,0,1,2,2,0,1]}`)
+	post(t, base+"/v1/collections/smoke/items", `{"items":[0,1,2,3]}`)
+	post(t, base+"/v1/collections/smoke/items?flush=1", `{"items":[4,5]}`)
+	post(t, base+"/v1/collections/smoke/items", `{"items":[6]}`) // left pending at kill time
+	want := getJSON(t, base+"/v1/collections/smoke/classes?fresh=1")
+
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	cmd.Wait()
+
+	cmd = start()
+	defer func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		cmd.Wait()
+	}()
+	got := getJSON(t, base+"/v1/collections/smoke/classes?fresh=1")
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("classes after SIGKILL recovery diverged:\n got %v\nwant %v", got, want)
+	}
+}
+
+func pickAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		res, err := http.Get(base + "/healthz")
+		if err == nil {
+			res.Body.Close()
+			if res.StatusCode == 200 {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatal("ecs-serve did not become healthy within 10s")
+}
+
+func put(t *testing.T, url, body string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doOK(t, req)
+}
+
+func post(t *testing.T, url, body string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doOK(t, req)
+}
+
+func doOK(t *testing.T, req *http.Request) {
+	t.Helper()
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", req.Method, req.URL, err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode >= 300 {
+		var buf bytes.Buffer
+		buf.ReadFrom(res.Body)
+		t.Fatalf("%s %s: status %d: %s", req.Method, req.URL, res.StatusCode, buf.String())
+	}
+}
+
+func getJSON(t *testing.T, url string) map[string]any {
+	t.Helper()
+	res, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("GET %s: status %d", url, res.StatusCode)
+	}
+	var v map[string]any
+	if err := json.NewDecoder(res.Body).Decode(&v); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+	return v
+}

@@ -9,6 +9,12 @@
 //
 //	ecs-serve -addr :8080 -shards 16 -batch 128 -flush-interval 250ms
 //
+// With -data-dir the service is durable: accepted operations are
+// write-ahead logged per shard, checkpoints bound replay work, and a
+// restart (clean or crashed) rebuilds every collection bit-identically:
+//
+//	ecs-serve -data-dir /var/lib/ecsort -fsync interval -checkpoint-interval 30s
+//
 // Then, over HTTP:
 //
 //	curl -X PUT  localhost:8080/v1/collections/demo -d '{"kind":"label","labels":[0,1,0,1,2]}'
@@ -48,20 +54,35 @@ func main() {
 		flushInterval = flag.Duration("flush-interval", 0, "max snapshot staleness when -batch > 0 (0: no timer)")
 		processors    = flag.Int("processors", 0, "comparisons per physical round in each session (0: n, the paper's setting)")
 		workers       = flag.Int("workers", 0, "width of the service-wide execution pool shared by all collections (0: GOMAXPROCS)")
+		dataDir       = flag.String("data-dir", "", "durable data directory: per-shard WALs + checkpoints, replayed on boot (empty: memory-only)")
+		fsync         = flag.String("fsync", "", "WAL fsync policy: always, interval, or never (default interval; see docs/PERSISTENCE.md)")
+		fsyncInterval = flag.Duration("fsync-interval", 0, "max unsynced-WAL window under -fsync interval (0: 100ms)")
+		checkpointInt = flag.Duration("checkpoint-interval", 0, "periodic per-shard checkpoint+WAL-truncation (0: only on shutdown)")
 	)
 	flag.Parse()
 	if *workers < 0 {
 		log.Fatalf("ecs-serve: -workers must be >= 0, got %d", *workers)
 	}
 
-	svc := service.New(service.Config{
-		Shards:        *shards,
-		BatchSize:     *batch,
-		FlushInterval: *flushInterval,
-		Processors:    *processors,
-		Workers:       *workers,
+	svc, err := service.Open(service.Config{
+		Shards:             *shards,
+		BatchSize:          *batch,
+		FlushInterval:      *flushInterval,
+		Processors:         *processors,
+		Workers:            *workers,
+		DataDir:            *dataDir,
+		Fsync:              *fsync,
+		FsyncInterval:      *fsyncInterval,
+		CheckpointInterval: *checkpointInt,
 	})
+	if err != nil {
+		log.Fatalf("ecs-serve: %v", err)
+	}
 	defer svc.Close()
+	if rec := svc.Recovery(); rec.Durable {
+		log.Printf("ecs-serve: recovered %s: %d collection(s) from checkpoints, %d WAL record(s) over %d segment(s), %d torn tail(s) truncated, in %s",
+			*dataDir, rec.Collections, rec.Records, rec.Segments, rec.TornTails, rec.Duration.Round(time.Microsecond))
+	}
 
 	server := &http.Server{
 		Addr:              *addr,

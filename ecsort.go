@@ -320,8 +320,22 @@ type ServiceConfig = service.Config
 // its Handler method (see cmd/ecs-serve) or drive it in process.
 type Service = service.Service
 
-// NewService starts a classification service; Close it when done.
+// NewService starts a classification service; Close it when done. It
+// panics if durable recovery fails — use OpenService when
+// ServiceConfig.DataDir is set.
 func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// OpenService starts a classification service, first recovering durable
+// state (checkpoint + write-ahead-log replay) when ServiceConfig.DataDir
+// is set. Recovered collections are bit-identical — classes and cost
+// stats — to the pre-restart state implied by the log. See
+// docs/PERSISTENCE.md for the on-disk format and crash-safety protocol.
+func OpenService(cfg ServiceConfig) (*Service, error) { return service.Open(cfg) }
+
+// ServiceRecoveryInfo summarizes what OpenService rebuilt from the data
+// directory (collections restored, WAL records replayed, torn tails
+// truncated, wall time) — exposed by Service.Recovery and /metrics.
+type ServiceRecoveryInfo = service.RecoveryInfo
 
 // OracleSpec declares the equivalence oracle behind a service
 // collection: one of the paper's applications (secret handshakes —

@@ -172,3 +172,67 @@ func (inc *Incremental) Flat() (elems, offs []int) {
 
 // Stats exposes the underlying session's cost.
 func (inc *Incremental) Stats() model.Stats { return inc.session.Stats() }
+
+// PendingElements exposes the buffered elements in arrival order, as a
+// read-only view valid until the next Add or Flush. Arrival order is
+// part of the sorter's determinism contract — the next flush merges
+// pending singletons in exactly this order — so checkpointing code must
+// persist it as is.
+func (inc *Incremental) PendingElements() []int { return inc.pending }
+
+// Restore rebuilds a fresh sorter from checkpointed state: the flat
+// answer (elems grouped by class, offs the class-offset table), the
+// pending buffer in arrival order, the accumulated session cost, and the
+// flush count. After Restore the sorter continues bit-identically to one
+// that reached this state by live Adds and Flushes — same classes, same
+// stats trajectory — which is the recovery correctness anchor. It must
+// be called on a sorter with no prior Adds.
+func (inc *Incremental) Restore(elems, offs, pending []int, st model.Stats, flushes int) error {
+	if inc.added != 0 || inc.flushes != 0 {
+		return fmt.Errorf("core: Restore on a used sorter (%d adds, %d flushes)", inc.added, inc.flushes)
+	}
+	if len(elems) > 0 && (len(offs) < 2 || offs[0] != 0 || offs[len(offs)-1] != len(elems)) {
+		return fmt.Errorf("core: Restore: malformed offset table (len %d over %d elements)", len(offs), len(elems))
+	}
+	if len(elems) == 0 && len(offs) > 1 {
+		return fmt.Errorf("core: Restore: %d class offsets over zero elements", len(offs))
+	}
+	for i := 1; i < len(offs); i++ {
+		if offs[i] <= offs[i-1] {
+			return fmt.Errorf("core: Restore: class %d is empty or out of order", i-1)
+		}
+	}
+	mark := func(e int) error {
+		if e < 0 || e >= len(inc.seen) {
+			return fmt.Errorf("core: Restore: element %d out of range [0,%d)", e, len(inc.seen))
+		}
+		if inc.seen[e] {
+			return fmt.Errorf("core: Restore: element %d appears twice", e)
+		}
+		inc.seen[e] = true
+		return nil
+	}
+	for _, e := range elems {
+		if err := mark(e); err != nil {
+			return err
+		}
+	}
+	for _, e := range pending {
+		if err := mark(e); err != nil {
+			return err
+		}
+	}
+	inc.bufElems[0] = append(inc.bufElems[0][:0], elems...)
+	inc.bufOffs[0] = append(inc.bufOffs[0][:0], offs...)
+	inc.cur = 0
+	if len(elems) > 0 {
+		inc.answer = Answer{elems: inc.bufElems[0], offs: inc.bufOffs[0]}
+	} else {
+		inc.answer = Answer{}
+	}
+	inc.pending = append(inc.pending[:0], pending...)
+	inc.added = len(elems) + len(pending)
+	inc.flushes = flushes
+	inc.session.RestoreStats(st)
+	return nil
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ecsort/internal/model"
+	"ecsort/internal/oracle"
+)
+
+// TestIncrementalRestoreContinuesBitIdentical is the core recovery
+// anchor: a sorter rebuilt from a mid-stream snapshot (flat answer +
+// pending + stats + flushes) must continue exactly like the sorter it
+// was taken from — same classes AND same stats after the same remaining
+// operations.
+func TestIncrementalRestoreContinuesBitIdentical(t *testing.T) {
+	const n, k = 96, 7
+	rng := rand.New(rand.NewSource(41))
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = rng.Intn(k)
+	}
+	perm := rng.Perm(n)
+
+	newInc := func() *Incremental {
+		inc, err := NewIncremental(model.NewSession(oracle.NewLabel(labels), model.CR))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inc
+	}
+
+	// Drive the original through a few batches, snapshotting mid-stream
+	// with some elements still pending.
+	orig := newInc()
+	cut := 0
+	for ; cut < 60; cut++ {
+		if err := orig.Add(perm[cut]); err != nil {
+			t.Fatal(err)
+		}
+		if cut == 30 || cut == 47 {
+			if err := orig.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	elems, offs := orig.Flat()
+	state := struct {
+		elems, offs, pending []int
+		stats                model.Stats
+		flushes              int
+	}{
+		elems:   append([]int(nil), elems...),
+		offs:    append([]int(nil), offs...),
+		pending: append([]int(nil), orig.PendingElements()...),
+		stats:   orig.Stats(),
+		flushes: orig.Flushes(),
+	}
+
+	restored := newInc()
+	if err := restored.Restore(state.elems, state.offs, state.pending, state.stats, state.flushes); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Size() != orig.Size() || restored.Pending() != orig.Pending() || restored.Flushes() != orig.Flushes() {
+		t.Fatalf("restored size/pending/flushes = %d/%d/%d, want %d/%d/%d",
+			restored.Size(), restored.Pending(), restored.Flushes(), orig.Size(), orig.Pending(), orig.Flushes())
+	}
+
+	// Continue both identically: flush, more adds, flush again.
+	for _, inc := range []*Incremental{orig, restored} {
+		if err := inc.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range perm[cut:] {
+			if err := inc.Add(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	origClasses, err := orig.Classes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restClasses, err := restored.Classes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(origClasses, restClasses) {
+		t.Errorf("classes diverged:\n orig %v\n rest %v", origClasses, restClasses)
+	}
+	if orig.Stats() != restored.Stats() {
+		t.Errorf("stats diverged: orig %+v, restored %+v", orig.Stats(), restored.Stats())
+	}
+	if orig.Flushes() != restored.Flushes() {
+		t.Errorf("flushes diverged: %d vs %d", orig.Flushes(), restored.Flushes())
+	}
+}
+
+// TestIncrementalRestoreValidation rejects malformed checkpoint state
+// instead of rebuilding a silently wrong sorter.
+func TestIncrementalRestoreValidation(t *testing.T) {
+	labels := []int{0, 1, 0, 1}
+	fresh := func() *Incremental {
+		inc, err := NewIncremental(model.NewSession(oracle.NewLabel(labels), model.CR))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inc
+	}
+	cases := []struct {
+		name                 string
+		elems, offs, pending []int
+	}{
+		{"bad offsets", []int{0, 2}, []int{0, 1}, nil},
+		{"empty class", []int{0, 2}, []int{0, 2, 2}, nil},
+		{"out of range", []int{0, 9}, []int{0, 2}, nil},
+		{"duplicate across answer and pending", []int{0, 2}, []int{0, 2}, []int{2}},
+		{"offsets without elements", nil, []int{0, 1}, nil},
+	}
+	for _, tc := range cases {
+		if err := fresh().Restore(tc.elems, tc.offs, tc.pending, model.Stats{}, 1); err == nil {
+			t.Errorf("%s: Restore accepted malformed state", tc.name)
+		}
+	}
+	used := fresh()
+	if err := used.Add(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := used.Restore(nil, nil, nil, model.Stats{}, 0); err == nil {
+		t.Error("Restore accepted a used sorter")
+	}
+	// The empty state restores to a fresh sorter.
+	empty := fresh()
+	if err := empty.Restore(nil, nil, nil, model.Stats{}, 0); err != nil {
+		t.Errorf("empty restore: %v", err)
+	}
+}

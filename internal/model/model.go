@@ -235,6 +235,14 @@ func (s *Session) N() int { return s.n }
 // Stats returns the cost accounted so far.
 func (s *Session) Stats() Stats { return s.stats }
 
+// RestoreStats seeds the session's accumulated cost, replacing whatever
+// has been accounted so far. It exists for recovery: a service rebuilding
+// a collection from a checkpoint restores the checkpointed cost here, so
+// stats keep counting bit-identically from where the crashed process left
+// off. Restore a fresh session before issuing rounds; overwriting live
+// accounting mid-sort is a caller bug.
+func (s *Session) RestoreStats(st Stats) { s.stats = st }
+
 // SetContext rebinds the session's cancellation context; Algorithm
 // values install their Sort ctx here before issuing rounds. A nil ctx
 // removes the binding (never cancelled).

@@ -63,6 +63,40 @@ func BenchmarkIngestSingleCollection(b *testing.B) {
 	}
 }
 
+// BenchmarkIngestDurable is BenchmarkIngestSingleCollection with the
+// write-ahead log on (fsync "never", so it measures the append/encode
+// cost, not the disk): the price of durability on the hot ingest path.
+// The WAL encodes into a reusable buffer, so allocs/op should track the
+// memory-only benchmark closely — the benchcmp gate holds that line.
+func BenchmarkIngestDurable(b *testing.B) {
+	labels := make([]int, 4096)
+	for i := range labels {
+		labels[i] = i % 16
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		b.StartTimer()
+		svc, err := Open(Config{Shards: 1, BatchSize: 256, Workers: 1, DataDir: dir, Fsync: "never"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := svc.CreateCollection("bench", OracleSpec{Kind: KindLabel, Labels: labels}); err != nil {
+			b.Fatal(err)
+		}
+		for lo := 0; lo < len(labels); lo += 64 {
+			if _, err := svc.Ingest("bench", seq(lo, lo+64), false); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := svc.Classes("bench", true); err != nil {
+			b.Fatal(err)
+		}
+		svc.Close()
+	}
+}
+
 func seq(lo, hi int) []int {
 	out := make([]int, hi-lo)
 	for i := range out {

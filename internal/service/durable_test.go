@@ -1,0 +1,488 @@
+package service
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ecsort/internal/wal"
+)
+
+// crash simulates a hard kill: every shard goroutine exits immediately,
+// skipping the durable shutdown (no WAL sync, no final checkpoint, no
+// segment close). The data directory is left exactly as a SIGKILL would
+// leave it — possibly with an unsynced tail, which stays visible to the
+// recovery pass because the test reopens within the same OS page cache.
+func (s *Service) crash() {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return
+	}
+	s.closed = true
+	s.cancel()
+	for _, sh := range s.shards {
+		close(sh.die)
+	}
+	s.closeMu.Unlock()
+	s.wg.Wait()
+	s.pool.Close()
+}
+
+// fingerprint captures everything recovery promises to preserve about a
+// collection: the fresh classes, the cost stats, and the counters.
+type fingerprint struct {
+	Classes [][]int
+	Info    CollectionInfo
+}
+
+func snapshotKeyed(t *testing.T, svc *Service, key string) fingerprint {
+	t.Helper()
+	snap, err := svc.Classes(key, true)
+	if err != nil {
+		t.Fatalf("classes(%q): %v", key, err)
+	}
+	info, err := svc.CollectionStats(key)
+	if err != nil {
+		t.Fatalf("stats(%q): %v", key, err)
+	}
+	info.Snapshot = nil // compared via Classes
+	return fingerprint{Classes: snap.Classes, Info: info}
+}
+
+// driveOps runs a deterministic mixed workload — two label collections
+// (one batched, one force-flushed) and one ER-regimen collection — split
+// in two halves so recovery tests can crash at the seam. Returns the
+// collection keys.
+func driveOps(t *testing.T, svc *Service, half int, rng *rand.Rand) []string {
+	t.Helper()
+	keys := []string{"alpha", "beta", "er"}
+	if half == 0 {
+		labels := make([]int, 64)
+		for i := range labels {
+			labels[i] = rng.Intn(5)
+		}
+		if err := svc.CreateCollection("alpha", OracleSpec{Kind: KindLabel, Labels: labels}); err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.CreateCollection("beta", OracleSpec{Kind: KindLabel, Labels: labels}); err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.CreateCollection("er", OracleSpec{Kind: KindLabel, Labels: labels, Algorithm: "er", Seed: 7}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	perm := rand.New(rand.NewSource(11)).Perm(64) // same order both runs
+	lo, hi := 0, 32
+	if half == 1 {
+		lo, hi = 32, 64
+	}
+	for at := lo; at < hi; at += 8 {
+		batch := perm[at : at+8]
+		if _, err := svc.Ingest("alpha", batch, false); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := svc.Ingest("beta", batch, true); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := svc.Ingest("er", batch, at%16 == 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return keys
+}
+
+// TestDurableRecoveryBitIdentical is the tentpole anchor: a service that
+// crashes mid-workload and recovers must end bit-identical — classes,
+// stats fingerprints, counters — to one that ran the same operations
+// without ever crashing.
+func TestDurableRecoveryBitIdentical(t *testing.T) {
+	for _, checkpointMidway := range []bool{false, true} {
+		name := "tail-only"
+		if checkpointMidway {
+			name = "checkpoint-then-tail"
+		}
+		t.Run(name, func(t *testing.T) {
+			// Control: memory-only, straight through.
+			control := New(Config{Shards: 4, BatchSize: 12, Workers: 1})
+			defer control.Close()
+			rng := rand.New(rand.NewSource(3))
+			keys := driveOps(t, control, 0, rng)
+			driveOps(t, control, 1, rng)
+			want := map[string]fingerprint{}
+			for _, k := range keys {
+				want[k] = snapshotKeyed(t, control, k)
+			}
+
+			// Crashing run: same ops, killed at the halfway seam.
+			dir := t.TempDir()
+			cfg := Config{Shards: 4, BatchSize: 12, Workers: 1, DataDir: dir, Fsync: "never"}
+			svc, err := Open(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng2 := rand.New(rand.NewSource(3))
+			driveOps(t, svc, 0, rng2)
+			if checkpointMidway {
+				if err := svc.Checkpoint(); err != nil {
+					t.Fatalf("checkpoint: %v", err)
+				}
+			}
+			svc.crash()
+
+			revived, err := Open(cfg)
+			if err != nil {
+				t.Fatalf("recovery: %v", err)
+			}
+			defer revived.Close()
+			rec := revived.Recovery()
+			if !rec.Durable {
+				t.Fatal("recovery info not marked durable")
+			}
+			if checkpointMidway && rec.Collections == 0 {
+				t.Errorf("expected checkpoint-restored collections, got %+v", rec)
+			}
+			if !checkpointMidway && rec.Records == 0 {
+				t.Errorf("expected replayed records, got %+v", rec)
+			}
+			driveOps(t, revived, 1, rng2)
+			for _, k := range keys {
+				got := snapshotKeyed(t, revived, k)
+				if !reflect.DeepEqual(got.Classes, want[k].Classes) {
+					t.Errorf("%s: classes diverged after recovery:\n got %v\nwant %v", k, got.Classes, want[k].Classes)
+				}
+				if got.Info != want[k].Info {
+					t.Errorf("%s: stats fingerprint diverged:\n got %+v\nwant %+v", k, got.Info, want[k].Info)
+				}
+			}
+		})
+	}
+}
+
+// TestDurableCleanRestart pins the Close path: a clean shutdown writes a
+// final checkpoint, so the next boot is snapshot-only (no tail records)
+// and bit-identical.
+func TestDurableCleanRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Shards: 2, BatchSize: 10, Workers: 1, DataDir: dir}
+	svc, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	keys := driveOps(t, svc, 0, rng)
+	driveOps(t, svc, 1, rng)
+	want := map[string]fingerprint{}
+	for _, k := range keys {
+		want[k] = snapshotKeyed(t, svc, k)
+	}
+	svc.Close()
+
+	revived, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer revived.Close()
+	rec := revived.Recovery()
+	if rec.Records != 0 {
+		t.Errorf("clean restart replayed %d tail records, want 0 (checkpoint-only boot); info %+v", rec.Records, rec)
+	}
+	if rec.Collections != len(keys) {
+		t.Errorf("restored %d collections, want %d", rec.Collections, len(keys))
+	}
+	for _, k := range keys {
+		got := snapshotKeyed(t, revived, k)
+		if !reflect.DeepEqual(got, want[k]) {
+			t.Errorf("%s: state diverged across clean restart:\n got %+v\nwant %+v", k, got, want[k])
+		}
+	}
+}
+
+// TestDurableFreshQueryAfterReplay drives the HTTP surface: elements that
+// were pending (logged but never folded) at crash time must show up in a
+// ?fresh=1 classes query after recovery.
+func TestDurableFreshQueryAfterReplay(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Shards: 1, BatchSize: 1 << 20, Workers: 1, DataDir: dir, Fsync: "never"}
+	svc, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := []int{0, 1, 0, 1, 2, 2}
+	if err := svc.CreateCollection("p", OracleSpec{Kind: KindLabel, Labels: labels}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Ingest("p", []int{0, 1, 2, 3, 4, 5}, false); err != nil {
+		t.Fatal(err)
+	}
+	svc.crash() // everything still pending: no flush was forced
+
+	revived, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer revived.Close()
+	srv := httptest.NewServer(revived.Handler())
+	defer srv.Close()
+	res, err := srv.Client().Get(srv.URL + "/v1/collections/p/classes?fresh=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("fresh classes after replay: status %d", res.StatusCode)
+	}
+	snap, err := revived.Classes("p", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantClasses := [][]int{{0, 2}, {1, 3}, {4, 5}}
+	if !reflect.DeepEqual(snap.Classes, wantClasses) {
+		t.Errorf("fresh classes after replay = %v, want %v", snap.Classes, wantClasses)
+	}
+}
+
+// TestDurableDropRecreate pins that a replayed drop erases the first
+// incarnation: after crash recovery the key serves the second
+// incarnation's universe, not a merge of both.
+func TestDurableDropRecreate(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Shards: 2, Workers: 1, DataDir: dir, Fsync: "never"}
+	svc, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.CreateCollection("k", OracleSpec{Kind: KindLabel, Labels: []int{0, 0, 0, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Ingest("k", []int{0, 1, 2, 3}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.DropCollection("k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.CreateCollection("k", OracleSpec{Kind: KindLabel, Labels: []int{0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Ingest("k", []int{1}, true); err != nil {
+		t.Fatal(err)
+	}
+	svc.crash()
+
+	revived, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer revived.Close()
+	snap, err := revived.Classes("k", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := [][]int{{1}}; !reflect.DeepEqual(snap.Classes, want) {
+		t.Errorf("recovered recreated collection = %v, want %v", snap.Classes, want)
+	}
+	info, err := revived.CollectionStats("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Universe != 2 || info.Ingested != 1 {
+		t.Errorf("recovered recreated collection info = %+v, want universe 2, ingested 1", info)
+	}
+}
+
+// TestDurableTornTailTruncated pins crash-atomicity of appends: a record
+// cut short mid-write (here: a frame header promising more bytes than
+// exist) is truncated away on boot and reported, and the state before it
+// survives intact.
+func TestDurableTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Shards: 1, Workers: 1, DataDir: dir, Fsync: "never"}
+	svc, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.CreateCollection("k", OracleSpec{Kind: KindLabel, Labels: []int{0, 1, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Ingest("k", []int{0, 1, 2}, true); err != nil {
+		t.Fatal(err)
+	}
+	want := snapshotKeyed(t, svc, "k")
+	svc.crash()
+
+	// Tear the tail: a frame header claiming a 64-byte record, then EOF.
+	seg := filepath.Join(dir, "shard-0", wal.SegmentName(1))
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var torn [8]byte
+	binary.LittleEndian.PutUint32(torn[0:4], 64)
+	if _, err := f.Write(torn[:]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	revived, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("torn tail should recover, got %v", err)
+	}
+	defer revived.Close()
+	if rec := revived.Recovery(); rec.TornTails != 1 {
+		t.Errorf("TornTails = %d, want 1 (info %+v)", rec.TornTails, rec)
+	}
+	if got := snapshotKeyed(t, revived, "k"); !reflect.DeepEqual(got, want) {
+		t.Errorf("state behind the torn tail was lost:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestDurableCorruptCRCFailsLoudly pins the corruption contract: a
+// complete record whose checksum no longer matches is data loss in the
+// middle of the history, and Open must refuse with ErrCorrupt naming the
+// file and offset — never silently skip it.
+func TestDurableCorruptCRCFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Shards: 1, Workers: 1, DataDir: dir, Fsync: "never"}
+	svc, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.CreateCollection("k", OracleSpec{Kind: KindLabel, Labels: []int{0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Ingest("k", []int{0, 1}, true); err != nil {
+		t.Fatal(err)
+	}
+	svc.crash()
+
+	// Flip one payload byte of the first record (the create).
+	seg := filepath.Join(dir, "shard-0", wal.SegmentName(1))
+	f, err := os.OpenFile(seg, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := int64(16 + 8 + 3) // header + frame + a few bytes into the payload
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], at); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xFF
+	if _, err := f.WriteAt(b[:], at); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	_, err = Open(cfg)
+	if err == nil {
+		t.Fatal("Open accepted a corrupted WAL record")
+	}
+	if !errors.Is(err, wal.ErrCorrupt) {
+		t.Errorf("error is not ErrCorrupt: %v", err)
+	}
+	for _, frag := range []string{wal.SegmentName(1), "CRC mismatch", "offset 16"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error %q does not name %q", err, frag)
+		}
+	}
+}
+
+// TestDurableCheckpointTruncatesLog pins log truncation: after a
+// checkpoint, superseded segments are gone and the next boot replays
+// nothing from before it.
+func TestDurableCheckpointTruncatesLog(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Shards: 1, Workers: 1, DataDir: dir, Fsync: "never"}
+	svc, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.CreateCollection("k", OracleSpec{Kind: KindLabel, Labels: []int{0, 1, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Ingest("k", []int{0, 1}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := wal.Segments(filepath.Join(dir, "shard-0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0].Gen != 2 {
+		t.Fatalf("after checkpoint, segments = %+v, want only generation 2", segs)
+	}
+	if _, err := svc.Ingest("k", []int{2}, true); err != nil {
+		t.Fatal(err)
+	}
+	svc.crash()
+
+	revived, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer revived.Close()
+	rec := revived.Recovery()
+	if rec.Collections != 1 {
+		t.Errorf("Collections = %d, want 1 (from the checkpoint)", rec.Collections)
+	}
+	// Only the post-checkpoint tail replays: one batch + one flush.
+	if rec.Records != 2 {
+		t.Errorf("Records = %d, want 2 (post-checkpoint tail only); info %+v", rec.Records, rec)
+	}
+	snap, err := revived.Classes("k", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := [][]int{{0}, {1, 2}}; !reflect.DeepEqual(snap.Classes, want) {
+		t.Errorf("recovered classes = %v, want %v", snap.Classes, want)
+	}
+}
+
+// TestDurableShardCountPinned pins the placement guard: a data directory
+// written with one shard count refuses to open under another, because
+// key→shard hashing would orphan recovered collections.
+func TestDurableShardCountPinned(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := Open(Config{Shards: 4, Workers: 1, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Close()
+	if _, err := Open(Config{Shards: 8, Workers: 1, DataDir: dir}); err == nil {
+		t.Fatal("Open accepted a shard-count mismatch")
+	} else if !strings.Contains(err.Error(), "4 shards") {
+		t.Errorf("error %q does not explain the recorded shard count", err)
+	}
+	// The recorded count still works.
+	svc, err = Open(Config{Shards: 4, Workers: 1, DataDir: dir})
+	if err != nil {
+		t.Fatalf("reopen with matching shard count: %v", err)
+	}
+	svc.Close()
+}
+
+// TestOpenRejectsBadFsyncPolicy pins config validation: an unknown fsync
+// policy is ErrBadSpec at Open time, not a latent failure.
+func TestOpenRejectsBadFsyncPolicy(t *testing.T) {
+	_, err := Open(Config{DataDir: t.TempDir(), Fsync: "sometimes"})
+	if !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("Open with bad fsync policy: %v, want ErrBadSpec", err)
+	}
+}
+
+// TestMemoryOnlyCheckpointNoop pins that Checkpoint is a safe no-op
+// without a data directory.
+func TestMemoryOnlyCheckpointNoop(t *testing.T) {
+	svc := New(Config{Shards: 1, Workers: 1})
+	defer svc.Close()
+	if err := svc.Checkpoint(); err != nil {
+		t.Fatalf("memory-only Checkpoint: %v", err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"ecsort/internal/algo"
 	"ecsort/internal/core"
@@ -269,6 +270,50 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE ecsort_fold_last_duration_seconds gauge\n")
 	fmt.Fprintf(w, "ecsort_fold_last_duration_seconds %.9f\n", float64(s.lastFoldNanos.Load())/1e9)
 
+	// Durability: WAL append/fsync activity, checkpoint progress, and
+	// what the last boot recovered. ecsort_durable is 0 for a
+	// memory-only service, and the families below then read as zeros.
+	fmt.Fprintf(w, "# HELP ecsort_durable Whether the service runs with a write-ahead-logged data directory.\n")
+	fmt.Fprintf(w, "# TYPE ecsort_durable gauge\n")
+	fmt.Fprintf(w, "ecsort_durable %d\n", boolMetric(s.recovery.Durable))
+	fmt.Fprintf(w, "# HELP ecsort_wal_appends_total Records appended across all shard WALs.\n")
+	fmt.Fprintf(w, "# TYPE ecsort_wal_appends_total counter\n")
+	fmt.Fprintf(w, "ecsort_wal_appends_total %d\n", s.walCtr.Appends.Load())
+	fmt.Fprintf(w, "# HELP ecsort_wal_bytes_total Framed bytes written to shard WALs.\n")
+	fmt.Fprintf(w, "# TYPE ecsort_wal_bytes_total counter\n")
+	fmt.Fprintf(w, "ecsort_wal_bytes_total %d\n", s.walCtr.Bytes.Load())
+	fmt.Fprintf(w, "# HELP ecsort_wal_fsyncs_total WAL fsyncs issued by the durability policy.\n")
+	fmt.Fprintf(w, "# TYPE ecsort_wal_fsyncs_total counter\n")
+	fmt.Fprintf(w, "ecsort_wal_fsyncs_total %d\n", s.walCtr.Fsyncs.Load())
+	fmt.Fprintf(w, "# HELP ecsort_wal_fsync_duration_seconds_total Cumulative time spent in WAL fsync.\n")
+	fmt.Fprintf(w, "# TYPE ecsort_wal_fsync_duration_seconds_total counter\n")
+	fmt.Fprintf(w, "ecsort_wal_fsync_duration_seconds_total %.9f\n", float64(s.walCtr.FsyncNanos.Load())/1e9)
+	fmt.Fprintf(w, "# HELP ecsort_wal_last_fsync_duration_seconds Duration of the most recent WAL fsync.\n")
+	fmt.Fprintf(w, "# TYPE ecsort_wal_last_fsync_duration_seconds gauge\n")
+	fmt.Fprintf(w, "ecsort_wal_last_fsync_duration_seconds %.9f\n", float64(s.walCtr.LastFsyncNanos.Load())/1e9)
+	fmt.Fprintf(w, "# HELP ecsort_checkpoints_total Shard checkpoints written (snapshot + WAL truncation).\n")
+	fmt.Fprintf(w, "# TYPE ecsort_checkpoints_total counter\n")
+	fmt.Fprintf(w, "ecsort_checkpoints_total %d\n", s.checkpoints.Load())
+	fmt.Fprintf(w, "# HELP ecsort_checkpoint_errors_total Failed checkpoint attempts.\n")
+	fmt.Fprintf(w, "# TYPE ecsort_checkpoint_errors_total counter\n")
+	fmt.Fprintf(w, "ecsort_checkpoint_errors_total %d\n", s.checkpointErrors.Load())
+	fmt.Fprintf(w, "# HELP ecsort_checkpoint_last_age_seconds Seconds since the most recent checkpoint; -1 before the first.\n")
+	fmt.Fprintf(w, "# TYPE ecsort_checkpoint_last_age_seconds gauge\n")
+	if last := s.lastCheckpointNano.Load(); last > 0 {
+		fmt.Fprintf(w, "ecsort_checkpoint_last_age_seconds %.3f\n", time.Since(time.Unix(0, last)).Seconds())
+	} else {
+		fmt.Fprintf(w, "ecsort_checkpoint_last_age_seconds -1\n")
+	}
+	fmt.Fprintf(w, "# HELP ecsort_recovery_duration_seconds Wall time the last boot spent replaying durable state.\n")
+	fmt.Fprintf(w, "# TYPE ecsort_recovery_duration_seconds gauge\n")
+	fmt.Fprintf(w, "ecsort_recovery_duration_seconds %.9f\n", s.recovery.Duration.Seconds())
+	fmt.Fprintf(w, "# HELP ecsort_recovery_records_replayed WAL records replayed by the last boot.\n")
+	fmt.Fprintf(w, "# TYPE ecsort_recovery_records_replayed gauge\n")
+	fmt.Fprintf(w, "ecsort_recovery_records_replayed %d\n", s.recovery.Records)
+	fmt.Fprintf(w, "# HELP ecsort_recovery_torn_tails Segments whose crash-torn final record the last boot truncated.\n")
+	fmt.Fprintf(w, "# TYPE ecsort_recovery_torn_tails gauge\n")
+	fmt.Fprintf(w, "ecsort_recovery_torn_tails %d\n", s.recovery.TornTails)
+
 	// Per-collection gauges from the published snapshots (comparisons,
 	// rounds, widest round, class counts), never touching the writers.
 	fmt.Fprintf(w, "# HELP ecsort_collection_classes Classes in the published snapshot.\n")
@@ -294,6 +339,14 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(w, "%s{collection=%q} %d\n", m.name, in.Key, m.value(in.Snapshot))
 		}
 	}
+}
+
+// boolMetric renders a bool as the 0/1 gauge Prometheus expects.
+func boolMetric(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // boolParam interprets ?name=1 / true / yes (any case) as true.

@@ -2,17 +2,19 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"ecsort/internal/core"
 	"ecsort/internal/model"
 	rt "ecsort/internal/runtime"
+	"ecsort/internal/wal"
 )
 
 // Errors reported by the service API. The HTTP layer maps them to status
@@ -56,6 +58,29 @@ type Config struct {
 	// concurrent shard flushes time-slice a fixed set of goroutines
 	// instead of spawning per round. 0 means GOMAXPROCS.
 	Workers int
+
+	// DataDir, when non-empty, makes collections durable: each shard
+	// goroutine appends accepted operations to its own write-ahead log
+	// under DataDir/shard-<i>/ and periodically checkpoints its
+	// collections' flat answers, and Open replays snapshot-then-tail on
+	// boot. Empty keeps the service memory-only (a restart loses all
+	// collections). The on-disk format is specified in
+	// docs/PERSISTENCE.md.
+	DataDir string
+	// Fsync selects when WAL appends reach stable storage: "always"
+	// (fsync per accepted operation), "interval" (fsync at most every
+	// FsyncInterval; the default), or "never" (leave flushing to the OS
+	// page cache — a machine crash may lose the unsynced tail, a clean
+	// shutdown loses nothing). Ignored when DataDir is empty.
+	Fsync string
+	// FsyncInterval bounds data loss under Fsync "interval"; 0 means
+	// 100ms.
+	FsyncInterval time.Duration
+	// CheckpointInterval, when positive, makes each shard checkpoint its
+	// collections at this period, truncating the WAL behind the
+	// snapshot. 0 checkpoints only on Close and explicit Checkpoint
+	// calls, so the WAL grows until then.
+	CheckpointInterval time.Duration
 }
 
 func (c Config) shards() int {
@@ -243,6 +268,11 @@ type op struct {
 type shard struct {
 	ops  chan op
 	quit chan struct{}
+	// die is the crash-test hatch: closing it makes the goroutine return
+	// immediately, skipping the durable shutdown (WAL sync + final
+	// checkpoint + segment close) — the in-process equivalent of SIGKILL
+	// that the recovery tests are built on. Never closed in production.
+	die chan struct{}
 
 	mu   sync.RWMutex // guards cols (lookups come from reader goroutines)
 	cols map[string]*collection
@@ -250,6 +280,18 @@ type shard struct {
 	// dirty tracks collections with unflushed pending elements, for the
 	// FlushInterval ticker. Shard goroutine only.
 	dirty map[*collection]struct{} //ecsort:owned-by-shard
+
+	// dir is the shard's data directory; empty for a memory-only
+	// service.
+	dir string
+	// wal is the shard's append-only log. The single-writer goroutine is
+	// the only appender, which is what lets the log skip locking; nil
+	// for a memory-only service. Shard goroutine only (recovery runs
+	// before the goroutine starts and inherits the same exclusivity).
+	wal *wal.Log //ecsort:owned-by-shard
+	// gen is the current WAL segment generation, bumped by checkpoints.
+	// Shard goroutine only.
+	gen uint64 //ecsort:owned-by-shard
 }
 
 // Service is the sharded classification engine. Create one with New,
@@ -272,17 +314,73 @@ type Service struct {
 	foldNanos     atomic.Int64
 	lastFoldNanos atomic.Int64
 
+	// Durability accounting. walCtr is shared by every shard's logs
+	// (segment rotation replaces Log values, so counters live here);
+	// the checkpoint gauges and the recovery summary feed /metrics and
+	// the boot log line.
+	walCtr             wal.Counters
+	checkpoints        atomic.Int64
+	checkpointErrors   atomic.Int64
+	lastCheckpointNano atomic.Int64
+	recovery           RecoveryInfo // written once by Open, read-only after
+
 	closeMu sync.RWMutex // write-held by Close; read-held around ops sends
 	closed  bool
 	wg      sync.WaitGroup
 }
 
+// RecoveryInfo summarizes what Open rebuilt from the data directory.
+type RecoveryInfo struct {
+	// Durable reports whether the service runs with a data directory.
+	Durable bool `json:"durable"`
+	// Collections is the number of collections restored from
+	// checkpoints (tail-replayed creates are counted in Records).
+	Collections int `json:"collections"`
+	// Records is the number of WAL records replayed after checkpoints.
+	Records int `json:"records"`
+	// Segments is the number of WAL segment files visited.
+	Segments int `json:"segments"`
+	// TornTails counts segments whose final record was cut short by a
+	// crash and truncated away.
+	TornTails int `json:"torn_tails"`
+	// Duration is the wall time recovery took.
+	Duration time.Duration `json:"duration"`
+}
+
+// Recovery returns what Open rebuilt from Config.DataDir; the zero value
+// with Durable false for a memory-only service.
+func (s *Service) Recovery() RecoveryInfo { return s.recovery }
+
 // New starts a service with cfg.shards() writer goroutines. A negative
 // Workers is a caller bug and panics with model.ErrBadWorkers, matching
-// the model layer's loud-failure policy for bad widths.
+// the model layer's loud-failure policy for bad widths. New panics if
+// durable recovery fails — a memory-only config (no DataDir) cannot
+// fail; durable callers should prefer Open, which reports recovery
+// errors instead.
 func New(cfg Config) *Service {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(fmt.Errorf("service: New with durable config: %w (use Open to handle recovery errors)", err))
+	}
+	return s
+}
+
+// Open starts a service, recovering durable state first when
+// Config.DataDir is set: each shard loads its latest checkpoint, replays
+// the WAL tail behind it (truncating a torn final record), and resumes
+// appending to the surviving segment. Recovery failures — a corrupted
+// record in the middle of the history, a shard-count mismatch with the
+// data directory — are returned, not papered over. The rebuilt
+// collections are bit-identical (classes and stats) to the pre-crash
+// state implied by the durable log. See Recovery for what was rebuilt.
+func Open(cfg Config) (*Service, error) {
 	if cfg.Workers < 0 {
 		panic(fmt.Errorf("%w: service Workers(%d); use 0 for the GOMAXPROCS default", model.ErrBadWorkers, cfg.Workers))
+	}
+	if cfg.DataDir != "" {
+		if _, err := wal.ParsePolicy(cfg.Fsync); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+		}
 	}
 	s := &Service{cfg: cfg, pool: rt.NewPool(cfg.Workers), start: time.Now()}
 	//ecsort:ignore ctxflow service lifetime root: Close cancels it; per-request contexts layer on top
@@ -292,15 +390,35 @@ func New(cfg Config) *Service {
 		sh := &shard{
 			ops:  make(chan op, 64),
 			quit: make(chan struct{}),
+			die:  make(chan struct{}),
 			cols: make(map[string]*collection),
 			//ecsort:ignore shardown constructed before the shard goroutine starts; the go statement publishes it
 			dirty: make(map[*collection]struct{}),
 		}
+		if cfg.DataDir != "" {
+			sh.dir = filepath.Join(cfg.DataDir, fmt.Sprintf("shard-%d", i))
+		}
 		s.shards[i] = sh
+	}
+	if cfg.DataDir != "" {
+		if err := s.recoverAll(); err != nil {
+			s.cancel()
+			s.pool.Close()
+			return nil, err
+		}
+	}
+	for _, sh := range s.shards {
 		s.wg.Add(1)
 		go s.runShard(sh)
 	}
-	return s
+	return s, nil
+}
+
+// walOptions assembles the per-shard log options from the config, with
+// the service-wide counters attached.
+func (s *Service) walOptions() wal.Options {
+	policy, _ := wal.ParsePolicy(s.cfg.Fsync) // validated by Open
+	return wal.Options{Policy: policy, Interval: s.cfg.FsyncInterval, Counters: &s.walCtr}
 }
 
 // runShard is the single-writer loop of one shard.
@@ -314,19 +432,39 @@ func (s *Service) runShard(sh *shard) {
 		defer t.Stop()
 		tick = t.C
 	}
+	var ckpt <-chan time.Time
+	if s.cfg.CheckpointInterval > 0 && sh.wal != nil {
+		t := time.NewTicker(s.cfg.CheckpointInterval)
+		defer t.Stop()
+		ckpt = t.C
+	}
 	for {
 		select {
 		case o := <-sh.ops:
 			o.done <- o.fn()
 		case <-tick:
 			for c := range sh.dirty {
-				if err := s.fold(c); err != nil {
+				if err := s.fold(sh, c); err != nil {
 					// An oracle/session failure here has no caller to
 					// report to; leave the collection dirty and let the
 					// next synchronous op surface the error.
 					continue
 				}
 				delete(sh.dirty, c)
+			}
+			if sh.wal != nil {
+				// Ticker folds appended flush records with no operation
+				// boundary of their own; commit applies the fsync policy.
+				sh.wal.Commit()
+			}
+		case <-sh.die:
+			// Crash simulation: exit with the WAL unsynced and unclosed.
+			return
+		case <-ckpt:
+			if err := s.checkpointShard(sh); err != nil {
+				// Nowhere to report to synchronously; surface through the
+				// error counter (and /metrics) and retry next tick.
+				s.checkpointErrors.Add(1)
 			}
 		case <-sh.quit:
 			// Reject anything that raced past the closed check.
@@ -335,6 +473,17 @@ func (s *Service) runShard(sh *shard) {
 				case o := <-sh.ops:
 					o.done <- ErrClosed
 				default:
+					if sh.wal != nil {
+						// Shutdown ordering: sync first so every acked
+						// operation is durable even if the checkpoint
+						// fails, then checkpoint so the next boot is
+						// snapshot-only, then close the segment.
+						sh.wal.Sync()
+						if err := s.checkpointShard(sh); err != nil {
+							s.checkpointErrors.Add(1)
+						}
+						sh.wal.Close()
+					}
 					return
 				}
 			}
@@ -342,12 +491,14 @@ func (s *Service) runShard(sh *shard) {
 	}
 }
 
-// fold flushes c's pending buffer into its answer and publishes the new
-// snapshot, tracking batch-fold latency for the /metrics backpressure
-// gauges. Shard goroutine only.
+// fold flushes c's pending buffer into its answer, publishes the new
+// snapshot, and appends the fold-boundary record to the shard's WAL, so
+// replay re-folds at exactly the same points (the determinism anchor).
+// Batch-fold latency feeds the /metrics backpressure gauges. Shard
+// goroutine only.
 //
 //ecsort:shard-goroutine
-func (s *Service) fold(c *collection) error {
+func (s *Service) fold(sh *shard, c *collection) error {
 	start := time.Now()
 	if err := c.srt.Flush(); err != nil {
 		return err
@@ -357,6 +508,15 @@ func (s *Service) fold(c *collection) error {
 	s.folds.Add(1)
 	s.foldNanos.Add(d)
 	s.lastFoldNanos.Store(d)
+	if sh.wal != nil {
+		// An append failure after a successful in-memory fold means the
+		// fold boundary may not survive a crash — replay would leave the
+		// batch pending instead, which is consistent but not what the
+		// caller observed. Surface the disk error loudly.
+		if err := sh.wal.AppendFlush(c.key); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -379,11 +539,32 @@ func (s *Service) do(sh *shard, fn func() error) error {
 	return <-o.done
 }
 
+// Checkpoint forces an immediate checkpoint on every shard: each
+// serializes its collections' flat answers to its snapshot file and
+// truncates the WAL behind it. A no-op without a data directory. The
+// first shard error is returned; remaining shards still checkpoint.
+func (s *Service) Checkpoint() error {
+	if s.cfg.DataDir == "" {
+		return nil
+	}
+	var first error
+	for _, sh := range s.shards {
+		sh := sh
+		if err := s.do(sh, func() error { return s.checkpointShard(sh) }); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // Close stops all shard goroutines. The service context is cancelled
 // first, so a fold in flight stops at its next physical round (its
 // collection keeps the pending buffer and stays consistent); operations
 // still queued (and all subsequent calls) may be rejected with
-// ErrClosed or the cancellation error.
+// ErrClosed or the cancellation error. With durability on, each shard
+// then syncs its WAL (every acked operation reaches disk), writes a
+// final checkpoint (the next boot recovers from the snapshot alone), and
+// closes its segment.
 func (s *Service) Close() {
 	s.closeMu.Lock()
 	if s.closed {
@@ -431,27 +612,17 @@ func (s *Service) CreateCollection(key string, spec OracleSpec) error {
 	if key == "" {
 		return fmt.Errorf("%w: empty collection key", ErrBadSpec)
 	}
-	o, err := spec.Build()
+	srt, algoName, err := s.buildSorter(spec)
 	if err != nil {
 		return err
 	}
-	alg, algoName, err := spec.algorithm()
-	if err != nil {
-		return err
-	}
-	opts := []model.Option{model.WithPool(s.pool), model.Workers(s.pool.Size()), model.WithContext(s.ctx)}
-	if s.cfg.Processors > 0 {
-		opts = append(opts, model.Processors(s.cfg.Processors))
-	}
-	var srt sorter
-	if alg == nil {
-		inc, err := core.NewIncremental(model.NewSession(o, model.CR, opts...))
-		if err != nil {
-			return err
+	var specJSON []byte
+	if s.cfg.DataDir != "" {
+		// Only durable creates pay for the spec encoding (the create
+		// record's payload and the checkpoint's rebuild recipe).
+		if specJSON, err = json.Marshal(spec); err != nil {
+			return fmt.Errorf("%w: unencodable spec: %v", ErrBadSpec, err)
 		}
-		srt = inc
-	} else {
-		srt = newBatchSorter(alg, o, s.ctx, opts)
 	}
 	sh := s.shardOf(key)
 	return s.do(sh, func() error {
@@ -460,6 +631,14 @@ func (s *Service) CreateCollection(key string, spec OracleSpec) error {
 		if _, ok := sh.cols[key]; ok {
 			return fmt.Errorf("%w: %q", ErrExists, key)
 		}
+		if sh.wal != nil {
+			if err := sh.wal.AppendCreate(key, specJSON); err != nil {
+				return err
+			}
+			if err := sh.wal.Commit(); err != nil {
+				return err
+			}
+		}
 		c := &collection{key: key, spec: spec, algoName: algoName, srt: srt}
 		c.snap.Store(&Snapshot{Classes: [][]int{}})
 		sh.cols[key] = c
@@ -467,7 +646,9 @@ func (s *Service) CreateCollection(key string, spec OracleSpec) error {
 	})
 }
 
-// DropCollection removes key and its state.
+// DropCollection removes key and its state. With durability on, the
+// drop is logged before it takes effect, so a recovered service stays
+// dropped.
 func (s *Service) DropCollection(key string) error {
 	sh := s.shardOf(key)
 	return s.do(sh, func() error {
@@ -476,6 +657,14 @@ func (s *Service) DropCollection(key string) error {
 		c, ok := sh.cols[key]
 		if !ok {
 			return fmt.Errorf("%w: %q", ErrNotFound, key)
+		}
+		if sh.wal != nil {
+			if err := sh.wal.AppendDrop(key); err != nil {
+				return err
+			}
+			if err := sh.wal.Commit(); err != nil {
+				return err
+			}
 		}
 		delete(sh.cols, key)
 		delete(sh.dirty, c)
@@ -518,6 +707,15 @@ func (s *Service) Ingest(key string, items []int, forceFlush bool) (IngestResult
 			}
 			inBatch[e] = struct{}{}
 		}
+		if sh.wal != nil {
+			// Write-ahead: the accepted batch is logged before any sorter
+			// mutation, so an append failure rejects the batch with the
+			// collection untouched, and a crash after this point replays
+			// the batch on boot.
+			if err := sh.wal.AppendBatch(key, items); err != nil {
+				return err
+			}
+		}
 		for _, e := range items {
 			if err := c.srt.Add(e); err != nil {
 				// Unreachable after pre-validation; Add only rejects
@@ -530,14 +728,19 @@ func (s *Service) Ingest(key string, items []int, forceFlush bool) (IngestResult
 		res.Accepted = len(items)
 		flush := forceFlush || s.cfg.BatchSize <= 0 || c.srt.Pending() >= s.cfg.BatchSize
 		if flush && c.srt.Pending() > 0 {
-			if err := s.fold(c); err != nil {
+			if err := s.fold(sh, c); err != nil {
 				// A failed fold is live now that batch regimens can fail
 				// (const-round λ overestimates, Close cancellation). The
 				// accepted items stay buffered; keep the pending gauge
 				// truthful and the collection dirty so the interval
-				// flusher retries and staleness stays bounded.
+				// flusher retries and staleness stays bounded. The batch
+				// record is already in the WAL, so the buffered items
+				// survive a crash too.
 				c.pending.Store(int64(c.srt.Pending()))
 				sh.dirty[c] = struct{}{}
+				if sh.wal != nil {
+					sh.wal.Commit()
+				}
 				return err
 			}
 			delete(sh.dirty, c)
@@ -545,6 +748,14 @@ func (s *Service) Ingest(key string, items []int, forceFlush bool) (IngestResult
 		} else if c.srt.Pending() > 0 {
 			c.pending.Store(int64(c.srt.Pending()))
 			sh.dirty[c] = struct{}{}
+		}
+		if sh.wal != nil {
+			// One commit per accepted operation: under fsync "always" the
+			// batch and its fold boundary reach disk in a single flush
+			// before the client sees the ack.
+			if err := sh.wal.Commit(); err != nil {
+				return err
+			}
 		}
 		res.Pending = c.srt.Pending()
 		res.Version = c.snap.Load().Version
@@ -577,7 +788,7 @@ func (s *Service) Flush(key string) (*Snapshot, error) {
 			snap = c.snap.Load()
 			return nil
 		}
-		if err := s.fold(c); err != nil {
+		if err := s.fold(sh, c); err != nil {
 			// Same bookkeeping as the Ingest fold path: buffered items
 			// survive, so the gauge and the dirty set must say so.
 			c.pending.Store(int64(c.srt.Pending()))
@@ -585,6 +796,11 @@ func (s *Service) Flush(key string) (*Snapshot, error) {
 			return err
 		}
 		delete(sh.dirty, c)
+		if sh.wal != nil {
+			if err := sh.wal.Commit(); err != nil {
+				return err
+			}
+		}
 		snap = c.snap.Load()
 		return nil
 	})

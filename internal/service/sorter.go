@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"ecsort/internal/algo"
+	"ecsort/internal/core"
 	"ecsort/internal/model"
 )
 
@@ -28,6 +29,41 @@ type sorter interface {
 	// Flat exposes the answer's flat storage (elements grouped by
 	// class + class offsets), valid until the next Flush.
 	Flat() (elems, offs []int)
+	// PendingSlice exposes the buffered elements in arrival order — the
+	// order the next Flush will fold them in, which checkpoints must
+	// preserve for bit-identical recovery. Read-only, valid until the
+	// next Add or Flush.
+	PendingSlice() []int
+	// Members exposes the full arrival-order ingest history for engines
+	// that re-sort their whole sub-universe per fold (batch regimens);
+	// engines that fold incrementally return nil — their folded state is
+	// fully captured by Flat.
+	Members() []int
+	// Restore rebuilds a fresh engine from checkpointed state so it
+	// continues bit-identically: members (nil for incremental engines),
+	// the pending tail, the flat answer, the accumulated cost, and the
+	// fold count.
+	Restore(members, pending, elems, offs []int, st model.Stats, flushes int) error
+}
+
+// incSorter adapts core.Incremental to the sorter interface's durability
+// hooks. The incremental engine folds arrivals into its answer as it
+// goes, so it has no use for a full arrival-order history — Members is
+// nil and a checkpoint captures it with the flat answer plus the pending
+// buffer alone.
+type incSorter struct {
+	*core.Incremental
+}
+
+func (w incSorter) PendingSlice() []int { return w.Incremental.PendingElements() }
+
+func (w incSorter) Members() []int { return nil }
+
+func (w incSorter) Restore(members, pending, elems, offs []int, st model.Stats, flushes int) error {
+	if len(members) != 0 {
+		return fmt.Errorf("service: incremental engine restored with a members list (%d entries)", len(members))
+	}
+	return w.Incremental.Restore(elems, offs, pending, st, flushes)
 }
 
 // subOracle restricts a base oracle to the sub-universe ids, the view a
@@ -134,4 +170,49 @@ func (b *batchSorter) Flat() (elems, offs []int) {
 		return nil, nil
 	}
 	return b.elems, b.offs
+}
+
+func (b *batchSorter) PendingSlice() []int {
+	return b.members[len(b.members)-b.pending:]
+}
+
+func (b *batchSorter) Members() []int { return b.members }
+
+// Restore rebuilds a fresh batch engine from checkpointed state. The
+// members list is the whole arrival order — the sub-universe every later
+// fold re-sorts — so preserving it exactly is what keeps post-recovery
+// folds bit-identical.
+func (b *batchSorter) Restore(members, pending, elems, offs []int, st model.Stats, flushes int) error {
+	if len(b.members) != 0 || b.flushes != 0 {
+		return fmt.Errorf("service: Restore on a used batch engine (%d members, %d flushes)", len(b.members), b.flushes)
+	}
+	if len(pending) > len(members) {
+		return fmt.Errorf("service: %d pending exceed %d members", len(pending), len(members))
+	}
+	for i, e := range pending {
+		if got := members[len(members)-len(pending)+i]; got != e {
+			return fmt.Errorf("service: pending buffer is not the members tail (index %d: %d vs %d)", i, e, got)
+		}
+	}
+	if len(elems) > 0 && (len(offs) < 2 || offs[0] != 0 || offs[len(offs)-1] != len(elems)) {
+		return fmt.Errorf("service: malformed offset table (len %d over %d elements)", len(offs), len(elems))
+	}
+	for _, e := range members {
+		if e < 0 || e >= len(b.seen) {
+			return fmt.Errorf("service: member %d out of range [0,%d)", e, len(b.seen))
+		}
+		if b.seen[e] {
+			return fmt.Errorf("service: member %d appears twice", e)
+		}
+		b.seen[e] = true
+	}
+	b.members = append(b.members, members...)
+	b.pending = len(pending)
+	b.elems = append(b.elems[:0], elems...)
+	if len(elems) > 0 {
+		b.offs = append(b.offs[:0], offs...)
+	}
+	b.stats = st
+	b.flushes = flushes
+	return nil
 }

@@ -9,6 +9,14 @@
 // The HTTP layer in this package (Handler) is a thin JSON mapping over
 // the Go API (CreateCollection / Ingest / Classes / CollectionStats);
 // cmd/ecs-serve wires it to a net/http server.
+//
+// With Config.DataDir set the service is durable: each shard
+// write-ahead-logs accepted operations to internal/wal before applying
+// them, checkpoints its collections' flat answers, and Open replays
+// snapshot-then-tail so a restart rebuilds every collection
+// bit-identically. docs/ARCHITECTURE.md maps the layer stack and the
+// shard/WAL ownership model; docs/PERSISTENCE.md specifies the on-disk
+// format and recovery protocol.
 package service
 
 import (

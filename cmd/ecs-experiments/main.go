@@ -42,6 +42,10 @@ func main() {
 		algoSel = flag.String("algo", "auto", "algorithm registry name for the algo experiment (ecsort -algos lists them)")
 		kHint   = flag.Int("k", 8, "class count for the algo experiment's inputs and its k hint")
 		lamHint = flag.Float64("lambda", 0, "lambda hint for the algo experiment (const regimens, auto)")
+		failRt  = flag.Float64("fail-rate", 0, "serve-stress: injected oracle error probability (chaos soak)")
+		flipRt  = flag.Float64("flip-rate", 0, "serve-stress: injected silent wrong-answer probability (chaos soak)")
+		votes   = flag.Int("votes", 0, "serve-stress: k-of-n majority votes per oracle answer under injected faults")
+		delFrac = flag.Float64("delete-fraction", 0, "serve-stress: per-batch probability of a delete+re-ingest churn op")
 	)
 	flag.Parse()
 	if *workers < 0 {
@@ -185,6 +189,19 @@ func main() {
 				Seed:        *seed,
 				Service:     service.Config{Workers: *workers},
 			}
+			// Chaos knobs turn the sweep into a fault-injected soak:
+			// folds run against errors/flips behind the resilience
+			// middleware, churn exercises deletes, and verification is
+			// allowed repair sweeps to converge (docs/REPAIR.md).
+			if *failRt > 0 || *flipRt > 0 {
+				cfg.Faults = &service.FaultSpec{FailRate: *failRt, FlipRate: *flipRt, Seed: *seed}
+				cfg.Resilience = &service.ResilienceSpec{
+					Votes: *votes, Retries: 3, BackoffMs: 1, MaxBackoffMs: 2,
+					BreakerThreshold: 10_000,
+				}
+				cfg.Service.Repair = service.RepairConfig{Samples: 192, Seed: *seed}
+			}
+			cfg.DeleteFraction = *delFrac
 			points, err := harness.RunServiceSweep([]int{1, 2, 4, 8, 16}, cfg)
 			if err != nil {
 				return err

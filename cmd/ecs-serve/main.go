@@ -15,12 +15,24 @@
 //
 //	ecs-serve -data-dir /var/lib/ecsort -fsync interval -checkpoint-interval 30s
 //
+// Collections tolerate churn (deletes, class invalidation) and
+// unreliable oracles: specs may declare fault-injection and resilience
+// profiles (timeouts, retries, majority voting, a circuit breaker that
+// degrades the collection to read-only), and a background self-repair
+// daemon re-verifies sampled element pairs against each collection's
+// oracle, withdrawing and re-folding divergent classes:
+//
+//	ecs-serve -repair-interval 5s -repair-samples 64 -repair-dist zeta
+//
 // Then, over HTTP:
 //
 //	curl -X PUT  localhost:8080/v1/collections/demo -d '{"kind":"label","labels":[0,1,0,1,2]}'
 //	curl -X PUT  localhost:8080/v1/collections/er -d '{"kind":"label","labels":[0,1,0,1,2],"algorithm":"er"}'
 //	curl -X POST localhost:8080/v1/collections/demo/items -d '{"items":[0,1,2,3,4]}'
+//	curl -X DELETE localhost:8080/v1/collections/demo/items/3
+//	curl -X POST 'localhost:8080/v1/collections/demo/classes/0/invalidate?flush=1'
 //	curl localhost:8080/v1/collections/demo/classes?fresh=1
+//	curl localhost:8080/healthz/ready
 //	curl localhost:8080/v1/collections/demo/classes/3
 //	curl localhost:8080/v1/collections/demo/stats
 //	curl localhost:8080/v1/algorithms
@@ -58,6 +70,12 @@ func main() {
 		fsync         = flag.String("fsync", "", "WAL fsync policy: always, interval, or never (default interval; see docs/PERSISTENCE.md)")
 		fsyncInterval = flag.Duration("fsync-interval", 0, "max unsynced-WAL window under -fsync interval (0: 100ms)")
 		checkpointInt = flag.Duration("checkpoint-interval", 0, "periodic per-shard checkpoint+WAL-truncation (0: only on shutdown)")
+		maxSegBytes   = flag.Int64("max-segment-bytes", 0, "rotate a shard's WAL segment when it exceeds this size (0: never)")
+		repairInt     = flag.Duration("repair-interval", 0, "background self-repair sweep interval (0: daemon off; see docs/REPAIR.md)")
+		repairSamples = flag.Int("repair-samples", 0, "element pairs re-verified per collection per sweep (0: 32)")
+		repairDist    = flag.String("repair-dist", "", "repair sampling distribution: uniform, geometric, poisson, or zeta (default uniform)")
+		repairParam   = flag.Float64("repair-dist-param", 0, "distribution parameter: p (geometric), lambda (poisson), s (zeta); 0: sampler default")
+		repairSeed    = flag.Int64("repair-seed", 0, "seed for the repair sampling stream")
 	)
 	flag.Parse()
 	if *workers < 0 {
@@ -74,6 +92,14 @@ func main() {
 		Fsync:              *fsync,
 		FsyncInterval:      *fsyncInterval,
 		CheckpointInterval: *checkpointInt,
+		MaxSegmentBytes:    *maxSegBytes,
+		Repair: service.RepairConfig{
+			Interval: *repairInt,
+			Samples:  *repairSamples,
+			Dist:     *repairDist,
+			Param:    *repairParam,
+			Seed:     *repairSeed,
+		},
 	})
 	if err != nil {
 		log.Fatalf("ecs-serve: %v", err)

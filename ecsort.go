@@ -367,6 +367,32 @@ type ServiceSnapshot = service.Snapshot
 // (GET /v1/collections/{key}/classes/{element}).
 type ServiceClassView = service.ClassView
 
+// ServiceChurnResult summarizes one service churn operation — a delete
+// or a class invalidation — as returned by Service.DeleteItem and
+// Service.InvalidateClass.
+type ServiceChurnResult = service.ChurnResult
+
+// FaultSpec declares an injected fault profile for a collection's
+// oracle (errors, silently flipped answers, latency, a stuck-after
+// point) — the chaos-testing half of the fault-tolerance layer.
+type FaultSpec = service.FaultSpec
+
+// ResilienceSpec tunes the oracle fault-tolerance middleware riding
+// over a collection's oracle: per-ask timeout, bounded retries with
+// jittered backoff, k-of-n majority voting, and the circuit breaker
+// that degrades the collection to read-only. See the README's Fault
+// tolerance section.
+type ResilienceSpec = service.ResilienceSpec
+
+// RepairConfig tunes the background self-repair daemon: sweep interval,
+// samples per collection, and the sampling distribution over the
+// class-ordered element frame. See docs/REPAIR.md.
+type RepairConfig = service.RepairConfig
+
+// RepairReport summarizes one self-repair sweep (Service.RepairSweep):
+// pairs sampled, divergences found, corrections applied.
+type RepairReport = service.RepairReport
+
 // StressConfig shapes a synthetic concurrent ingestion workload for
 // service benchmarking.
 type StressConfig = service.StressConfig

@@ -1,0 +1,362 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ecsort/internal/model"
+	"ecsort/internal/oracle"
+)
+
+// canonical renders a partition in a comparable normal form: members
+// sorted within each class, classes sorted by smallest member.
+func canonical(classes [][]int) [][]int {
+	out := make([][]int, 0, len(classes))
+	for _, c := range classes {
+		cc := append([]int(nil), c...)
+		sort.Ints(cc)
+		out = append(out, cc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// wantPartition groups the live elements by their labels.
+func wantPartition(labels []int, live []int) [][]int {
+	byLabel := map[int][]int{}
+	for _, e := range live {
+		byLabel[labels[e]] = append(byLabel[labels[e]], e)
+	}
+	var out [][]int
+	for _, c := range byLabel {
+		out = append(out, c)
+	}
+	return canonical(out)
+}
+
+func partitionEq(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func newChurnSorter(t *testing.T, labels []int) *Incremental {
+	t.Helper()
+	s := model.NewSession(oracle.NewLabel(labels), model.CR)
+	inc, err := NewIncremental(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inc
+}
+
+func TestDeletePending(t *testing.T) {
+	inc := newChurnSorter(t, []int{0, 0, 1})
+	for e := 0; e < 3; e++ {
+		if err := inc.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := inc.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if inc.Size() != 2 || inc.Pending() != 2 {
+		t.Fatalf("Size=%d Pending=%d after pending delete", inc.Size(), inc.Pending())
+	}
+	if inc.Has(1) {
+		t.Fatal("deleted element still reported added")
+	}
+	// Deleted pending elements can come back.
+	if err := inc.Add(1); err != nil {
+		t.Fatalf("re-add after delete: %v", err)
+	}
+	classes, err := inc.Classes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !partitionEq(canonical(classes), [][]int{{0, 1}, {2}}) {
+		t.Fatalf("classes = %v", classes)
+	}
+}
+
+func TestDeleteFlushed(t *testing.T) {
+	labels := []int{0, 1, 0, 1, 2, 0}
+	inc := newChurnSorter(t, labels)
+	for e := range labels {
+		if err := inc.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := inc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Delete a non-representative, a representative, and a singleton's
+	// only member, verifying the surviving partition after each.
+	for _, del := range []int{2, 0, 4} {
+		if err := inc.Delete(del); err != nil {
+			t.Fatalf("Delete(%d): %v", del, err)
+		}
+		if inc.Has(del) {
+			t.Fatalf("Has(%d) after delete", del)
+		}
+	}
+	classes, err := inc.Classes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := wantPartition(labels, []int{1, 3, 5}); !partitionEq(canonical(classes), want) {
+		t.Fatalf("classes = %v, want %v", classes, want)
+	}
+	if inc.Size() != 3 {
+		t.Fatalf("Size = %d", inc.Size())
+	}
+	// Deleting down to empty and rebuilding must work: churn full cycle.
+	for _, del := range []int{1, 3, 5} {
+		if err := inc.Delete(del); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if inc.Size() != 0 {
+		t.Fatalf("Size = %d after deleting all", inc.Size())
+	}
+	for e := range labels {
+		if err := inc.Add(e); err != nil {
+			t.Fatalf("re-add %d: %v", e, err)
+		}
+	}
+	classes, err = inc.Classes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := wantPartition(labels, []int{0, 1, 2, 3, 4, 5}); !partitionEq(canonical(classes), want) {
+		t.Fatalf("rebuilt classes = %v, want %v", classes, want)
+	}
+}
+
+func TestDeleteErrors(t *testing.T) {
+	inc := newChurnSorter(t, []int{0, 1})
+	if err := inc.Delete(0); err == nil {
+		t.Fatal("delete of never-added element accepted")
+	}
+	if err := inc.Delete(-1); err == nil {
+		t.Fatal("negative element accepted")
+	}
+	if err := inc.Delete(7); err == nil {
+		t.Fatal("out-of-range element accepted")
+	}
+	if err := inc.Add(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Delete(0); err == nil {
+		t.Fatal("double delete accepted")
+	}
+}
+
+func TestInvalidateClass(t *testing.T) {
+	labels := []int{0, 1, 0, 1, 2}
+	inc := newChurnSorter(t, labels)
+	for e := range labels {
+		if err := inc.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := inc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	members, err := inc.InvalidateClassOf(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 2 {
+		t.Fatalf("requeued %v", members)
+	}
+	if inc.Pending() != 2 {
+		t.Fatalf("Pending = %d after invalidate", inc.Pending())
+	}
+	for _, e := range members {
+		if !inc.Has(e) {
+			t.Fatalf("invalidated member %d lost", e)
+		}
+	}
+	// The next flush must re-verify and restore the same partition.
+	classes, err := inc.Classes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := wantPartition(labels, []int{0, 1, 2, 3, 4}); !partitionEq(canonical(classes), want) {
+		t.Fatalf("classes after invalidate+flush = %v, want %v", classes, want)
+	}
+}
+
+func TestInvalidateErrors(t *testing.T) {
+	inc := newChurnSorter(t, []int{0, 0})
+	if _, err := inc.InvalidateClassOf(0); err == nil {
+		t.Fatal("invalidate of never-added element accepted")
+	}
+	if _, err := inc.InvalidateClass(0); err == nil {
+		t.Fatal("invalidate of missing class accepted")
+	}
+	if err := inc.Add(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.InvalidateClassOf(0); err == nil {
+		t.Fatal("invalidate of pending element accepted")
+	}
+}
+
+// TestChurnRandomized drives a random add/delete/invalidate/flush
+// workload against the label oracle and checks the partition equals the
+// ground-truth grouping of the live elements after every flush.
+func TestChurnRandomized(t *testing.T) {
+	const n = 60
+	rng := rand.New(rand.NewSource(8))
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = rng.Intn(7)
+	}
+	inc := newChurnSorter(t, labels)
+	live := map[int]bool{}
+	for step := 0; step < 400; step++ {
+		switch op := rng.Intn(10); {
+		case op < 5: // add
+			e := rng.Intn(n)
+			if !live[e] {
+				if err := inc.Add(e); err != nil {
+					t.Fatalf("step %d: Add(%d): %v", step, e, err)
+				}
+				live[e] = true
+			}
+		case op < 8: // delete
+			e := rng.Intn(n)
+			if live[e] {
+				if err := inc.Delete(e); err != nil {
+					t.Fatalf("step %d: Delete(%d): %v", step, e, err)
+				}
+				delete(live, e)
+			}
+		case op < 9: // invalidate the class of a random live element
+			e := rng.Intn(n)
+			if live[e] {
+				if _, err := inc.InvalidateClassOf(e); err != nil {
+					// Pending elements have no merged class; that error
+					// is part of the contract.
+					if inc.Has(e) && inc.Pending() == 0 {
+						t.Fatalf("step %d: InvalidateClassOf(%d): %v", step, e, err)
+					}
+				}
+			}
+		default: // flush and verify
+			classes, err := inc.Classes()
+			if err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			var liveList []int
+			for e := range live {
+				liveList = append(liveList, e)
+			}
+			want := wantPartition(labels, liveList)
+			if !partitionEq(canonical(classes), want) {
+				t.Fatalf("step %d: classes = %v, want %v", step, classes, want)
+			}
+		}
+	}
+}
+
+// TestChurnRestore checkpoints a churned sorter mid-stream (via
+// Flat/PendingElements, as the service does), restores a fresh one, and
+// verifies both finish an identical tail of operations bit-identically
+// — the recovery anchor for the delete/invalidate WAL records.
+func TestChurnRestore(t *testing.T) {
+	const n = 40
+	rng := rand.New(rand.NewSource(11))
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = rng.Intn(5)
+	}
+	inc := newChurnSorter(t, labels)
+	for e := 0; e < 30; e++ {
+		if err := inc.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := inc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []int{3, 11, 19} {
+		if err := inc.Delete(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := inc.InvalidateClassOf(0); err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoint: copy the flat answer + pending, as checkpointShard does.
+	elems, offs := inc.Flat()
+	cpElems := append([]int(nil), elems...)
+	cpOffs := append([]int(nil), offs...)
+	cpPending := append([]int(nil), inc.PendingElements()...)
+	st := inc.Stats()
+	flushes := inc.Flushes()
+
+	rec := newChurnSorter(t, labels)
+	if err := rec.Restore(cpElems, cpOffs, cpPending, st, flushes); err != nil {
+		t.Fatal(err)
+	}
+
+	tail := func(x *Incremental) {
+		t.Helper()
+		for e := 30; e < n; e++ {
+			if err := x.Add(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := x.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := x.Delete(35); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := x.InvalidateClassOf(30); err != nil {
+			t.Fatal(err)
+		}
+		if err := x.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tail(inc)
+	tail(rec)
+
+	e1, o1 := inc.Flat()
+	e2, o2 := rec.Flat()
+	if len(e1) != len(e2) || len(o1) != len(o2) {
+		t.Fatalf("flat shapes differ: (%d,%d) vs (%d,%d)", len(e1), len(o1), len(e2), len(o2))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("elems diverge at %d: %d vs %d", i, e1[i], e2[i])
+		}
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("offs diverge at %d: %d vs %d", i, o1[i], o2[i])
+		}
+	}
+	if s1, s2 := inc.Stats(), rec.Stats(); s1 != s2 {
+		t.Fatalf("stats diverge: %+v vs %+v", s1, s2)
+	}
+}

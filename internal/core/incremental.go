@@ -89,6 +89,13 @@ func (inc *Incremental) Flush() error {
 	if err := sc.streamGroup(inc.session, group); err != nil {
 		return err
 	}
+	// A context canceled during the final physical round slips past the
+	// per-round check inside the session; re-check before committing so
+	// an aborted fold never publishes a merge built from a poisoned
+	// round. The pending buffer stays intact for the retry.
+	if err := inc.session.Err(); err != nil {
+		return err
+	}
 	dst := 1 - inc.cur
 	merged, elems, offs := sc.buildMerged(group, inc.bufElems[dst][:0], inc.bufOffs[dst][:0])
 	// Retain the (possibly grown) pools and flip buffers: the old

@@ -12,6 +12,45 @@ import (
 	"ecsort/internal/model"
 )
 
+// Vote asks an unreliable boolean question up to k times and returns
+// the majority answer — the k-of-n re-ask primitive behind
+// oracle.Resilient's vote mode for suspected-noisy oracles. Errors
+// count as abstentions; if every ask errors, the last error is
+// returned. Vote stops as soon as one side holds an unbeatable
+// majority, so a consistently answering oracle costs ⌈k/2⌉+... calls,
+// not k. A tie (possible with abstentions or even k) resolves to
+// false: for equivalence tests that is "not equal", the conservative
+// side — a wrong split is repairable by re-verification, a wrong merge
+// contaminates a class.
+func Vote(k int, ask func() (bool, error)) (bool, error) {
+	if k < 1 {
+		k = 1
+	}
+	need := k/2 + 1
+	yes, no := 0, 0
+	var lastErr error
+	for c := 0; c < k; c++ {
+		v, err := ask()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if v {
+			if yes++; yes >= need {
+				return true, nil
+			}
+		} else {
+			if no++; no >= need {
+				return false, nil
+			}
+		}
+	}
+	if yes == 0 && no == 0 {
+		return false, lastErr
+	}
+	return yes > no, nil
+}
+
 // Majority finds an element of the strict-majority class (> n/2 members)
 // using Boyer–Moore MJRTY plus a verification pass, all with equivalence
 // tests. It returns the candidate element, the exact size of its class,

@@ -1,10 +1,11 @@
-package majority
+package majority_test
 
 import (
 	"math/rand"
 	"testing"
 	"testing/quick"
 
+	"ecsort/internal/majority"
 	"ecsort/internal/model"
 	"ecsort/internal/oracle"
 )
@@ -14,7 +15,7 @@ func TestMajorityPresent(t *testing.T) {
 	// 60 of class 0, 40 split among others.
 	truth := oracle.RandomSizes([]int{60, 25, 15}, rng)
 	s := model.NewSession(truth, model.ER)
-	cand, size, isMaj := Majority(s)
+	cand, size, isMaj := majority.Majority(s)
 	if !isMaj {
 		t.Fatal("majority not detected")
 	}
@@ -41,7 +42,7 @@ func TestMajorityAbsent(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	truth := oracle.RandomSizes([]int{50, 50}, rng)
 	s := model.NewSession(truth, model.ER)
-	_, size, isMaj := Majority(s)
+	_, size, isMaj := majority.Majority(s)
 	if isMaj {
 		t.Fatalf("false majority of size %d on a 50/50 split", size)
 	}
@@ -49,11 +50,11 @@ func TestMajorityAbsent(t *testing.T) {
 
 func TestMajorityEmptyAndSingle(t *testing.T) {
 	s := model.NewSession(oracle.NewLabel(nil), model.ER)
-	if c, _, m := Majority(s); c != -1 || m {
+	if c, _, m := majority.Majority(s); c != -1 || m {
 		t.Fatal("empty input mishandled")
 	}
 	s = model.NewSession(oracle.NewLabel([]int{9}), model.ER)
-	c, size, m := Majority(s)
+	c, size, m := majority.Majority(s)
 	if c != 0 || size != 1 || !m {
 		t.Fatalf("single element: c=%d size=%d maj=%v", c, size, m)
 	}
@@ -81,7 +82,7 @@ func TestMajorityQuick(t *testing.T) {
 		}
 		truth := oracle.NewLabel(labels)
 		s := model.NewSession(truth, model.ER)
-		cand, size, isMaj := Majority(s)
+		cand, size, isMaj := majority.Majority(s)
 		if best > n/2 {
 			return isMaj && labels[cand] == bestL && size == best
 		}
@@ -98,7 +99,7 @@ func TestModeFindsLargestClass(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	truth := oracle.RandomSizes([]int{7, 30, 12, 1}, rng)
 	s := model.NewSession(truth, model.ER)
-	cand, size := Mode(s)
+	cand, size := majority.Mode(s)
 	if size != 30 {
 		t.Fatalf("mode size = %d, want 30", size)
 	}
@@ -131,7 +132,7 @@ func TestModeQuick(t *testing.T) {
 		}
 		truth := oracle.NewLabel(labels)
 		s := model.NewSession(truth, model.ER)
-		cand, size := Mode(s)
+		cand, size := majority.Mode(s)
 		return size == best && counts[labels[cand]] == best
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
@@ -141,7 +142,7 @@ func TestModeQuick(t *testing.T) {
 
 func TestModeEmpty(t *testing.T) {
 	s := model.NewSession(oracle.NewLabel(nil), model.ER)
-	if c, size := Mode(s); c != -1 || size != 0 {
+	if c, size := majority.Mode(s); c != -1 || size != 0 {
 		t.Fatalf("empty mode: c=%d size=%d", c, size)
 	}
 }

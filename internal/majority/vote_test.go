@@ -1,0 +1,69 @@
+package majority_test
+
+import (
+	"errors"
+	"testing"
+
+	"ecsort/internal/majority"
+)
+
+func TestVoteUnanimous(t *testing.T) {
+	calls := 0
+	v, err := majority.Vote(5, func() (bool, error) { calls++; return true, nil })
+	if err != nil || !v {
+		t.Fatalf("Vote = %v, %v", v, err)
+	}
+	if calls != 3 {
+		t.Fatalf("unanimous vote made %d calls, want 3 (early exit)", calls)
+	}
+}
+
+func TestVoteMajorityOverNoise(t *testing.T) {
+	// false, true, true, true: majority true despite the first answer.
+	answers := []bool{false, true, true, true, true}
+	i := 0
+	v, err := majority.Vote(5, func() (bool, error) { a := answers[i]; i++; return a, nil })
+	if err != nil || !v {
+		t.Fatalf("Vote = %v, %v", v, err)
+	}
+}
+
+func TestVoteAbstentions(t *testing.T) {
+	fault := errors.New("injected")
+	// Two errors and two false answers out of 5: false wins 2-0.
+	answers := []func() (bool, error){
+		func() (bool, error) { return false, fault },
+		func() (bool, error) { return false, nil },
+		func() (bool, error) { return false, fault },
+		func() (bool, error) { return false, nil },
+		func() (bool, error) { return true, nil },
+	}
+	i := 0
+	v, err := majority.Vote(5, func() (bool, error) { f := answers[i]; i++; return f() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v {
+		t.Fatal("Vote = true, want false")
+	}
+}
+
+func TestVoteAllErrors(t *testing.T) {
+	fault := errors.New("injected")
+	if _, err := majority.Vote(3, func() (bool, error) { return false, fault }); !errors.Is(err, fault) {
+		t.Fatalf("err = %v, want the last ask error", err)
+	}
+}
+
+func TestVoteTieResolvesFalse(t *testing.T) {
+	// Even k with a 2-2 split: the conservative "not equal" side wins.
+	answers := []bool{true, false, true, false}
+	i := 0
+	v, err := majority.Vote(4, func() (bool, error) { a := answers[i]; i++; return a, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v {
+		t.Fatal("tie resolved to true")
+	}
+}

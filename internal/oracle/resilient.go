@@ -1,0 +1,406 @@
+package oracle
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ecsort/internal/majority"
+	"ecsort/internal/model"
+)
+
+// Unreliable is an equivalence oracle whose answers can fail or hang:
+// the honest interface for oracles backed by networks, flaky hardware,
+// or fault injection (adversary.Flaky). TrySame must respect ctx —
+// return promptly once it is canceled — which is what lets the
+// Resilient middleware enforce per-call timeouts without leaking
+// goroutines. Implementations must be safe for concurrent use.
+type Unreliable interface {
+	// N returns the universe size, as in model.Oracle.
+	N() int
+	// TrySame reports whether elements i and j are equivalent, or an
+	// error when the backend could not answer.
+	TrySame(ctx context.Context, i, j int) (bool, error)
+}
+
+// ErrUnavailable is the (wrapped) failure for calls rejected while the
+// circuit breaker is open: the oracle is presumed down and calls fail
+// fast instead of burning their full timeout+retry budget.
+var ErrUnavailable = errors.New("oracle: unavailable (circuit breaker open)")
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed is the healthy state: calls flow to the backend.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen is the tripped state: calls fail fast with
+	// ErrUnavailable until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits probe calls after the cooldown: the first
+	// success closes the breaker, the first exhausted failure re-opens
+	// it.
+	BreakerHalfOpen
+)
+
+// String renders the state for logs and metrics labels.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// ResilientConfig tunes the fault-tolerance middleware. The zero value
+// is serviceable: 1s per-attempt timeout, 2 retries with 2ms–100ms
+// jittered exponential backoff, no vote mode, breaker tripping after 5
+// consecutive exhausted asks with a 1s cooldown.
+type ResilientConfig struct {
+	// Timeout bounds each attempt; 0 means 1s, negative disables.
+	Timeout time.Duration
+	// Retries is how many extra attempts follow a failed one; 0 means 2,
+	// negative means none.
+	Retries int
+	// Backoff is the base of the jittered exponential backoff between
+	// attempts; 0 means 2ms.
+	Backoff time.Duration
+	// MaxBackoff caps the backoff growth; 0 means 100ms.
+	MaxBackoff time.Duration
+	// Votes enables k-of-n majority mode: every answer is re-asked until
+	// one side is unbeatable among Votes asks (majority.Vote). Values
+	// <= 1 ask once. Odd values avoid ties.
+	Votes int
+	// BreakerThreshold is how many consecutive exhausted asks trip the
+	// breaker; 0 means 5, negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is the open → half-open delay; 0 means 1s.
+	BreakerCooldown time.Duration
+	// Seed makes the backoff jitter reproducible.
+	Seed int64
+	// Ctx, when non-nil, bounds every attempt's lifetime (the service
+	// passes its root context so shutdown interrupts in-flight asks).
+	Ctx context.Context
+}
+
+func (c ResilientConfig) timeout() time.Duration {
+	if c.Timeout == 0 {
+		return time.Second
+	}
+	return c.Timeout
+}
+
+func (c ResilientConfig) retries() int {
+	if c.Retries == 0 {
+		return 2
+	}
+	return max(c.Retries, 0)
+}
+
+func (c ResilientConfig) backoff() time.Duration {
+	if c.Backoff <= 0 {
+		return 2 * time.Millisecond
+	}
+	return c.Backoff
+}
+
+func (c ResilientConfig) maxBackoff() time.Duration {
+	if c.MaxBackoff <= 0 {
+		return 100 * time.Millisecond
+	}
+	return c.MaxBackoff
+}
+
+func (c ResilientConfig) threshold() int {
+	if c.BreakerThreshold == 0 {
+		return 5
+	}
+	return c.BreakerThreshold
+}
+
+func (c ResilientConfig) cooldown() time.Duration {
+	if c.BreakerCooldown <= 0 {
+		return time.Second
+	}
+	return c.BreakerCooldown
+}
+
+// ResilientStats is a snapshot of the middleware's activity counters.
+type ResilientStats struct {
+	// Attempts counts calls issued to the backend (including retries and
+	// vote re-asks).
+	Attempts int64
+	// Retries counts backed-off re-attempts after a failure.
+	Retries int64
+	// Failures counts asks that exhausted their full retry budget.
+	Failures int64
+	// FastFails counts calls rejected while the breaker was open.
+	FastFails int64
+	// Trips counts closed/half-open → open transitions.
+	Trips int64
+}
+
+// Resilient wraps an Unreliable oracle with the service's
+// fault-tolerance middleware: per-attempt timeouts, bounded retries
+// with jittered exponential backoff, optional k-of-n majority voting
+// for suspected-noisy answers, and a circuit breaker that fails fast —
+// and notifies the owner via OnTrip — once the backend looks down.
+//
+// Resilient implements model.Oracle (Same) so the sorting engines run
+// against it unchanged: Same answers false ("not equal") when every
+// attempt fails, the conservative side — a missed merge is repairable
+// by the repair daemon's re-verification, a wrong merge contaminates a
+// class. Service folds bind a cancelable context and abort via OnTrip
+// instead of grinding through a dead oracle's remaining tests.
+type Resilient struct {
+	base Unreliable
+	cfg  ResilientConfig
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	state    BreakerState
+	fails    int // consecutive exhausted asks while closed
+	openedAt time.Time
+	lastErr  error
+	onTrip   func(error)
+
+	attempts  atomic.Int64
+	retries   atomic.Int64
+	failures  atomic.Int64
+	fastFails atomic.Int64
+	trips     atomic.Int64
+}
+
+// NewResilient wraps base with the configured middleware.
+func NewResilient(base Unreliable, cfg ResilientConfig) *Resilient {
+	return &Resilient{base: base, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// AsUnreliable adapts an infallible model.Oracle to the Unreliable
+// interface: TrySame never fails and ignores ctx (a synchronous
+// in-process oracle cannot be interrupted mid-test). It lets the
+// middleware — vote mode in particular — wrap oracles with no failure
+// modes of their own.
+func AsUnreliable(o model.Oracle) Unreliable { return infallible{o} }
+
+type infallible struct{ o model.Oracle }
+
+func (a infallible) N() int { return a.o.N() }
+
+func (a infallible) TrySame(_ context.Context, i, j int) (bool, error) {
+	//ecsort:ignore oracleround middleware adapter: the session accounts the outer Resilient.Same, not this inner call
+	return a.o.Same(i, j), nil
+}
+
+// OnTrip registers fn to run — once per trip, on the goroutine whose
+// failure tripped the breaker — when the breaker opens. The service
+// uses it to cancel the in-flight fold's context so the shard
+// goroutine unwinds between rounds instead of timing out on every
+// remaining comparison. Register before issuing queries.
+func (r *Resilient) OnTrip(fn func(error)) {
+	r.mu.Lock()
+	r.onTrip = fn
+	r.mu.Unlock()
+}
+
+// N returns the wrapped oracle's universe size.
+func (r *Resilient) N() int { return r.base.N() }
+
+// Same implements model.Oracle through the full middleware stack,
+// answering false when every attempt failed (see the type comment for
+// why false is the safe degraded answer).
+func (r *Resilient) Same(i, j int) bool {
+	v, err := r.TrySame(r.lifetime(), i, j)
+	if err != nil {
+		return false
+	}
+	return v
+}
+
+// TrySame answers one equivalence test with retries, voting, and
+// breaker admission, reporting the final error when the middleware
+// could not extract an answer.
+func (r *Resilient) TrySame(ctx context.Context, i, j int) (bool, error) {
+	if k := r.cfg.Votes; k > 1 {
+		return majority.Vote(k, func() (bool, error) { return r.ask(ctx, i, j) })
+	}
+	return r.ask(ctx, i, j)
+}
+
+// State reports the breaker's effective position: an open breaker whose
+// cooldown has elapsed reports half-open, since the next call probes.
+func (r *Resilient) State() BreakerState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state == BreakerOpen && time.Since(r.openedAt) >= r.cfg.cooldown() {
+		return BreakerHalfOpen
+	}
+	return r.state
+}
+
+// RetryAfter returns how long until an open breaker admits its next
+// probe, and zero when calls are currently admitted. The HTTP layer
+// maps a positive value to 503 + Retry-After on writes.
+func (r *Resilient) RetryAfter() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state != BreakerOpen {
+		return 0
+	}
+	rem := r.cfg.cooldown() - time.Since(r.openedAt)
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// LastErr returns the failure that most recently exhausted an ask.
+func (r *Resilient) LastErr() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastErr
+}
+
+// Stats snapshots the activity counters.
+func (r *Resilient) Stats() ResilientStats {
+	return ResilientStats{
+		Attempts:  r.attempts.Load(),
+		Retries:   r.retries.Load(),
+		Failures:  r.failures.Load(),
+		FastFails: r.fastFails.Load(),
+		Trips:     r.trips.Load(),
+	}
+}
+
+// ask runs one retry-wrapped attempt series and settles its outcome
+// with the breaker: a success resets the failure streak (and closes a
+// half-open breaker), an exhausted series counts toward tripping.
+func (r *Resilient) ask(ctx context.Context, i, j int) (bool, error) {
+	if err := r.admit(); err != nil {
+		r.fastFails.Add(1)
+		return false, err
+	}
+	retries := r.cfg.retries()
+	var err error
+	for try := 0; try <= retries; try++ {
+		if try > 0 {
+			r.retries.Add(1)
+			if werr := r.waitBackoff(ctx, try); werr != nil {
+				err = werr
+				break
+			}
+		}
+		r.attempts.Add(1)
+		var v bool
+		if v, err = r.attempt(ctx, i, j); err == nil {
+			r.succeed()
+			return v, nil
+		}
+	}
+	r.fail(err)
+	return false, err
+}
+
+// attempt issues one bounded call to the backend.
+func (r *Resilient) attempt(ctx context.Context, i, j int) (bool, error) {
+	if t := r.cfg.timeout(); t > 0 {
+		tctx, cancel := context.WithTimeout(ctx, t)
+		defer cancel()
+		return r.base.TrySame(tctx, i, j)
+	}
+	return r.base.TrySame(ctx, i, j)
+}
+
+// admit checks the breaker before an ask, transitioning open →
+// half-open when the cooldown has elapsed.
+func (r *Resilient) admit() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state == BreakerOpen {
+		if time.Since(r.openedAt) < r.cfg.cooldown() {
+			return ErrUnavailable
+		}
+		r.state = BreakerHalfOpen
+	}
+	return nil
+}
+
+// succeed records a successful ask.
+func (r *Resilient) succeed() {
+	r.mu.Lock()
+	r.fails = 0
+	if r.state == BreakerHalfOpen {
+		r.state = BreakerClosed
+	}
+	r.mu.Unlock()
+}
+
+// fail records an exhausted ask and trips the breaker when the streak
+// reaches the threshold (or immediately in half-open: the probe
+// failed).
+func (r *Resilient) fail(err error) {
+	r.failures.Add(1)
+	r.mu.Lock()
+	r.lastErr = err
+	tripped := false
+	switch r.state {
+	case BreakerHalfOpen:
+		r.state = BreakerOpen
+		r.openedAt = time.Now()
+		tripped = true
+	case BreakerClosed:
+		if th := r.cfg.threshold(); th > 0 {
+			if r.fails++; r.fails >= th {
+				r.state = BreakerOpen
+				r.openedAt = time.Now()
+				r.fails = 0
+				tripped = true
+			}
+		}
+	}
+	fn := r.onTrip
+	r.mu.Unlock()
+	if tripped {
+		r.trips.Add(1)
+		if fn != nil {
+			fn(err)
+		}
+	}
+}
+
+// waitBackoff sleeps the jittered exponential backoff before retry
+// number try (1-based), interruptible by ctx.
+func (r *Resilient) waitBackoff(ctx context.Context, try int) error {
+	d := r.cfg.backoff() << (try - 1)
+	if mx := r.cfg.maxBackoff(); d > mx || d <= 0 {
+		d = mx
+	}
+	r.mu.Lock()
+	// Jitter into [d/2, d): desynchronizes retry storms across shards.
+	d = d/2 + time.Duration(r.rng.Int63n(int64(d/2)+1))
+	r.mu.Unlock()
+	t := time.NewTimer(d)
+	select {
+	case <-ctx.Done():
+		t.Stop()
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// lifetime is the context bounding Same's asks.
+func (r *Resilient) lifetime() context.Context {
+	if r.cfg.Ctx != nil {
+		return r.cfg.Ctx
+	}
+	//ecsort:ignore ctxflow contract fallback: an unbound Resilient is documented as never-canceled
+	return context.Background()
+}

@@ -1,0 +1,222 @@
+package oracle
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scripted is an Unreliable test double answering from a queue of
+// outcomes; when the queue runs dry it repeats the last outcome.
+type scripted struct {
+	mu    sync.Mutex
+	n     int
+	outs  []error // nil = answer true; non-nil = fail with that error
+	calls int
+}
+
+var errBackend = errors.New("backend down")
+
+func (s *scripted) N() int { return s.n }
+
+func (s *scripted) TrySame(ctx context.Context, i, j int) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.outs[min(s.calls, len(s.outs)-1)]
+	s.calls++
+	if out != nil {
+		return false, out
+	}
+	return true, nil
+}
+
+// hung blocks until ctx cancellation — a stuck backend.
+type hung struct{ calls int }
+
+func (h *hung) N() int { return 2 }
+
+func (h *hung) TrySame(ctx context.Context, i, j int) (bool, error) {
+	h.calls++
+	<-ctx.Done()
+	return false, ctx.Err()
+}
+
+func fastCfg() ResilientConfig {
+	return ResilientConfig{
+		Timeout:          50 * time.Millisecond,
+		Retries:          2,
+		Backoff:          time.Microsecond,
+		MaxBackoff:       10 * time.Microsecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  20 * time.Millisecond,
+	}
+}
+
+func TestResilientRetriesThenSucceeds(t *testing.T) {
+	s := &scripted{n: 2, outs: []error{errBackend, errBackend, nil}}
+	r := NewResilient(s, fastCfg())
+	v, err := r.TrySame(context.Background(), 0, 1)
+	if err != nil || !v {
+		t.Fatalf("TrySame = %v, %v", v, err)
+	}
+	if s.calls != 3 {
+		t.Fatalf("backend calls = %d, want 3 (two retries)", s.calls)
+	}
+	st := r.Stats()
+	if st.Attempts != 3 || st.Retries != 2 || st.Failures != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if r.State() != BreakerClosed {
+		t.Fatalf("state = %v after recovery", r.State())
+	}
+}
+
+func TestResilientTimeoutBounds(t *testing.T) {
+	h := &hung{}
+	cfg := fastCfg()
+	cfg.Timeout = 10 * time.Millisecond
+	cfg.Retries = 1
+	r := NewResilient(h, cfg)
+	start := time.Now()
+	_, err := r.TrySame(context.Background(), 0, 1)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("stuck backend held the call for %v", d)
+	}
+	if h.calls != 2 {
+		t.Fatalf("backend calls = %d, want 2 (1 retry)", h.calls)
+	}
+}
+
+func TestResilientBreakerLifecycle(t *testing.T) {
+	s := &scripted{n: 2, outs: []error{errBackend}}
+	cfg := fastCfg()
+	var tripErr error
+	r := NewResilient(s, cfg)
+	r.OnTrip(func(err error) { tripErr = err })
+
+	// Two exhausted asks (threshold) trip the breaker.
+	for i := 0; i < 2; i++ {
+		if _, err := r.TrySame(context.Background(), 0, 1); !errors.Is(err, errBackend) {
+			t.Fatalf("ask %d err = %v", i, err)
+		}
+	}
+	if !errors.Is(tripErr, errBackend) {
+		t.Fatalf("OnTrip error = %v", tripErr)
+	}
+	if r.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", r.State())
+	}
+	if r.RetryAfter() <= 0 {
+		t.Fatal("RetryAfter = 0 while open")
+	}
+	// Open: calls fail fast without touching the backend.
+	before := s.calls
+	if _, err := r.TrySame(context.Background(), 0, 1); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("open-breaker err = %v", err)
+	}
+	if s.calls != before {
+		t.Fatal("open breaker still called the backend")
+	}
+	if r.Same(0, 1) {
+		t.Fatal("Same returned true through an open breaker")
+	}
+
+	// After the cooldown the next ask probes; make the backend healthy.
+	time.Sleep(cfg.BreakerCooldown + 5*time.Millisecond)
+	if r.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v after cooldown, want half-open", r.State())
+	}
+	s.mu.Lock()
+	s.outs = []error{nil}
+	s.calls = 0
+	s.mu.Unlock()
+	if v, err := r.TrySame(context.Background(), 0, 1); err != nil || !v {
+		t.Fatalf("probe = %v, %v", v, err)
+	}
+	if r.State() != BreakerClosed {
+		t.Fatalf("state = %v after successful probe", r.State())
+	}
+	if r.RetryAfter() != 0 {
+		t.Fatal("RetryAfter > 0 while closed")
+	}
+	if got := r.Stats().Trips; got != 1 {
+		t.Fatalf("trips = %d", got)
+	}
+}
+
+func TestResilientHalfOpenFailureReopens(t *testing.T) {
+	s := &scripted{n: 2, outs: []error{errBackend}}
+	cfg := fastCfg()
+	cfg.BreakerCooldown = 5 * time.Millisecond
+	r := NewResilient(s, cfg)
+	for i := 0; i < 2; i++ {
+		r.TrySame(context.Background(), 0, 1)
+	}
+	time.Sleep(cfg.BreakerCooldown + 2*time.Millisecond)
+	// Probe fails: breaker re-opens immediately (no fresh streak needed).
+	if _, err := r.TrySame(context.Background(), 0, 1); !errors.Is(err, errBackend) {
+		t.Fatalf("probe err = %v", err)
+	}
+	if st := r.Stats(); st.Trips != 2 {
+		t.Fatalf("trips = %d, want 2", st.Trips)
+	}
+	if r.RetryAfter() <= 0 {
+		t.Fatal("breaker not re-opened after failed probe")
+	}
+}
+
+// flipper answers wrong on a fixed schedule — vote mode must outvote it.
+type flipper struct {
+	calls int
+	truth bool
+}
+
+func (f *flipper) N() int { return 2 }
+
+func (f *flipper) TrySame(ctx context.Context, i, j int) (bool, error) {
+	f.calls++
+	if f.calls%3 == 0 { // every third answer lies
+		return !f.truth, nil
+	}
+	return f.truth, nil
+}
+
+func TestResilientVotes(t *testing.T) {
+	f := &flipper{truth: true}
+	cfg := fastCfg()
+	cfg.Votes = 5
+	r := NewResilient(f, cfg)
+	for q := 0; q < 20; q++ {
+		if !r.Same(0, 1) {
+			t.Fatalf("query %d: vote mode returned the minority answer", q)
+		}
+	}
+}
+
+func TestAsUnreliable(t *testing.T) {
+	r := NewResilient(AsUnreliable(NewLabel([]int{0, 0, 1})), ResilientConfig{})
+	if !r.Same(0, 1) || r.Same(0, 2) {
+		t.Fatal("adapter answers diverge from base oracle")
+	}
+	if r.N() != 3 {
+		t.Fatalf("N = %d", r.N())
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for st, want := range map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerOpen:     "open",
+		BreakerHalfOpen: "half-open",
+		BreakerState(9): "unknown",
+	} {
+		if st.String() != want {
+			t.Fatalf("%d.String() = %q", st, st.String())
+		}
+	}
+}

@@ -1,0 +1,398 @@
+package service
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ecsort/internal/wal"
+)
+
+// TestChurnSemantics pins the delete/invalidate contract on both sorter
+// engines: the incremental session (in-place answer compaction) and a
+// batch regimen (buffer/answer splice in batchSorter).
+func TestChurnSemantics(t *testing.T) {
+	labels := []int{0, 0, 1, 1, 2, 2}
+	for _, tc := range []struct {
+		name string
+		spec OracleSpec
+	}{
+		{"incremental", OracleSpec{Kind: KindLabel, Labels: labels}},
+		{"er", OracleSpec{Kind: KindLabel, Labels: labels, Algorithm: "er", Seed: 5}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			svc := New(Config{Shards: 1, Workers: 1})
+			defer svc.Close()
+			if err := svc.CreateCollection("k", tc.spec); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := svc.Ingest("k", []int{0, 1, 2, 3, 4, 5}, true); err != nil {
+				t.Fatal(err)
+			}
+			full := [][]int{{0, 1}, {2, 3}, {4, 5}}
+			assertClasses := func(want [][]int) {
+				t.Helper()
+				snap, err := svc.Classes("k", false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(snap.Classes, want) {
+					t.Fatalf("classes = %v, want %v", snap.Classes, want)
+				}
+			}
+			assertClasses(full)
+
+			// Delete a merged element: it leaves its class immediately.
+			res, err := svc.DeleteItem("k", 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Element != 1 || res.Pending != 0 {
+				t.Fatalf("delete result = %+v", res)
+			}
+			assertClasses([][]int{{0}, {2, 3}, {4, 5}})
+
+			// Deleting again, out-of-range, or on a missing key fails.
+			if _, err := svc.DeleteItem("k", 1); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("double delete: %v, want ErrNotFound", err)
+			}
+			if _, err := svc.DeleteItem("k", 99); !errors.Is(err, ErrBadItem) {
+				t.Fatalf("out-of-range delete: %v, want ErrBadItem", err)
+			}
+			if _, err := svc.DeleteItem("nosuch", 0); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("delete on missing key: %v, want ErrNotFound", err)
+			}
+
+			// A deleted element can be re-ingested.
+			if _, err := svc.Ingest("k", []int{1}, true); err != nil {
+				t.Fatal(err)
+			}
+			assertClasses(full)
+
+			// Invalidate without folding: the members go pending.
+			inv, err := svc.InvalidateClass("k", 1, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if inv.Element != 2 || inv.Requeued != 2 || inv.Pending != 2 {
+				t.Fatalf("invalidate result = %+v", inv)
+			}
+			assertClasses([][]int{{0, 1}, {4, 5}})
+
+			// Deleting a pending element removes it from the buffer.
+			if _, err := svc.DeleteItem("k", 3); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := svc.Flush("k"); err != nil {
+				t.Fatal(err)
+			}
+			assertClasses([][]int{{0, 1}, {2}, {4, 5}})
+			if _, err := svc.Ingest("k", []int{3}, true); err != nil {
+				t.Fatal(err)
+			}
+			assertClasses(full)
+
+			// Invalidate with an immediate fold: the class re-merges in
+			// the same call.
+			inv, err = svc.InvalidateClass("k", 0, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if inv.Element != 0 || inv.Requeued != 2 || inv.Pending != 0 {
+				t.Fatalf("folding invalidate result = %+v", inv)
+			}
+			assertClasses(full)
+
+			// A class index outside the snapshot is not found.
+			if _, err := svc.InvalidateClass("k", 5, false); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("bad class index: %v, want ErrNotFound", err)
+			}
+
+			info, err := svc.CollectionStats("k")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Deleted != 2 || info.Invalidated != 2 {
+				t.Fatalf("churn counters = deleted %d, invalidated %d, want 2, 2", info.Deleted, info.Invalidated)
+			}
+		})
+	}
+}
+
+// TestChurnHTTP drives the delete and invalidate routes end to end.
+func TestChurnHTTP(t *testing.T) {
+	svc := New(Config{Shards: 1, Workers: 1})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	spec := OracleSpec{Kind: KindLabel, Labels: []int{0, 0, 1, 1}}
+	if code := call(t, client, "PUT", ts.URL+"/v1/collections/c", spec, nil); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	if code := call(t, client, "POST", ts.URL+"/v1/collections/c/items?flush=1",
+		map[string][]int{"items": []int{0, 1, 2, 3}}, nil); code != http.StatusAccepted {
+		t.Fatalf("ingest: %d", code)
+	}
+
+	var res ChurnResult
+	if code := call(t, client, "DELETE", ts.URL+"/v1/collections/c/items/1", nil, &res); code != http.StatusOK {
+		t.Fatalf("delete: %d", code)
+	}
+	if res.Element != 1 || res.Pending != 0 {
+		t.Fatalf("delete result = %+v", res)
+	}
+	if code := call(t, client, "DELETE", ts.URL+"/v1/collections/c/items/1", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("double delete: %d, want 404", code)
+	}
+	if code := call(t, client, "DELETE", ts.URL+"/v1/collections/c/items/xyz", nil, nil); code != http.StatusBadRequest {
+		t.Fatalf("non-numeric element: %d, want 400", code)
+	}
+	if code := call(t, client, "DELETE", ts.URL+"/v1/collections/c/items/99", nil, nil); code != http.StatusBadRequest {
+		t.Fatalf("out-of-range element: %d, want 400", code)
+	}
+
+	res = ChurnResult{}
+	if code := call(t, client, "POST", ts.URL+"/v1/collections/c/classes/1/invalidate?flush=1", nil, &res); code != http.StatusAccepted {
+		t.Fatalf("invalidate: %d", code)
+	}
+	if res.Element != 2 || res.Requeued != 2 || res.Pending != 0 {
+		t.Fatalf("invalidate result = %+v", res)
+	}
+	if code := call(t, client, "POST", ts.URL+"/v1/collections/c/classes/9/invalidate", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("bad class index: %d, want 404", code)
+	}
+	if code := call(t, client, "POST", ts.URL+"/v1/collections/c/classes/x/invalidate", nil, nil); code != http.StatusBadRequest {
+		t.Fatalf("non-numeric class: %d, want 400", code)
+	}
+
+	var snap Snapshot
+	if code := call(t, client, "GET", ts.URL+"/v1/collections/c/classes?fresh=1", nil, &snap); code != http.StatusOK {
+		t.Fatalf("classes: %d", code)
+	}
+	if want := [][]int{{0}, {2, 3}}; !reflect.DeepEqual(snap.Classes, want) {
+		t.Fatalf("classes after churn = %v, want %v", snap.Classes, want)
+	}
+}
+
+// driveChurnOps is driveOps' churn-heavy sibling: a deterministic
+// workload of ingests, deletes, re-ingests, and class invalidations over
+// two collections (incremental and a batch ER regimen), split in two
+// halves so crash-recovery tests can kill the service at the seam.
+func driveChurnOps(t *testing.T, svc *Service, half int) []string {
+	t.Helper()
+	keys := []string{"inc", "erc"}
+	labels := make([]int, 48)
+	for i := range labels {
+		labels[i] = i % 6
+	}
+	if half == 0 {
+		if err := svc.CreateCollection("inc", OracleSpec{Kind: KindLabel, Labels: labels}); err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.CreateCollection("erc", OracleSpec{Kind: KindLabel, Labels: labels, Algorithm: "er", Seed: 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	perm := rand.New(rand.NewSource(21)).Perm(48) // same order both runs
+	lo, hi := 0, 24
+	if half == 1 {
+		lo, hi = 24, 48
+	}
+	for at := lo; at < hi; at += 6 {
+		batch := perm[at : at+6]
+		for _, k := range keys {
+			if _, err := svc.Ingest(k, batch, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Churn: drop the batch's first element, then bring it back —
+		// sometimes leaving it pending across the crash seam.
+		e := batch[0]
+		for _, k := range keys {
+			if _, err := svc.DeleteItem(k, e); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := svc.Ingest(k, []int{e}, at%12 == 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if at%12 == 6 {
+			if _, err := svc.InvalidateClass("inc", 0, true); err != nil {
+				t.Fatal(err)
+			}
+			// Left unfolded: the withdrawn members stay pending.
+			if _, err := svc.InvalidateClass("erc", 0, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return keys
+}
+
+// TestDurableChurnRecoveryBitIdentical extends the recovery anchor to
+// the churn records: a service crashed mid-way through a delete- and
+// invalidate-heavy workload must recover bit-identical — classes, stats,
+// churn counters — to one that never crashed.
+func TestDurableChurnRecoveryBitIdentical(t *testing.T) {
+	control := New(Config{Shards: 2, Workers: 1})
+	defer control.Close()
+	keys := driveChurnOps(t, control, 0)
+	driveChurnOps(t, control, 1)
+	want := map[string]fingerprint{}
+	for _, k := range keys {
+		want[k] = snapshotKeyed(t, control, k)
+	}
+
+	dir := t.TempDir()
+	cfg := Config{Shards: 2, Workers: 1, DataDir: dir, Fsync: "never"}
+	svc, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveChurnOps(t, svc, 0)
+	svc.crash()
+
+	revived, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer revived.Close()
+	if rec := revived.Recovery(); rec.Records == 0 {
+		t.Errorf("expected replayed records, got %+v", rec)
+	}
+	driveChurnOps(t, revived, 1)
+	for _, k := range keys {
+		got := snapshotKeyed(t, revived, k)
+		if !reflect.DeepEqual(got.Classes, want[k].Classes) {
+			t.Errorf("%s: classes diverged after churn recovery:\n got %v\nwant %v", k, got.Classes, want[k].Classes)
+		}
+		if got.Info != want[k].Info {
+			t.Errorf("%s: stats fingerprint diverged:\n got %+v\nwant %+v", k, got.Info, want[k].Info)
+		}
+	}
+}
+
+// TestWALRotationBySize pins size-triggered segment rotation: with a
+// tiny MaxSegmentBytes the shard log splits into multiple generations,
+// the rotation counter moves, and recovery walks the whole chain back
+// to a bit-identical collection.
+func TestWALRotationBySize(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Shards: 1, Workers: 1, DataDir: dir, Fsync: "never", MaxSegmentBytes: 256}
+	svc, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := make([]int, 32)
+	for i := range labels {
+		labels[i] = i % 4
+	}
+	if err := svc.CreateCollection("r", OracleSpec{Kind: KindLabel, Labels: labels}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if _, err := svc.Ingest("r", []int{i}, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := svc.DeleteItem("r", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.InvalidateClass("r", 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.walRotations.Load(); got == 0 {
+		t.Error("walRotations = 0, want size-triggered rotations")
+	}
+	segs, err := wal.Segments(filepath.Join(dir, "shard-0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Errorf("segments after rotation = %+v, want at least 2 generations", segs)
+	}
+	want := snapshotKeyed(t, svc, "r")
+	svc.crash()
+
+	revived, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("recovery across rotated segments: %v", err)
+	}
+	defer revived.Close()
+	if rec := revived.Recovery(); rec.Segments < 2 {
+		t.Errorf("recovery visited %d segments, want the whole rotated chain; info %+v", rec.Segments, rec)
+	}
+	if got := snapshotKeyed(t, revived, "r"); !reflect.DeepEqual(got, want) {
+		t.Errorf("state diverged across rotated-segment recovery:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestDurableV1DirectoryRefused pins the format-version gate at the
+// service level, on both layers: a data directory stamped version 1 in
+// its meta file, and a segment whose header claims version 1, must each
+// refuse to open — a v2 reader never reinterprets v1 bytes.
+func TestDurableV1DirectoryRefused(t *testing.T) {
+	t.Run("meta", func(t *testing.T) {
+		dir := t.TempDir()
+		cfg := Config{Shards: 1, Workers: 1, DataDir: dir}
+		svc, err := Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc.Close()
+		path := filepath.Join(dir, "ecsort-meta.json")
+		if err := os.WriteFile(path, []byte(`{"format_version":1,"shards":1}`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err = Open(cfg)
+		if err == nil {
+			t.Fatal("Open accepted a version-1 data directory")
+		}
+		if !strings.Contains(err.Error(), "format version 1") {
+			t.Errorf("error %q does not name the refused version", err)
+		}
+	})
+	t.Run("segment", func(t *testing.T) {
+		dir := t.TempDir()
+		cfg := Config{Shards: 1, Workers: 1, DataDir: dir, Fsync: "never"}
+		svc, err := Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.CreateCollection("k", OracleSpec{Kind: KindLabel, Labels: []int{0, 1}}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := svc.Ingest("k", []int{0, 1}, true); err != nil {
+			t.Fatal(err)
+		}
+		svc.crash()
+		// Rewrite the segment header's version field to 1.
+		seg := filepath.Join(dir, "shard-0", wal.SegmentName(1))
+		f, err := os.OpenFile(seg, os.O_RDWR, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v [2]byte
+		binary.LittleEndian.PutUint16(v[:], 1)
+		if _, err := f.WriteAt(v[:], 4); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		_, err = Open(cfg)
+		if err == nil {
+			t.Fatal("Open accepted a version-1 WAL segment")
+		}
+		if !strings.Contains(err.Error(), "version 1 unsupported") {
+			t.Errorf("error %q does not name the refused version", err)
+		}
+	})
+}

@@ -18,37 +18,76 @@ import (
 	"sort"
 	"time"
 
+	"ecsort/internal/adversary"
 	"ecsort/internal/core"
 	"ecsort/internal/model"
+	"ecsort/internal/oracle"
 	"ecsort/internal/wal"
 )
 
-// buildSorter constructs the classification engine a spec asks for: the
-// incremental compounding engine by default, or a batch regimen from the
-// registry. Spec errors surface here — at create time and again on
-// recovery, where a checkpointed spec that no longer validates must fail
-// the boot rather than silently drop a collection.
-func (s *Service) buildSorter(spec OracleSpec) (sorter, string, error) {
-	o, err := spec.Build()
+// engine bundles what buildSorter assembles for one collection: the
+// classification engine, the regimen name, the effective oracle the
+// engine tests against (the resilience middleware when configured, the
+// bare spec oracle otherwise), and the middleware handle itself (nil
+// for plain collections) — the breaker the service consults for
+// degraded-mode gating.
+type engine struct {
+	srt      sorter
+	algoName string
+	orc      model.Oracle
+	res      *oracle.Resilient
+}
+
+// buildSorter constructs the classification stack a spec asks for: the
+// ground-truth oracle, optionally wrapped in fault injection
+// (spec.Faults) and the resilience middleware (any Faults or Resilience
+// setting), feeding the incremental compounding engine by default or a
+// batch regimen from the registry. Spec errors surface here — at create
+// time and again on recovery, where a checkpointed spec that no longer
+// validates must fail the boot rather than silently drop a collection.
+func (s *Service) buildSorter(spec OracleSpec) (engine, error) {
+	base, err := spec.Build()
 	if err != nil {
-		return nil, "", err
+		return engine{}, err
 	}
 	alg, algoName, err := spec.algorithm()
 	if err != nil {
-		return nil, "", err
+		return engine{}, err
+	}
+	eng := engine{algoName: algoName, orc: base}
+	if spec.Faults != nil || spec.Resilience != nil {
+		// A faulted oracle is always fronted by the middleware: raw
+		// injected errors must never reach a session, whose oracle
+		// interface has no failure channel.
+		var un oracle.Unreliable
+		if spec.Faults != nil {
+			un = adversary.NewFlaky(base, spec.Faults.config())
+		} else {
+			un = oracle.AsUnreliable(base)
+		}
+		var rcfg oracle.ResilientConfig
+		if spec.Resilience != nil {
+			rcfg = spec.Resilience.config()
+		}
+		// Bind asks to the service lifetime so Close interrupts them.
+		rcfg.Ctx = s.ctx
+		eng.res = oracle.NewResilient(un, rcfg)
+		eng.orc = eng.res
 	}
 	opts := []model.Option{model.WithPool(s.pool), model.Workers(s.pool.Size()), model.WithContext(s.ctx)}
 	if s.cfg.Processors > 0 {
 		opts = append(opts, model.Processors(s.cfg.Processors))
 	}
 	if alg == nil {
-		inc, err := core.NewIncremental(model.NewSession(o, model.CR, opts...))
+		inc, err := core.NewIncremental(model.NewSession(eng.orc, model.CR, opts...))
 		if err != nil {
-			return nil, "", err
+			return engine{}, err
 		}
-		return incSorter{inc}, algoName, nil
+		eng.srt = incSorter{inc}
+		return eng, nil
 	}
-	return newBatchSorter(alg, o, s.ctx, opts), algoName, nil
+	eng.srt = newBatchSorter(alg, eng.orc, s.ctx, opts)
+	return eng, nil
 }
 
 // metaName is the data-directory identity file, written on first boot.
@@ -203,23 +242,23 @@ func (s *Service) restoreCollection(sh *shard, cs *wal.CollectionState) error {
 	if err := json.Unmarshal(cs.Spec, &spec); err != nil {
 		return fmt.Errorf("%w: collection %q: undecodable spec: %v", wal.ErrCorrupt, cs.Key, err)
 	}
-	srt, algoName, err := s.buildSorter(spec)
+	eng, err := s.buildSorter(spec)
 	if err != nil {
 		return fmt.Errorf("collection %q: %w", cs.Key, err)
 	}
 	st := model.Stats{Comparisons: cs.Comparisons, Rounds: int(cs.Rounds), MaxRoundSize: int(cs.MaxRoundSize)}
-	if err := srt.Restore(cs.Members, cs.Pending, cs.Elems, cs.Offs, st, int(cs.Flushes)); err != nil {
+	if err := eng.srt.Restore(cs.Members, cs.Pending, cs.Elems, cs.Offs, st, int(cs.Flushes)); err != nil {
 		return fmt.Errorf("%w: collection %q: %v", wal.ErrCorrupt, cs.Key, err)
 	}
 	if _, taken := sh.cols[cs.Key]; taken {
 		return fmt.Errorf("%w: collection %q appears twice in checkpoint", wal.ErrCorrupt, cs.Key)
 	}
-	c := &collection{key: cs.Key, spec: spec, algoName: algoName, srt: srt}
+	c := newCollection(cs.Key, spec, eng)
 	c.ingested.Store(cs.Ingested)
 	c.batches.Store(cs.Batches)
 	c.publish()
 	sh.cols[cs.Key] = c
-	if srt.Pending() > 0 {
+	if eng.srt.Pending() > 0 {
 		sh.dirty[c] = struct{}{}
 	}
 	return nil
@@ -243,11 +282,11 @@ func (s *Service) applyRecord(sh *shard, rec wal.Record) error {
 		if _, taken := sh.cols[rec.Key]; taken {
 			return fmt.Errorf("create %q: collection already exists", rec.Key)
 		}
-		srt, algoName, err := s.buildSorter(spec)
+		eng, err := s.buildSorter(spec)
 		if err != nil {
 			return fmt.Errorf("create %q: %w", rec.Key, err)
 		}
-		c := &collection{key: rec.Key, spec: spec, algoName: algoName, srt: srt}
+		c := newCollection(rec.Key, spec, eng)
 		c.snap.Store(&Snapshot{Classes: [][]int{}})
 		sh.cols[rec.Key] = c
 	case wal.RecDrop:
@@ -284,6 +323,41 @@ func (s *Service) applyRecord(sh *shard, rec wal.Record) error {
 		}
 		c.publish()
 		delete(sh.dirty, c)
+	case wal.RecDelete:
+		c, ok := sh.cols[rec.Key]
+		if !ok {
+			return fmt.Errorf("delete for %q: no such collection", rec.Key)
+		}
+		if err := c.srt.Delete(rec.Elem); err != nil {
+			return fmt.Errorf("delete for %q: %v", rec.Key, err)
+		}
+		c.deleted.Add(1)
+		c.publish()
+		if c.srt.Pending() == 0 {
+			delete(sh.dirty, c)
+		}
+	case wal.RecInvalidate:
+		c, ok := sh.cols[rec.Key]
+		if !ok {
+			return fmt.Errorf("invalidate for %q: no such collection", rec.Key)
+		}
+		if !c.srt.Has(rec.Elem) {
+			return fmt.Errorf("invalidate for %q: element %d not added", rec.Key, rec.Elem)
+		}
+		// A live invalidate only logs for merged elements, so under a
+		// deterministic oracle the element is merged here too. Under a
+		// noisy oracle replayed folds may merge differently, leaving the
+		// element pending — then the withdrawal it asked for has already
+		// happened, and skipping is the consistent reading (replay
+		// bit-identity is only promised for deterministic oracles; see
+		// docs/PERSISTENCE.md).
+		if _, err := c.srt.Invalidate(rec.Elem); err == nil {
+			c.invalidated.Add(1)
+		}
+		c.publish()
+		if c.srt.Pending() > 0 {
+			sh.dirty[c] = struct{}{}
+		}
 	default:
 		return fmt.Errorf("unknown record type %d", rec.Type)
 	}

@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http/httptest"
 	"net/url"
 	"testing"
@@ -90,6 +91,8 @@ func FuzzItemsHandler(f *testing.F) {
 	f.Add([]byte(`not json`), "c0", true)
 	f.Add([]byte(`{"items":[1]}`), "nosuch", false)
 	f.Add([]byte(`{"items":[2]}`), "we/ird key\x00", true)
+	f.Add([]byte(`{"items":[0,1,2,3,4,5]}`), "c0", true)
+	f.Add([]byte(`{"items":[5,4,3]}`), "c0", false)
 	f.Fuzz(func(t *testing.T, body []byte, key string, flush bool) {
 		svc := New(Config{Shards: 1, Workers: 1, BatchSize: 2})
 		defer svc.Close()
@@ -130,5 +133,74 @@ func FuzzItemsHandler(f *testing.F) {
 		if rec.Code != 200 {
 			t.Errorf("GET classes after fuzzed ingest -> status %d: %s", rec.Code, rec.Body.Bytes())
 		}
+	})
+}
+
+// FuzzChurnHandlers drives the delete and invalidate routes with
+// arbitrary keys, path elements, and op orders: every response must be
+// a known status, and the collection must keep serving a coherent
+// partition afterwards — churn can never wedge a shard.
+func FuzzChurnHandlers(f *testing.F) {
+	f.Add([]byte(`{"items":[0,1,2,3]}`), "c0", "1", uint8(3), true)
+	f.Add([]byte(`{"items":[0,1]}`), "c0", "0", uint8(1), false)
+	f.Add([]byte(`{"items":[2,3]}`), "c0", "2", uint8(2), true)
+	f.Add([]byte(`{"items":[0,1,2,3,4,5]}`), "c0", "99", uint8(3), false)
+	f.Add([]byte(`{"items":[4]}`), "c0", "-1", uint8(3), true)
+	f.Add([]byte(`{"items":[5]}`), "c0", "xyz", uint8(3), false)
+	f.Add([]byte(`{"items":[0]}`), "nosuch", "0", uint8(3), true)
+	f.Add([]byte(`{"items":[1]}`), "we/ird\x00", "0\x00", uint8(3), false)
+	f.Add([]byte(``), "c0", "", uint8(255), true)
+	f.Fuzz(func(t *testing.T, body []byte, key, elem string, churn uint8, flush bool) {
+		svc := New(Config{Shards: 1, Workers: 1, BatchSize: 2})
+		defer svc.Close()
+		if err := svc.CreateCollection("c0", OracleSpec{Kind: KindLabel, Labels: []int{0, 0, 1, 1, 2, 2}}); err != nil {
+			t.Fatal(err)
+		}
+		h := svc.Handler()
+
+		do := func(method, target string, body []byte, okStatuses ...int) {
+			t.Helper()
+			var rd io.Reader
+			if body != nil {
+				rd = bytes.NewReader(body)
+			}
+			req := httptest.NewRequest(method, target, rd)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			for _, ok := range okStatuses {
+				if rec.Code == ok {
+					if rec.Code < 300 && !json.Valid(rec.Body.Bytes()) {
+						t.Errorf("%s %s -> non-JSON body: %q", method, target, rec.Body.Bytes())
+					}
+					return
+				}
+			}
+			switch rec.Code {
+			case 400, 404:
+				// Handler-level rejections and ServeMux's own not-found page.
+			case 301, 308:
+				// ServeMux path cleaning redirects before the handler runs.
+			default:
+				t.Errorf("%s %s -> unexpected status %d: %s", method, target, rec.Code, rec.Body.Bytes())
+			}
+		}
+
+		do("POST", "/v1/collections/"+url.PathEscape(key)+"/items", body, 202)
+		if churn&1 != 0 {
+			do("DELETE", "/v1/collections/"+url.PathEscape(key)+"/items/"+url.PathEscape(elem), nil, 200)
+		}
+		if churn&2 != 0 {
+			target := "/v1/collections/" + url.PathEscape(key) + "/classes/" + url.PathEscape(elem) + "/invalidate"
+			if flush {
+				target += "?flush=1"
+			}
+			do("POST", target, nil, 202)
+		}
+		do("GET", "/v1/collections/c0/classes?fresh=1", nil, 200)
+
+		// The shard is still alive and coherent: a fresh fold over a new
+		// ingest must succeed no matter what the churn did.
+		do("POST", "/v1/collections/c0/items?flush=1", []byte(`{"items":[0]}`), 202, 400)
+		do("GET", "/v1/collections/c0/classes?fresh=1", nil, 200)
 	})
 }

@@ -14,6 +14,7 @@ import (
 
 	"ecsort/internal/algo"
 	"ecsort/internal/core"
+	"ecsort/internal/oracle"
 )
 
 // Handler returns the service's HTTP API:
@@ -23,24 +24,34 @@ import (
 //	GET    /v1/collections               list collections
 //	GET    /v1/algorithms                list the sorting-regimen registry (name, mode, hints)
 //	POST   /v1/collections/{key}/items   batch add (body: {"items":[...]}; ?flush=1 forces a flush)
+//	DELETE /v1/collections/{key}/items/{element}    remove one element (WAL-logged; re-addable later)
 //	GET    /v1/collections/{key}/classes current partition (?fresh=1 flushes first)
 //	GET    /v1/collections/{key}/classes/{element}  one element's class (O(1) index lookup; ?fresh=1 flushes first)
+//	POST   /v1/collections/{key}/classes/{class}/invalidate  withdraw a class for re-verification (?flush=1 re-folds now)
 //	GET    /v1/collections/{key}/stats   per-collection counters + snapshot
-//	GET    /healthz                      liveness
+//	GET    /healthz                      liveness (also /healthz/live)
+//	GET    /healthz/ready                readiness: 503 while any collection is degraded or recovery failed
 //	GET    /metrics                      Prometheus-style text metrics
 //
-// All request and response bodies are JSON except /metrics.
+// All request and response bodies are JSON except /metrics. Writes
+// against a degraded collection (oracle circuit breaker open) get 503
+// with a Retry-After header; reads keep serving the last published
+// snapshot.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /healthz/live", s.handleHealthz)
+	mux.HandleFunc("GET /healthz/ready", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/collections", s.handleList)
 	mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	mux.HandleFunc("PUT /v1/collections/{key}", s.handleCreate)
 	mux.HandleFunc("DELETE /v1/collections/{key}", s.handleDrop)
 	mux.HandleFunc("POST /v1/collections/{key}/items", s.handleIngest)
+	mux.HandleFunc("DELETE /v1/collections/{key}/items/{element}", s.handleDeleteItem)
 	mux.HandleFunc("GET /v1/collections/{key}/classes", s.handleClasses)
 	mux.HandleFunc("GET /v1/collections/{key}/classes/{element}", s.handleClassOf)
+	mux.HandleFunc("POST /v1/collections/{key}/classes/{class}/invalidate", s.handleInvalidate)
 	mux.HandleFunc("GET /v1/collections/{key}/stats", s.handleStats)
 	return mux
 }
@@ -65,6 +76,19 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // writeError maps service errors onto HTTP statuses.
 func writeError(w http.ResponseWriter, err error) {
+	var de *DegradedError
+	if errors.As(err, &de) {
+		// Degraded write: tell the client when the breaker admits its
+		// next probe. Ceil to whole seconds, minimum 1 — Retry-After: 0
+		// would invite an immediate hammer.
+		secs := int64((de.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		return
+	}
 	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, ErrNotFound):
@@ -104,6 +128,49 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"shards":         len(s.shards),
 		"collections":    len(s.Collections()),
 	})
+}
+
+// handleReady is the readiness probe: 200 when every collection's
+// oracle breaker admits writes, 503 with the degraded collections —
+// their breaker state and probe cooldown — otherwise. Liveness
+// (/healthz, /healthz/live) stays 200 throughout: a degraded service is
+// alive, still serving snapshots, and must not be restarted into losing
+// them.
+func (s *Service) handleReady(w http.ResponseWriter, r *http.Request) {
+	type degradedInfo struct {
+		Key               string  `json:"key"`
+		Breaker           string  `json:"breaker"`
+		RetryAfterSeconds float64 `json:"retry_after_seconds"`
+	}
+	var degraded []degradedInfo
+	collections := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, c := range sh.cols {
+			collections++
+			if ra, bad := c.degraded(); bad {
+				degraded = append(degraded, degradedInfo{
+					Key:               c.key,
+					Breaker:           c.res.State().String(),
+					RetryAfterSeconds: ra.Seconds(),
+				})
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(degraded, func(i, j int) bool { return degraded[i].Key < degraded[j].Key })
+	body := map[string]any{
+		"status":      "ready",
+		"collections": collections,
+		"recovery":    s.recovery,
+	}
+	status := http.StatusOK
+	if len(degraded) > 0 {
+		body["status"] = "degraded"
+		body["degraded"] = degraded
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, body)
 }
 
 func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
@@ -156,6 +223,36 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	force := boolParam(r, "flush")
 	res, err := s.Ingest(r.PathValue("key"), req.Items, force)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, res)
+}
+
+func (s *Service) handleDeleteItem(w http.ResponseWriter, r *http.Request) {
+	element, err := strconv.Atoi(r.PathValue("element"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: fmt.Sprintf("service: bad element %q: not an integer", r.PathValue("element"))})
+		return
+	}
+	res, err := s.DeleteItem(r.PathValue("key"), element)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Service) handleInvalidate(w http.ResponseWriter, r *http.Request) {
+	class, err := strconv.Atoi(r.PathValue("class"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: fmt.Sprintf("service: bad class %q: not an integer", r.PathValue("class"))})
+		return
+	}
+	res, err := s.InvalidateClass(r.PathValue("key"), class, boolParam(r, "flush"))
 	if err != nil {
 		writeError(w, err)
 		return
@@ -291,6 +388,9 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP ecsort_wal_last_fsync_duration_seconds Duration of the most recent WAL fsync.\n")
 	fmt.Fprintf(w, "# TYPE ecsort_wal_last_fsync_duration_seconds gauge\n")
 	fmt.Fprintf(w, "ecsort_wal_last_fsync_duration_seconds %.9f\n", float64(s.walCtr.LastFsyncNanos.Load())/1e9)
+	fmt.Fprintf(w, "# HELP ecsort_wal_rotations_total Size-triggered WAL segment rotations (no checkpoint).\n")
+	fmt.Fprintf(w, "# TYPE ecsort_wal_rotations_total counter\n")
+	fmt.Fprintf(w, "ecsort_wal_rotations_total %d\n", s.walRotations.Load())
 	fmt.Fprintf(w, "# HELP ecsort_checkpoints_total Shard checkpoints written (snapshot + WAL truncation).\n")
 	fmt.Fprintf(w, "# TYPE ecsort_checkpoints_total counter\n")
 	fmt.Fprintf(w, "ecsort_checkpoints_total %d\n", s.checkpoints.Load())
@@ -313,6 +413,73 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP ecsort_recovery_torn_tails Segments whose crash-torn final record the last boot truncated.\n")
 	fmt.Fprintf(w, "# TYPE ecsort_recovery_torn_tails gauge\n")
 	fmt.Fprintf(w, "ecsort_recovery_torn_tails %d\n", s.recovery.TornTails)
+
+	// Self-repair daemon: sweep/sample/divergence/correction totals plus
+	// how recently a divergence was last seen (-1 before the first).
+	for _, m := range []struct {
+		name, help string
+		value      int64
+	}{
+		{"ecsort_repair_sweeps_total", "Repair sweeps executed.", s.repairSweeps.Load()},
+		{"ecsort_repair_samples_total", "Element pairs re-verified against their oracle.", s.repairSamples.Load()},
+		{"ecsort_repair_divergences_total", "Sampled pairs whose oracle verdict contradicted the published partition.", s.repairDivergences.Load()},
+		{"ecsort_repair_corrections_total", "Divergences repaired (classes withdrawn and re-folded).", s.repairCorrections.Load()},
+		{"ecsort_repair_skipped_degraded_total", "Collection sweeps skipped because the oracle breaker was open.", s.repairSkipped.Load()},
+		{"ecsort_repair_errors_total", "Failed repair oracle asks and correction attempts.", s.repairErrors.Load()},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", m.name, m.help, m.name, m.name, m.value)
+	}
+	fmt.Fprintf(w, "# HELP ecsort_repair_last_divergence_age_seconds Seconds since the repair daemon last saw a divergence; -1 before the first.\n")
+	fmt.Fprintf(w, "# TYPE ecsort_repair_last_divergence_age_seconds gauge\n")
+	if last := s.lastDivergenceNano.Load(); last > 0 {
+		fmt.Fprintf(w, "ecsort_repair_last_divergence_age_seconds %.3f\n", time.Since(time.Unix(0, last)).Seconds())
+	} else {
+		fmt.Fprintf(w, "ecsort_repair_last_divergence_age_seconds -1\n")
+	}
+
+	// Fault tolerance: per-collection degraded/breaker gauges and the
+	// resilience middleware's counters, only for collections that carry
+	// the middleware.
+	fmt.Fprintf(w, "# HELP ecsort_collection_degraded Whether the collection's oracle breaker currently refuses writes.\n")
+	fmt.Fprintf(w, "# TYPE ecsort_collection_degraded gauge\n")
+	for _, in := range infos {
+		fmt.Fprintf(w, "ecsort_collection_degraded{collection=%q} %d\n", in.Key, boolMetric(in.RetryAfterSeconds > 0))
+	}
+	resStats := make(map[string]oracle.ResilientStats)
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, c := range sh.cols {
+			if c.res != nil {
+				resStats[c.key] = c.res.Stats()
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	resKeys := make([]string, 0, len(resStats))
+	for k := range resStats {
+		resKeys = append(resKeys, k)
+	}
+	sort.Strings(resKeys)
+	for _, m := range []struct {
+		name, help string
+		value      func(oracle.ResilientStats) int64
+	}{
+		{"ecsort_oracle_attempts_total", "Oracle calls issued through the resilience middleware (incl. retries and votes).",
+			func(st oracle.ResilientStats) int64 { return st.Attempts }},
+		{"ecsort_oracle_retries_total", "Backed-off oracle re-attempts.",
+			func(st oracle.ResilientStats) int64 { return st.Retries }},
+		{"ecsort_oracle_failures_total", "Oracle asks that exhausted their retry budget.",
+			func(st oracle.ResilientStats) int64 { return st.Failures }},
+		{"ecsort_oracle_fast_fails_total", "Oracle calls rejected by an open circuit breaker.",
+			func(st oracle.ResilientStats) int64 { return st.FastFails }},
+		{"ecsort_oracle_breaker_trips_total", "Circuit breaker trips.",
+			func(st oracle.ResilientStats) int64 { return st.Trips }},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", m.name, m.help, m.name)
+		for _, k := range resKeys {
+			fmt.Fprintf(w, "%s{collection=%q} %d\n", m.name, k, m.value(resStats[k]))
+		}
+	}
 
 	// Per-collection gauges from the published snapshots (comparisons,
 	// rounds, widest round, class counts), never touching the writers.
@@ -337,6 +504,24 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ)
 		for _, in := range infos {
 			fmt.Fprintf(w, "%s{collection=%q} %d\n", m.name, in.Key, m.value(in.Snapshot))
+		}
+	}
+
+	// Churn counters: deletes, class withdrawals, repair corrections.
+	for _, m := range []struct {
+		name, help string
+		value      func(CollectionInfo) int64
+	}{
+		{"ecsort_collection_deleted_total", "Elements removed by delete calls.",
+			func(in CollectionInfo) int64 { return in.Deleted }},
+		{"ecsort_collection_invalidated_total", "Class withdrawals (explicit invalidations plus repair corrections).",
+			func(in CollectionInfo) int64 { return in.Invalidated }},
+		{"ecsort_collection_repaired_total", "Divergences the repair daemon corrected.",
+			func(in CollectionInfo) int64 { return in.Repaired }},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", m.name, m.help, m.name)
+		for _, in := range infos {
+			fmt.Fprintf(w, "%s{collection=%q} %d\n", m.name, in.Key, m.value(in))
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"math/rand"
 	"path/filepath"
 	"sort"
 	"sync"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"ecsort/internal/model"
+	"ecsort/internal/oracle"
 	rt "ecsort/internal/runtime"
 	"ecsort/internal/wal"
 )
@@ -34,7 +36,27 @@ var (
 	// ErrBadSpec is returned when a collection spec fails validation
 	// (unknown kind, empty universe, malformed graphs, empty key).
 	ErrBadSpec = errors.New("service: bad spec")
+	// ErrDegraded matches (via errors.Is) the DegradedError writes
+	// receive while a collection's oracle circuit breaker is open:
+	// the collection is read-only — snapshots still serve — until the
+	// breaker's cooldown admits a successful probe.
+	ErrDegraded = errors.New("service: collection degraded (oracle unavailable)")
 )
+
+// DegradedError rejects a write against a collection whose oracle
+// breaker is open. RetryAfter is how long until the breaker admits its
+// next probe; the HTTP layer maps it to 503 + Retry-After.
+type DegradedError struct {
+	Key        string
+	RetryAfter time.Duration
+}
+
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("service: collection %q degraded (oracle unavailable); retry after %s", e.Key, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrDegraded) match.
+func (e *DegradedError) Is(target error) bool { return target == ErrDegraded }
 
 // Config tunes a Service. The zero value is ready to use.
 type Config struct {
@@ -81,6 +103,17 @@ type Config struct {
 	// snapshot. 0 checkpoints only on Close and explicit Checkpoint
 	// calls, so the WAL grows until then.
 	CheckpointInterval time.Duration
+	// MaxSegmentBytes, when positive, rotates a shard's WAL to a fresh
+	// segment once the current one grows past this size, bounding the
+	// largest file recovery must scan in one piece. Rotation does not
+	// checkpoint — replay walks the whole segment chain — so it bounds
+	// file size, not recovery work. 0 never rotates on size.
+	MaxSegmentBytes int64
+	// Repair configures the background self-repair daemon that samples
+	// element pairs, re-verifies them against the oracle, and withdraws
+	// diverging classes for re-sorting. The zero value disables the
+	// daemon; RepairSweep can still be called explicitly.
+	Repair RepairConfig
 }
 
 func (c Config) shards() int {
@@ -163,6 +196,19 @@ type CollectionInfo struct {
 	Flushes int64 `json:"flushes"`
 	// Classes is the class count of the current snapshot.
 	Classes int `json:"classes"`
+	// Deleted counts elements removed by Delete calls.
+	Deleted int64 `json:"deleted,omitempty"`
+	// Invalidated counts class withdrawals (explicit invalidations plus
+	// repair-daemon corrections).
+	Invalidated int64 `json:"invalidated,omitempty"`
+	// Repaired counts divergences the repair daemon corrected.
+	Repaired int64 `json:"repaired,omitempty"`
+	// Breaker is the oracle circuit breaker's state ("closed", "open",
+	// "half-open"); empty for collections without resilience middleware.
+	Breaker string `json:"breaker,omitempty"`
+	// RetryAfterSeconds is how long writes stay rejected while the
+	// breaker is open; 0 when writes are admitted.
+	RetryAfterSeconds float64 `json:"retry_after_seconds,omitempty"`
 	// Snapshot is the current published answer.
 	Snapshot *Snapshot `json:"snapshot,omitempty"`
 }
@@ -189,12 +235,47 @@ type collection struct {
 	spec     OracleSpec
 	algoName string
 	srt      sorter //ecsort:owned-by-shard
+	// orc is the effective oracle the collection's folds test against —
+	// the resilience middleware when the spec configures faults or
+	// resilience, the bare spec oracle otherwise. The repair daemon
+	// re-verifies sampled pairs against it.
+	orc model.Oracle
+	// res is the resilience middleware handle (nil for plain
+	// collections): the circuit breaker the service consults for
+	// degraded-mode write gating and the /metrics oracle counters.
+	res *oracle.Resilient
 
-	snap     atomic.Pointer[Snapshot]
-	ingested atomic.Int64
-	pending  atomic.Int64
-	batches  atomic.Int64
-	flushes  atomic.Int64
+	snap        atomic.Pointer[Snapshot]
+	ingested    atomic.Int64
+	pending     atomic.Int64
+	batches     atomic.Int64
+	flushes     atomic.Int64
+	deleted     atomic.Int64
+	invalidated atomic.Int64
+	repaired    atomic.Int64
+}
+
+// newCollection assembles a collection around a built engine. Runs on
+// the owning shard goroutine (the create op) or during Open's recovery
+// pass, which precedes the goroutine and inherits its exclusivity.
+//
+//ecsort:shard-goroutine
+func newCollection(key string, spec OracleSpec, eng engine) *collection {
+	return &collection{key: key, spec: spec, algoName: eng.algoName, srt: eng.srt, orc: eng.orc, res: eng.res}
+}
+
+// degraded reports whether the collection currently refuses writes —
+// its oracle breaker is open and still cooling down — and how long
+// until the next probe is admitted. Once the cooldown elapses the
+// breaker is half-open and writes flow again (the first fold probes).
+func (c *collection) degraded() (time.Duration, bool) {
+	if c.res == nil {
+		return 0, false
+	}
+	if ra := c.res.RetryAfter(); ra > 0 {
+		return ra, true
+	}
+	return 0, false
 }
 
 // publish rebuilds the snapshot from the sorter. Shard goroutine only.
@@ -248,6 +329,13 @@ func (c *collection) info(withSnapshot bool) CollectionInfo {
 		Batches:   c.batches.Load(),
 		Flushes:   c.flushes.Load(),
 		Classes:   snap.numClasses(),
+	}
+	info.Deleted = c.deleted.Load()
+	info.Invalidated = c.invalidated.Load()
+	info.Repaired = c.repaired.Load()
+	if c.res != nil {
+		info.Breaker = c.res.State().String()
+		info.RetryAfterSeconds = c.res.RetryAfter().Seconds()
 	}
 	if withSnapshot {
 		info.Snapshot = snap
@@ -322,7 +410,23 @@ type Service struct {
 	checkpoints        atomic.Int64
 	checkpointErrors   atomic.Int64
 	lastCheckpointNano atomic.Int64
+	walRotations       atomic.Int64 // size-triggered segment rotations
 	recovery           RecoveryInfo // written once by Open, read-only after
+
+	// Repair daemon state: the pair sampler built from Config.Repair
+	// plus the convergence counters surfaced in /metrics. repairMu
+	// serializes sweeps — the background daemon and explicit
+	// RepairSweep calls share one seeded rng.
+	repairMu           sync.Mutex
+	repairRng          *rand.Rand
+	sampler            repairSampler
+	repairSweeps       atomic.Int64
+	repairSamples      atomic.Int64
+	repairDivergences  atomic.Int64
+	repairCorrections  atomic.Int64
+	repairSkipped      atomic.Int64
+	repairErrors       atomic.Int64
+	lastDivergenceNano atomic.Int64
 
 	closeMu sync.RWMutex // write-held by Close; read-held around ops sends
 	closed  bool
@@ -383,6 +487,13 @@ func Open(cfg Config) (*Service, error) {
 		}
 	}
 	s := &Service{cfg: cfg, pool: rt.NewPool(cfg.Workers), start: time.Now()}
+	smp, err := newRepairSampler(cfg.Repair)
+	if err != nil {
+		s.pool.Close()
+		return nil, err
+	}
+	s.sampler = smp
+	s.repairRng = rand.New(rand.NewSource(cfg.Repair.Seed))
 	//ecsort:ignore ctxflow service lifetime root: Close cancels it; per-request contexts layer on top
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	s.shards = make([]*shard, cfg.shards())
@@ -410,6 +521,10 @@ func Open(cfg Config) (*Service, error) {
 	for _, sh := range s.shards {
 		s.wg.Add(1)
 		go s.runShard(sh)
+	}
+	if cfg.Repair.Interval > 0 {
+		s.wg.Add(1)
+		go s.repairLoop()
 	}
 	return s, nil
 }
@@ -442,6 +557,7 @@ func (s *Service) runShard(sh *shard) {
 		select {
 		case o := <-sh.ops:
 			o.done <- o.fn()
+			s.maybeRotate(sh)
 		case <-tick:
 			for c := range sh.dirty {
 				if err := s.fold(sh, c); err != nil {
@@ -457,6 +573,7 @@ func (s *Service) runShard(sh *shard) {
 				// boundary of their own; commit applies the fsync policy.
 				sh.wal.Commit()
 			}
+			s.maybeRotate(sh)
 		case <-sh.die:
 			// Crash simulation: exit with the WAL unsynced and unclosed.
 			return
@@ -500,7 +617,28 @@ func (s *Service) runShard(sh *shard) {
 //ecsort:shard-goroutine
 func (s *Service) fold(sh *shard, c *collection) error {
 	start := time.Now()
+	if c.res != nil {
+		// Bind the fold to a cancelable context and register it with the
+		// breaker: the moment the oracle trips, the fold aborts between
+		// physical rounds instead of grinding through the dead oracle's
+		// remaining comparisons (each burning its full timeout+retry
+		// budget). The pending buffer survives the abort for retry.
+		fctx, cancel := context.WithCancel(s.ctx)
+		c.res.OnTrip(func(error) { cancel() })
+		c.srt.SetContext(fctx)
+		defer func() {
+			c.res.OnTrip(nil)
+			cancel()
+			c.srt.SetContext(s.ctx)
+		}()
+	}
 	if err := c.srt.Flush(); err != nil {
+		if ra, bad := c.degraded(); bad {
+			// The fold died because the breaker tripped mid-flush; report
+			// the degradation (503 + Retry-After upstream) rather than the
+			// bare cancellation.
+			return &DegradedError{Key: c.key, RetryAfter: ra}
+		}
 		return err
 	}
 	c.publish()
@@ -518,6 +656,33 @@ func (s *Service) fold(sh *shard, c *collection) error {
 		}
 	}
 	return nil
+}
+
+// maybeRotate rolls the shard's WAL to a fresh segment once the current
+// one exceeds Config.MaxSegmentBytes. Unlike a checkpoint rotation, no
+// snapshot is taken — recovery replays the whole segment chain in
+// generation order — so this only bounds individual file size. Runs
+// between operations, never inside one, so every record of an accepted
+// operation lands in a single segment. Shard goroutine only.
+//
+//ecsort:shard-goroutine
+func (s *Service) maybeRotate(sh *shard) {
+	if sh.wal == nil || s.cfg.MaxSegmentBytes <= 0 || sh.wal.Size() < s.cfg.MaxSegmentBytes {
+		return
+	}
+	next, err := wal.Create(sh.dir, sh.gen+1, s.walOptions())
+	if err != nil {
+		// Keep appending to the oversized segment; the next boundary
+		// retries. Rotation is an optimization, not a correctness step.
+		return
+	}
+	old := sh.wal
+	sh.wal = next
+	sh.gen++
+	// Close syncs the retired segment, so everything committed to it is
+	// durable before appends move on.
+	old.Close()
+	s.walRotations.Add(1)
 }
 
 // RuntimeStats reports the shared execution pool's counters (parallel
@@ -612,7 +777,7 @@ func (s *Service) CreateCollection(key string, spec OracleSpec) error {
 	if key == "" {
 		return fmt.Errorf("%w: empty collection key", ErrBadSpec)
 	}
-	srt, algoName, err := s.buildSorter(spec)
+	eng, err := s.buildSorter(spec)
 	if err != nil {
 		return err
 	}
@@ -639,7 +804,7 @@ func (s *Service) CreateCollection(key string, spec OracleSpec) error {
 				return err
 			}
 		}
-		c := &collection{key: key, spec: spec, algoName: algoName, srt: srt}
+		c := newCollection(key, spec, eng)
 		c.snap.Store(&Snapshot{Classes: [][]int{}})
 		sh.cols[key] = c
 		return nil
@@ -692,6 +857,12 @@ func (s *Service) Ingest(key string, items []int, forceFlush bool) (IngestResult
 			return lookupErr
 		} else if cur != c {
 			return fmt.Errorf("%w: %q was recreated mid-ingest", ErrNotFound, key)
+		}
+		if ra, bad := c.degraded(); bad {
+			// Read-only mode: accepting the batch would either wedge on
+			// the dead oracle at fold time or silently defer work the
+			// client believes accepted. Reject with the cooldown.
+			return &DegradedError{Key: key, RetryAfter: ra}
 		}
 		n := c.spec.N()
 		inBatch := make(map[int]struct{}, len(items))
@@ -782,6 +953,9 @@ func (s *Service) Flush(key string) (*Snapshot, error) {
 		} else if cur != c {
 			return fmt.Errorf("%w: %q was recreated mid-flush", ErrNotFound, key)
 		}
+		if ra, bad := c.degraded(); bad {
+			return &DegradedError{Key: key, RetryAfter: ra}
+		}
 		if c.srt.Pending() == 0 {
 			// Nothing buffered: the published snapshot is already
 			// current, so skip the O(n) rebuild a republish would cost.
@@ -810,13 +984,167 @@ func (s *Service) Flush(key string) (*Snapshot, error) {
 	return snap, nil
 }
 
+// ChurnResult summarizes one delete or invalidate operation.
+type ChurnResult struct {
+	// Element is the element deleted, or the withdrawn class's
+	// representative (its smallest member) for an invalidation.
+	Element int `json:"element"`
+	// Requeued counts members returned to the pending buffer for
+	// re-verification (invalidate only).
+	Requeued int `json:"requeued,omitempty"`
+	// Pending is the collection's buffer size after the call.
+	Pending int `json:"pending"`
+	// Version is the published snapshot version after the call.
+	Version int64 `json:"version"`
+}
+
+// DeleteItem removes element from key's collection — from the pending
+// buffer or from its merged class (which disappears if emptied). The
+// removal is WAL-logged before it mutates, and the snapshot republishes
+// immediately (same version: the fold count is unchanged). The element
+// can be re-ingested later. Deletes are rejected while the collection
+// is degraded.
+func (s *Service) DeleteItem(key string, element int) (ChurnResult, error) {
+	sh := s.shardOf(key)
+	c, err := sh.lookup(key)
+	if err != nil {
+		return ChurnResult{}, err
+	}
+	if n := c.spec.N(); element < 0 || element >= n {
+		return ChurnResult{}, fmt.Errorf("%w: element %d out of range [0,%d)", ErrBadItem, element, n)
+	}
+	var res ChurnResult
+	err = s.do(sh, func() error {
+		if cur, lookupErr := sh.lookup(key); lookupErr != nil {
+			return lookupErr
+		} else if cur != c {
+			return fmt.Errorf("%w: %q was recreated mid-delete", ErrNotFound, key)
+		}
+		if ra, bad := c.degraded(); bad {
+			return &DegradedError{Key: key, RetryAfter: ra}
+		}
+		if !c.srt.Has(element) {
+			return fmt.Errorf("%w: element %d not in %q", ErrNotFound, element, key)
+		}
+		if sh.wal != nil {
+			// Write-ahead, same discipline as Ingest: an append failure
+			// rejects the delete with the collection untouched.
+			if err := sh.wal.AppendDelete(key, element); err != nil {
+				return err
+			}
+		}
+		if err := c.srt.Delete(element); err != nil {
+			// Unreachable after the Has check; Delete only rejects
+			// elements that are not added.
+			return err
+		}
+		c.deleted.Add(1)
+		c.publish()
+		if c.srt.Pending() == 0 {
+			delete(sh.dirty, c)
+		}
+		if sh.wal != nil {
+			if err := sh.wal.Commit(); err != nil {
+				return err
+			}
+		}
+		res = ChurnResult{Element: element, Pending: c.srt.Pending(), Version: c.snap.Load().Version}
+		return nil
+	})
+	if err != nil {
+		return ChurnResult{}, err
+	}
+	return res, nil
+}
+
+// InvalidateClass withdraws class classIndex (an index into the
+// published snapshot's Classes) from key's collection: its members
+// leave the answer and re-enter the pending buffer, so the next fold
+// re-verifies them against the oracle from scratch — the client-facing
+// repair primitive for answers suspected stale or wrong. The withdrawal
+// is WAL-logged keyed by the class's smallest member (class indexes are
+// not replay-stable; element identity is). With foldNow set the
+// re-verification happens before the call returns; otherwise the
+// members wait for the next batch or interval fold. Rejected while the
+// collection is degraded.
+func (s *Service) InvalidateClass(key string, classIndex int, foldNow bool) (ChurnResult, error) {
+	sh := s.shardOf(key)
+	c, err := sh.lookup(key)
+	if err != nil {
+		return ChurnResult{}, err
+	}
+	var res ChurnResult
+	err = s.do(sh, func() error {
+		if cur, lookupErr := sh.lookup(key); lookupErr != nil {
+			return lookupErr
+		} else if cur != c {
+			return fmt.Errorf("%w: %q was recreated mid-invalidate", ErrNotFound, key)
+		}
+		if ra, bad := c.degraded(); bad {
+			return &DegradedError{Key: key, RetryAfter: ra}
+		}
+		// Resolve the class on the writer goroutine, where the snapshot
+		// is exactly in sync with the merged answer (every mutation
+		// republishes before the next op runs).
+		snap := c.snap.Load()
+		if classIndex < 0 || classIndex >= len(snap.Classes) {
+			return fmt.Errorf("%w: class %d not in %q (snapshot has %d classes)",
+				ErrNotFound, classIndex, key, len(snap.Classes))
+		}
+		rep := snap.Classes[classIndex][0]
+		if sh.wal != nil {
+			if err := sh.wal.AppendInvalidate(key, rep); err != nil {
+				return err
+			}
+		}
+		n, err := c.srt.Invalidate(rep)
+		if err != nil {
+			// Unreachable: a snapshot class member is merged by
+			// construction.
+			return err
+		}
+		c.invalidated.Add(1)
+		c.publish()
+		sh.dirty[c] = struct{}{}
+		if foldNow {
+			if err := s.fold(sh, c); err != nil {
+				// The members stay pending; the interval flusher retries.
+				c.pending.Store(int64(c.srt.Pending()))
+				if sh.wal != nil {
+					sh.wal.Commit()
+				}
+				return err
+			}
+			delete(sh.dirty, c)
+		}
+		if sh.wal != nil {
+			if err := sh.wal.Commit(); err != nil {
+				return err
+			}
+		}
+		res = ChurnResult{Element: rep, Requeued: n, Pending: c.srt.Pending(), Version: c.snap.Load().Version}
+		return nil
+	})
+	if err != nil {
+		return ChurnResult{}, err
+	}
+	return res, nil
+}
+
 // Classes returns key's answer. With fresh=false it is the published
 // snapshot — a lock-free atomic load that never waits on the writer.
 // With fresh=true the call routes through the shard goroutine, flushing
-// pending elements first, so it reflects every ingest accepted before it.
+// pending elements first, so it reflects every ingest accepted before
+// it — unless the collection is degraded, in which case the last
+// published snapshot serves instead: reads stay available while the
+// oracle is down.
 func (s *Service) Classes(key string, fresh bool) (*Snapshot, error) {
 	if fresh {
-		return s.Flush(key)
+		snap, err := s.Flush(key)
+		if err == nil || !errors.Is(err, ErrDegraded) {
+			return snap, err
+		}
+		// Degraded: fall through to the stale snapshot.
 	}
 	sh := s.shardOf(key)
 	c, err := sh.lookup(key)
@@ -869,9 +1197,13 @@ func (s *Service) ClassOf(key string, element int, fresh bool) (ClassView, error
 	}
 	snap := c.snap.Load()
 	if fresh {
-		if snap, err = s.Flush(key); err != nil {
+		fs, err := s.Flush(key)
+		if err == nil {
+			snap = fs
+		} else if !errors.Is(err, ErrDegraded) {
 			return ClassView{}, err
 		}
+		// Degraded: serve the point lookup from the stale snapshot.
 	}
 	ci := snap.ClassIndexOf(element)
 	if ci < 0 {

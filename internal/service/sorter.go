@@ -44,6 +44,20 @@ type sorter interface {
 	// the pending tail, the flat answer, the accumulated cost, and the
 	// fold count.
 	Restore(members, pending, elems, offs []int, st model.Stats, flushes int) error
+	// Delete removes element e entirely — from the pending buffer or the
+	// merged answer — so it may be re-added later. It rejects elements
+	// that are not currently added.
+	Delete(e int) error
+	// Invalidate withdraws the merged class containing element e: its
+	// members leave the answer and re-enter the pending buffer, so the
+	// next Flush re-verifies them against the oracle. It returns the
+	// number of re-queued members, and an error when e is not added or
+	// has no merged class (still pending).
+	Invalidate(e int) (int, error)
+	// SetContext rebinds the context bounding subsequent folds. The
+	// service wires a cancelable context per fold so a tripped oracle
+	// circuit breaker aborts the fold between rounds.
+	SetContext(ctx context.Context)
 }
 
 // incSorter adapts core.Incremental to the sorter interface's durability
@@ -58,6 +72,11 @@ type incSorter struct {
 func (w incSorter) PendingSlice() []int { return w.Incremental.PendingElements() }
 
 func (w incSorter) Members() []int { return nil }
+
+func (w incSorter) Invalidate(e int) (int, error) {
+	members, err := w.Incremental.InvalidateClassOf(e)
+	return len(members), err
+}
 
 func (w incSorter) Restore(members, pending, elems, offs []int, st model.Stats, flushes int) error {
 	if len(members) != 0 {
@@ -177,6 +196,103 @@ func (b *batchSorter) PendingSlice() []int {
 }
 
 func (b *batchSorter) Members() []int { return b.members }
+
+// Delete removes element e from the engine: from the pending tail
+// (shrinking the next fold) or from the folded sub-universe and the
+// current flat answer. Later folds simply re-sort the surviving members.
+func (b *batchSorter) Delete(e int) error {
+	if e < 0 || e >= len(b.seen) || !b.seen[e] {
+		return fmt.Errorf("service: element %d not added", e)
+	}
+	b.seen[e] = false
+	idx := -1
+	for i, m := range b.members {
+		if m == e {
+			idx = i
+			break
+		}
+	}
+	if idx >= len(b.members)-b.pending {
+		b.pending--
+	}
+	b.members = append(b.members[:idx], b.members[idx+1:]...)
+	b.removeFromAnswer(e)
+	return nil
+}
+
+// Invalidate withdraws the merged class containing e: the class leaves
+// the flat answer and its members move to the members tail, joining the
+// pending region so the next fold re-verifies them. Moving them keeps
+// the checkpoint invariant — the pending buffer is always a contiguous
+// members suffix.
+func (b *batchSorter) Invalidate(e int) (int, error) {
+	if e < 0 || e >= len(b.seen) || !b.seen[e] {
+		return 0, fmt.Errorf("service: element %d not added", e)
+	}
+	ci := -1
+	for k := 0; k+1 < len(b.offs) && ci < 0; k++ {
+		for pos := b.offs[k]; pos < b.offs[k+1]; pos++ {
+			if b.elems[pos] == e {
+				ci = k
+				break
+			}
+		}
+	}
+	if ci < 0 {
+		return 0, fmt.Errorf("service: element %d is pending, no merged class to invalidate", e)
+	}
+	lo, hi := b.offs[ci], b.offs[ci+1]
+	cls := make([]int, hi-lo)
+	copy(cls, b.elems[lo:hi])
+	copy(b.elems[lo:], b.elems[hi:])
+	b.elems = b.elems[:len(b.elems)-(hi-lo)]
+	copy(b.offs[ci:], b.offs[ci+1:])
+	b.offs = b.offs[:len(b.offs)-1]
+	for i := ci; i < len(b.offs); i++ {
+		b.offs[i] -= hi - lo
+	}
+	inCls := make(map[int]bool, len(cls))
+	for _, m := range cls {
+		inCls[m] = true
+	}
+	kept := make([]int, 0, len(b.members))
+	moved := make([]int, 0, len(cls))
+	for _, m := range b.members {
+		if inCls[m] {
+			moved = append(moved, m)
+		} else {
+			kept = append(kept, m)
+		}
+	}
+	b.members = append(kept, moved...)
+	b.pending += len(cls)
+	return len(cls), nil
+}
+
+// removeFromAnswer compacts element e out of the flat answer (a no-op
+// when e is pending and not in the answer), removing its class if that
+// empties it.
+func (b *batchSorter) removeFromAnswer(e int) {
+	for ci := 0; ci+1 < len(b.offs); ci++ {
+		for pos := b.offs[ci]; pos < b.offs[ci+1]; pos++ {
+			if b.elems[pos] != e {
+				continue
+			}
+			copy(b.elems[pos:], b.elems[pos+1:])
+			b.elems = b.elems[:len(b.elems)-1]
+			for i := ci + 1; i < len(b.offs); i++ {
+				b.offs[i]--
+			}
+			if b.offs[ci] == b.offs[ci+1] {
+				copy(b.offs[ci+1:], b.offs[ci+2:])
+				b.offs = b.offs[:len(b.offs)-1]
+			}
+			return
+		}
+	}
+}
+
+func (b *batchSorter) SetContext(ctx context.Context) { b.ctx = ctx }
 
 // Restore rebuilds a fresh batch engine from checkpointed state. The
 // members list is the whole arrival order — the sub-universe every later

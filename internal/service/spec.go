@@ -21,7 +21,9 @@ package service
 
 import (
 	"fmt"
+	"time"
 
+	"ecsort/internal/adversary"
 	"ecsort/internal/agents"
 	"ecsort/internal/algo"
 	"ecsort/internal/model"
@@ -105,6 +107,111 @@ type OracleSpec struct {
 	// tests) set "ER" so the planner stays inside exclusive-read
 	// regimens.
 	Mode string `json:"mode,omitempty"`
+
+	// Faults, when set, wraps the collection's oracle in adversarial
+	// fault injection (adversary.Flaky): outright errors, silently
+	// flipped answers, latency, and a stuck mode. A faulted collection
+	// is always fronted by the resilience middleware, so folds see
+	// timeouts/retries/voting rather than raw injected failures.
+	Faults *FaultSpec `json:"faults,omitempty"`
+	// Resilience tunes the oracle.Resilient fault-tolerance middleware
+	// (per-attempt timeouts, retries with jittered backoff, k-of-n
+	// majority voting, circuit breaker). Setting it on a fault-free
+	// collection is allowed — voting then guards against nothing, but
+	// the breaker still protects against future backends.
+	Resilience *ResilienceSpec `json:"resilience,omitempty"`
+}
+
+// FaultSpec is the wire form of adversary.FlakyConfig: the
+// fault-injection profile of a chaos-tested collection. Durations are
+// integer milliseconds so specs stay plain JSON numbers.
+type FaultSpec struct {
+	// FailRate is the probability in [0,1] that an oracle call returns
+	// an injected error instead of an answer.
+	FailRate float64 `json:"fail_rate,omitempty"`
+	// FlipRate is the probability in [0,1] that an oracle call silently
+	// answers wrong — the noisy-oracle model the repair daemon converges
+	// against.
+	FlipRate float64 `json:"flip_rate,omitempty"`
+	// LatencyMs delays every oracle call by this many milliseconds.
+	LatencyMs int `json:"latency_ms,omitempty"`
+	// StuckAfter, when positive, wedges every oracle call after the
+	// first StuckAfter until its timeout fires.
+	StuckAfter int64 `json:"stuck_after,omitempty"`
+	// Seed makes the fault sequence reproducible.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// validate bounds the fault profile; NewFlaky treats violations as
+// caller bugs and panics, so the service boundary rejects them first.
+func (f *FaultSpec) validate() error {
+	if f.FailRate < 0 || f.FailRate > 1 || f.FlipRate < 0 || f.FlipRate > 1 {
+		return fmt.Errorf("%w: fault rates out of [0,1]: fail %v, flip %v", ErrBadSpec, f.FailRate, f.FlipRate)
+	}
+	if f.LatencyMs < 0 || f.StuckAfter < 0 {
+		return fmt.Errorf("%w: negative fault latency or stuck-after", ErrBadSpec)
+	}
+	return nil
+}
+
+// config converts the wire form to the adversary's native config.
+func (f *FaultSpec) config() adversary.FlakyConfig {
+	return adversary.FlakyConfig{
+		FailRate:   f.FailRate,
+		FlipRate:   f.FlipRate,
+		Latency:    time.Duration(f.LatencyMs) * time.Millisecond,
+		StuckAfter: f.StuckAfter,
+		Seed:       f.Seed,
+	}
+}
+
+// ResilienceSpec is the wire form of oracle.ResilientConfig. Zero
+// fields take the middleware's defaults (1s timeout, 2 retries,
+// 2ms–100ms backoff, breaker threshold 5 with 1s cooldown, no voting).
+type ResilienceSpec struct {
+	// TimeoutMs bounds each oracle attempt, in milliseconds.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// Retries is how many extra attempts follow a failed one.
+	Retries int `json:"retries,omitempty"`
+	// BackoffMs is the base of the jittered exponential backoff.
+	BackoffMs int `json:"backoff_ms,omitempty"`
+	// MaxBackoffMs caps the backoff growth.
+	MaxBackoffMs int `json:"max_backoff_ms,omitempty"`
+	// Votes enables k-of-n majority voting per answer; values <= 1 ask
+	// once. Odd values avoid ties.
+	Votes int `json:"votes,omitempty"`
+	// BreakerThreshold is how many consecutive exhausted asks trip the
+	// circuit breaker into degraded mode.
+	BreakerThreshold int `json:"breaker_threshold,omitempty"`
+	// BreakerCooldownMs is the open → half-open delay.
+	BreakerCooldownMs int `json:"breaker_cooldown_ms,omitempty"`
+	// Seed makes the backoff jitter reproducible.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// validate bounds the middleware profile. Negative values are rejected
+// at the wire boundary — the Go API's negative-means-disable idiom is
+// not part of the JSON contract.
+func (r *ResilienceSpec) validate() error {
+	if r.TimeoutMs < 0 || r.Retries < 0 || r.BackoffMs < 0 || r.MaxBackoffMs < 0 ||
+		r.Votes < 0 || r.BreakerThreshold < 0 || r.BreakerCooldownMs < 0 {
+		return fmt.Errorf("%w: negative resilience parameter", ErrBadSpec)
+	}
+	return nil
+}
+
+// config converts the wire form to the middleware's native config.
+func (r *ResilienceSpec) config() oracle.ResilientConfig {
+	return oracle.ResilientConfig{
+		Timeout:          time.Duration(r.TimeoutMs) * time.Millisecond,
+		Retries:          r.Retries,
+		Backoff:          time.Duration(r.BackoffMs) * time.Millisecond,
+		MaxBackoff:       time.Duration(r.MaxBackoffMs) * time.Millisecond,
+		Votes:            r.Votes,
+		BreakerThreshold: r.BreakerThreshold,
+		BreakerCooldown:  time.Duration(r.BreakerCooldownMs) * time.Millisecond,
+		Seed:             r.Seed,
+	}
 }
 
 // hints assembles the spec's workload hints for the algorithm registry.
@@ -170,6 +277,18 @@ func (sp OracleSpec) N() int {
 func (sp OracleSpec) Build() (model.Oracle, error) {
 	if sp.N() == 0 {
 		return nil, fmt.Errorf("%w: kind %q defines an empty universe", ErrBadSpec, sp.Kind)
+	}
+	// Fault and resilience profiles validate with the oracle so a
+	// checkpointed spec that no longer passes fails recovery loudly too.
+	if sp.Faults != nil {
+		if err := sp.Faults.validate(); err != nil {
+			return nil, err
+		}
+	}
+	if sp.Resilience != nil {
+		if err := sp.Resilience.validate(); err != nil {
+			return nil, err
+		}
 	}
 	switch sp.Kind {
 	case KindLabel:

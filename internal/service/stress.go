@@ -1,14 +1,33 @@
 package service
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ecsort/internal/core"
 )
+
+// ingestTolerant ingests one batch, riding out degraded windows: an open
+// breaker rejects writes with Retry-After semantics, so the stress
+// writer waits and retries like a well-behaved client instead of
+// failing the run. Gives up after degradedRetries attempts.
+const degradedRetries = 400
+
+func ingestTolerant(svc *Service, key string, items []int) error {
+	var err error
+	for attempt := 0; attempt < degradedRetries; attempt++ {
+		if _, err = svc.Ingest(key, items, false); !errors.Is(err, ErrDegraded) {
+			return err
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("stress writer never escaped degraded mode: %w", err)
+}
 
 // StressConfig shapes a synthetic ingestion workload: Writers concurrent
 // clients streaming batched inserts into Collections independent
@@ -28,6 +47,28 @@ type StressConfig struct {
 	Seed int64
 	// Service tunes the service under test.
 	Service Config
+
+	// Faults, when set, injects this fault profile into every
+	// collection's oracle (per-collection seeds derived from Seed),
+	// turning the drive into a chaos soak: folds run against timeouts,
+	// injected errors, and flipped answers instead of clean ground truth.
+	Faults *FaultSpec
+	// Resilience tunes the fault-tolerance middleware for faulted runs;
+	// nil with Faults set takes the middleware defaults.
+	Resilience *ResilienceSpec
+	// DeleteFraction is the per-batch probability that the writer
+	// deletes one element of the batch it just ingested and immediately
+	// re-ingests it — churn that exercises the delete path without
+	// changing the final ground truth.
+	DeleteFraction float64
+	// InvalidateFraction is the per-batch probability that the writer
+	// withdraws the collection's first snapshot class for
+	// re-verification.
+	InvalidateFraction float64
+	// RepairSweeps bounds how many repair sweeps the verifier may spend
+	// converging a flip-contaminated run back to ground truth. 0 means
+	// 40. Ignored for fault-free runs, which must verify immediately.
+	RepairSweeps int
 }
 
 func (c *StressConfig) setDefaults() {
@@ -62,8 +103,19 @@ type StressReport struct {
 	// flushed, and snapshot-published.
 	ElementsPerSec float64 `json:"elements_per_sec"`
 	BatchesPerSec  float64 `json:"batches_per_sec"`
+	// Deletes and Invalidates count the churn operations applied.
+	Deletes     int64 `json:"deletes,omitempty"`
+	Invalidates int64 `json:"invalidates,omitempty"`
+	// RepairSweepsRun is how many repair sweeps the verifier spent
+	// converging a faulted run (0 for fault-free runs).
+	RepairSweepsRun int `json:"repair_sweeps_run,omitempty"`
+	// Divergences and Corrections aggregate what those sweeps found and
+	// fixed.
+	Divergences int64 `json:"divergences,omitempty"`
+	Corrections int64 `json:"corrections,omitempty"`
 	// Verified reports that every collection's final fresh classes
-	// matched its ground-truth partition.
+	// matched its ground-truth partition — for faulted runs, after at
+	// most RepairSweeps repair sweeps.
 	Verified bool `json:"verified"`
 }
 
@@ -95,25 +147,67 @@ func RunStress(cfg StressConfig) (StressReport, error) {
 			labels: labels,
 			order:  rng.Perm(cfg.Elements),
 		}
-		if err := svc.CreateCollection(jobs[i].key, OracleSpec{Kind: KindLabel, Labels: labels}); err != nil {
+		spec := OracleSpec{Kind: KindLabel, Labels: labels, Resilience: cfg.Resilience}
+		if cfg.Faults != nil {
+			// Each collection gets its own fault stream so chaos isn't
+			// correlated across shards.
+			f := *cfg.Faults
+			f.Seed = cfg.Seed + int64(i)*7919
+			spec.Faults = &f
+		}
+		if err := svc.CreateCollection(jobs[i].key, spec); err != nil {
 			return StressReport{}, err
 		}
 	}
 
 	errCh := make(chan error, cfg.Writers)
+	var deletes, invalidates atomic.Int64
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Writers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			wrng := rand.New(rand.NewSource(cfg.Seed ^ int64(w+1)*104729))
 			for i := w; i < len(jobs); i += cfg.Writers {
 				j := jobs[i]
 				for lo := 0; lo < len(j.order); lo += cfg.Batch {
 					hi := min(lo+cfg.Batch, len(j.order))
-					if _, err := svc.Ingest(j.key, j.order[lo:hi], false); err != nil {
+					batch := j.order[lo:hi]
+					if err := ingestTolerant(svc, j.key, batch); err != nil {
 						errCh <- err
 						return
+					}
+					// Churn: drop one element of the batch we just wrote
+					// and put it straight back, so the final ground truth
+					// is unchanged but the delete path sees concurrency.
+					if cfg.DeleteFraction > 0 && wrng.Float64() < cfg.DeleteFraction {
+						e := batch[wrng.Intn(len(batch))]
+						switch _, err := svc.DeleteItem(j.key, e); {
+						case err == nil:
+							deletes.Add(1)
+							if err := ingestTolerant(svc, j.key, []int{e}); err != nil {
+								errCh <- err
+								return
+							}
+						case errors.Is(err, ErrDegraded):
+							// The breaker beat us to it; the element stays.
+						default:
+							errCh <- err
+							return
+						}
+					}
+					// Withdraw the front class for re-verification.
+					if cfg.InvalidateFraction > 0 && wrng.Float64() < cfg.InvalidateFraction {
+						switch _, err := svc.InvalidateClass(j.key, 0, false); {
+						case err == nil:
+							invalidates.Add(1)
+						case errors.Is(err, ErrNotFound), errors.Is(err, ErrDegraded):
+							// Nothing folded yet, or the oracle is down.
+						default:
+							errCh <- err
+							return
+						}
 					}
 				}
 			}
@@ -127,18 +221,55 @@ func RunStress(cfg StressConfig) (StressReport, error) {
 	default:
 	}
 
-	rep := StressReport{Config: cfg, Elapsed: elapsed, Verified: true}
+	rep := StressReport{Config: cfg, Elapsed: elapsed}
+	rep.Deletes = deletes.Load()
+	rep.Invalidates = invalidates.Load()
+
+	// Verification. A fault-free run must match ground truth on the
+	// first fresh read; a flip-contaminated run is allowed repair sweeps
+	// to converge — the chaos soak's acceptance criterion.
+	verify := func() (bool, error) {
+		ok := true
+		for _, j := range jobs {
+			snap, err := svc.Classes(j.key, true)
+			if err != nil {
+				return false, err
+			}
+			// Full coverage first — a partition over a subset of the
+			// ingested elements must not count as verified — then the
+			// exact class structure against ground truth.
+			got := core.Result{Classes: snap.Classes}
+			if snap.Size != cfg.Elements || !core.SameClassification(got.Labels(cfg.Elements), j.labels) {
+				ok = false
+			}
+		}
+		return ok, nil
+	}
+	verified, err := verify()
+	if err != nil {
+		return StressReport{}, err
+	}
+	if !verified && cfg.Faults != nil {
+		sweeps := cfg.RepairSweeps
+		if sweeps <= 0 {
+			sweeps = 40
+		}
+		for s := 0; s < sweeps && !verified; s++ {
+			svc.RepairSweep()
+			rep.RepairSweepsRun++
+			if verified, err = verify(); err != nil {
+				return StressReport{}, err
+			}
+		}
+	}
+	rep.Verified = verified
+	rep.Divergences = svc.repairDivergences.Load()
+	rep.Corrections = svc.repairCorrections.Load()
+
 	for _, j := range jobs {
-		snap, err := svc.Classes(j.key, true)
+		snap, err := svc.Classes(j.key, false)
 		if err != nil {
 			return StressReport{}, err
-		}
-		// Full coverage first — a partition over a subset of the
-		// ingested elements must not count as verified — then the exact
-		// class structure against ground truth.
-		got := core.Result{Classes: snap.Classes}
-		if snap.Size != cfg.Elements || !core.SameClassification(got.Labels(cfg.Elements), j.labels) {
-			rep.Verified = false
 		}
 		rep.Comparisons += snap.Stats.Comparisons
 		rep.Rounds += int64(snap.Stats.Rounds)
@@ -176,5 +307,21 @@ func WriteStressReport(w io.Writer, rep StressReport) error {
 		rep.ElementsPerSec, rep.BatchesPerSec,
 		rep.Comparisons, rep.Rounds,
 		rep.Verified)
+	if err != nil {
+		return err
+	}
+	if cfg.Faults != nil || rep.Deletes > 0 || rep.Invalidates > 0 {
+		var faults string
+		if cfg.Faults != nil {
+			faults = fmt.Sprintf("fail %.2f, flip %.2f", cfg.Faults.FailRate, cfg.Faults.FlipRate)
+		} else {
+			faults = "none"
+		}
+		_, err = fmt.Fprintf(w, `  chaos:       faults %s; %d deletes, %d invalidates
+  repair:      %d sweeps to converge, %d divergences, %d corrections
+`,
+			faults, rep.Deletes, rep.Invalidates,
+			rep.RepairSweepsRun, rep.Divergences, rep.Corrections)
+	}
 	return err
 }

@@ -10,7 +10,8 @@ import (
 
 // Record is one decoded WAL record handed to the replay callback.
 type Record struct {
-	// Type is one of RecCreate, RecDrop, RecBatch, RecFlush.
+	// Type is one of RecCreate, RecDrop, RecBatch, RecFlush, RecDelete,
+	// RecInvalidate.
 	Type byte
 	// Key is the collection the record applies to.
 	Key string
@@ -18,6 +19,9 @@ type Record struct {
 	Spec []byte
 	// Items is the accepted batch's element ids (RecBatch only).
 	Items []int
+	// Elem is the element a RecDelete removes, or a member element of the
+	// class a RecInvalidate withdraws.
+	Elem int
 }
 
 // ReplaySummary reports what a Replay pass found.
@@ -198,6 +202,13 @@ func decodeRecord(p []byte) (Record, error) {
 		rest = rest2
 	case RecDrop, RecFlush:
 		// key only
+	case RecDelete, RecInvalidate:
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return Record{}, fmt.Errorf("bad element")
+		}
+		rec.Elem = int(v)
+		rest = rest[n:]
 	case RecBatch:
 		count, n := binary.Uvarint(rest)
 		if n <= 0 {

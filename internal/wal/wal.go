@@ -71,6 +71,14 @@ const (
 	// recovered collection bit-identical (classes and stats) to one that
 	// never crashed.
 	RecFlush byte = 4
+	// RecDelete removes one element from a collection — the churn inverse
+	// of a RecBatch entry. Format version 2.
+	RecDelete byte = 5
+	// RecInvalidate withdraws the merged class containing one element,
+	// re-queueing its members as pending. The class is keyed by a member
+	// element (not a class index) because element identity is stable
+	// across replay while class ordering is not. Format version 2.
+	RecInvalidate byte = 6
 )
 
 // Format constants shared by segment and checkpoint files. See
@@ -81,8 +89,11 @@ const (
 	// snapMagic opens every checkpoint file.
 	snapMagic = "ECSS"
 	// FormatVersion is the current on-disk format version, stamped into
-	// every segment and checkpoint header. Readers reject other versions.
-	FormatVersion = 1
+	// every segment and checkpoint header. Readers reject other versions,
+	// loudly: version 2 added the RecDelete/RecInvalidate record types,
+	// and a version-1 reader must never skip records it cannot interpret
+	// (see docs/PERSISTENCE.md, "Versioning").
+	FormatVersion = 2
 	// headerSize is the fixed size of both file headers:
 	// magic[4] version[u16] reserved[u16] generation[u64].
 	headerSize = 16
@@ -155,6 +166,7 @@ type Log struct {
 	gen      uint64
 	opts     Options
 	buf      []byte // reusable frame-encoding buffer
+	size     int64  // file size in bytes (header + all appended frames)
 	dirty    bool   // bytes written since the last fsync
 	lastSync time.Time
 }
@@ -179,7 +191,7 @@ func Create(dir string, gen uint64, opts Options) (*Log, error) {
 		f.Close()
 		return nil, fmt.Errorf("wal: write segment header: %w", err)
 	}
-	l := &Log{f: f, path: path, gen: gen, opts: opts, lastSync: time.Now()}
+	l := &Log{f: f, path: path, gen: gen, opts: opts, size: headerSize, lastSync: time.Now()}
 	if err := l.fsync(); err != nil {
 		f.Close()
 		return nil, err
@@ -209,11 +221,12 @@ func OpenAppend(dir string, gen uint64, opts Options) (*Log, error) {
 		f.Close()
 		return nil, fmt.Errorf("%w: %s: header generation %d, file name says %d", ErrCorrupt, path, g, gen)
 	}
-	if _, err := f.Seek(0, 2); err != nil {
+	end, err := f.Seek(0, 2)
+	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("wal: seek segment end: %w", err)
 	}
-	return &Log{f: f, path: path, gen: gen, opts: opts, lastSync: time.Now()}, nil
+	return &Log{f: f, path: path, gen: gen, opts: opts, size: end, lastSync: time.Now()}, nil
 }
 
 // checkHeader validates a 16-byte file header's magic and version.
@@ -268,6 +281,26 @@ func (l *Log) AppendFlush(key string) error {
 	return l.appendFrame(l.payload(RecFlush, key))
 }
 
+// AppendDelete appends a single-element delete record.
+func (l *Log) AppendDelete(key string, elem int) error {
+	p := l.payload(RecDelete, key)
+	p = binary.AppendUvarint(p, uint64(elem))
+	return l.appendFrame(p)
+}
+
+// AppendInvalidate appends a class-invalidation record, keyed by one
+// member element of the invalidated class.
+func (l *Log) AppendInvalidate(key string, elem int) error {
+	p := l.payload(RecInvalidate, key)
+	p = binary.AppendUvarint(p, uint64(elem))
+	return l.appendFrame(p)
+}
+
+// Size returns the segment file's current size in bytes — header plus
+// every appended frame. The service's size-based rotation compares it
+// against Config.MaxSegmentBytes after each operation.
+func (l *Log) Size() int64 { return l.size }
+
 // payload starts a record payload in the reusable buffer, leaving room
 // for the frame header: [len u32][crc u32] are back-filled by
 // appendFrame.
@@ -291,6 +324,7 @@ func (l *Log) appendFrame(p []byte) error {
 	if _, err := l.f.Write(p); err != nil {
 		return l.appendErr(err)
 	}
+	l.size += int64(len(p))
 	l.dirty = true
 	if c := l.opts.Counters; c != nil {
 		c.Appends.Add(1)

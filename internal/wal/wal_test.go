@@ -15,7 +15,7 @@ func collect(t *testing.T, dir string, fromGen uint64) ([]Record, ReplaySummary)
 	var recs []Record
 	sum, err := Replay(dir, fromGen, func(r Record) error {
 		// The callback's record is only valid during the call; deep-copy.
-		cp := Record{Type: r.Type, Key: r.Key}
+		cp := Record{Type: r.Type, Key: r.Key, Elem: r.Elem}
 		cp.Spec = append([]byte(nil), r.Spec...)
 		cp.Items = append([]int(nil), r.Items...)
 		recs = append(recs, cp)

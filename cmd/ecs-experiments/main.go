@@ -32,20 +32,21 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all | algo | fig5-uniform | fig5-geometric | fig5-poisson | fig5-zeta | fig1 | rounds-cr | rounds-er | rounds-const | lb-equal | lb-smallest | dominance | zeta-exponent | procs | profile | serve-stress")
-		scale   = flag.Int("scale", 10, "divide the paper's input sizes by this factor")
-		trials  = flag.Int("trials", 3, "trials per input size (paper: 10)")
-		n       = flag.Int("n", 1024, "input size for lower-bound and dominance experiments")
-		seed    = flag.Int64("seed", 2016, "random seed")
-		csvDir  = flag.String("csv", "", "also write raw observations as CSV files into this directory")
-		workers = flag.Int("workers", 0, "execution-pool width for the serve-stress experiment (0: GOMAXPROCS)")
-		algoSel = flag.String("algo", "auto", "algorithm registry name for the algo experiment (ecsort -algos lists them)")
-		kHint   = flag.Int("k", 8, "class count for the algo experiment's inputs and its k hint")
-		lamHint = flag.Float64("lambda", 0, "lambda hint for the algo experiment (const regimens, auto)")
-		failRt  = flag.Float64("fail-rate", 0, "serve-stress: injected oracle error probability (chaos soak)")
-		flipRt  = flag.Float64("flip-rate", 0, "serve-stress: injected silent wrong-answer probability (chaos soak)")
-		votes   = flag.Int("votes", 0, "serve-stress: k-of-n majority votes per oracle answer under injected faults")
-		delFrac = flag.Float64("delete-fraction", 0, "serve-stress: per-batch probability of a delete+re-ingest churn op")
+		exp      = flag.String("exp", "all", "experiment: all | algo | fig5-uniform | fig5-geometric | fig5-poisson | fig5-zeta | fig1 | rounds-cr | rounds-er | rounds-const | lb-equal | lb-smallest | dominance | zeta-exponent | procs | profile | serve-stress")
+		scale    = flag.Int("scale", 10, "divide the paper's input sizes by this factor")
+		trials   = flag.Int("trials", 3, "trials per input size (paper: 10)")
+		n        = flag.Int("n", 1024, "input size for lower-bound and dominance experiments")
+		seed     = flag.Int64("seed", 2016, "random seed")
+		csvDir   = flag.String("csv", "", "also write raw observations as CSV files into this directory")
+		workers  = flag.Int("workers", 0, "execution-pool width for the serve-stress experiment (0: GOMAXPROCS)")
+		algoSel  = flag.String("algo", "auto", "algorithm registry name for the algo experiment (ecsort -algos lists them)")
+		kHint    = flag.Int("k", 8, "class count for the algo experiment's inputs and its k hint")
+		lamHint  = flag.Float64("lambda", 0, "lambda hint for the algo experiment (const regimens, auto)")
+		failRt   = flag.Float64("fail-rate", 0, "serve-stress: injected oracle error probability (chaos soak)")
+		flipRt   = flag.Float64("flip-rate", 0, "serve-stress: injected silent wrong-answer probability (chaos soak)")
+		votes    = flag.Int("votes", 0, "serve-stress: k-of-n majority votes per oracle answer under injected faults")
+		delFrac  = flag.Float64("delete-fraction", 0, "serve-stress: per-batch probability of a delete+re-ingest churn op")
+		batchCmp = flag.Bool("batch-oracle", false, "serve-stress: run the sweep twice — whole-chunk batch-oracle dispatch vs per-pair — and emit both (CSV column batch_oracle)")
 	)
 	flag.Parse()
 	if *workers < 0 {
@@ -205,6 +206,19 @@ func main() {
 			points, err := harness.RunServiceSweep([]int{1, 2, 4, 8, 16}, cfg)
 			if err != nil {
 				return err
+			}
+			// -batch-oracle repeats the identical sweep with whole-chunk
+			// dispatch disabled, so the combined output isolates what the
+			// batch interface buys: fewer oracle invocations per round
+			// (the pairs/chunk amortization column) at equal partitions.
+			if *batchCmp {
+				perPair := cfg
+				perPair.Service.DisableBatchOracle = true
+				more, err := harness.RunServiceSweep([]int{1, 2, 4, 8, 16}, perPair)
+				if err != nil {
+					return err
+				}
+				points = append(points, more...)
 			}
 			if err := writeCSV(name, func(w io.Writer) error {
 				return harness.WriteServiceSweepCSV(w, points)

@@ -60,6 +60,15 @@ import (
 // several goroutines.
 type Oracle = model.Oracle
 
+// BatchOracle is an optional Oracle capability: answer a whole chunk of
+// equivalence tests in one call. Sessions detect it once at
+// construction and then invoke the oracle once per worker-pool chunk
+// instead of once per pair, with bit-identical stats, round logs, and
+// partition fingerprints. Implement it on oracles whose answers carry
+// per-call overhead (network round trips, protocol sessions,
+// middleware cycles).
+type BatchOracle = model.BatchOracle
+
 // Mode selects the read-concurrency rule of the comparison model.
 type Mode = model.Mode
 

@@ -93,6 +93,55 @@ func (b *boundNetwork) ExecuteRound(pairs []model.Pair) []bool {
 	return b.nw.executeRound(b.pool, pairs)
 }
 
+// Batch returns a batch-oracle view of the network whose chunks
+// dispatch from p (nil: the shared pool), the concurrent-read sibling
+// of Bound: handing it to model.NewSession schedules every worker-pool
+// chunk as a wave of real protocol sessions instead of one session per
+// Same call. Unlike ExecuteRound it skips the ER-disjointness check —
+// a CR chunk may legitimately schedule one agent into several
+// concurrent sessions, which is safe because handshakes are pure
+// functions of (sessionID, private state). Like Bound, the pool
+// binding is per-view and never re-routes the network's own rounds.
+func (nw *Network) Batch(p *rt.Pool) model.BatchOracle {
+	return &batchNetwork{nw: nw, pool: p}
+}
+
+// batchNetwork pins one pool to a batch-oracle view of the network.
+type batchNetwork struct {
+	nw   *Network
+	pool *rt.Pool
+}
+
+// N implements model.Oracle.
+func (b *batchNetwork) N() int { return b.nw.N() }
+
+// Same implements model.Oracle via a single protocol session.
+func (b *batchNetwork) Same(i, j int) bool { return b.nw.Same(i, j) }
+
+// SameBatch implements model.BatchOracle: one mutex acquisition
+// allocates the whole chunk's session-ID block, then every pair's
+// handshake wave runs concurrently on the pinned pool. This is
+// executeRound minus the busy-map check and the result allocation —
+// verdicts land in the caller's out slice by index.
+//
+//ecsort:hotpath
+func (b *batchNetwork) SameBatch(pairs []model.Pair, out []bool) {
+	nw := b.nw
+	nw.mu.Lock()
+	base := nw.seq
+	nw.seq += uint64(len(pairs))
+	nw.sessions += int64(len(pairs))
+	nw.mu.Unlock()
+	pool := b.pool
+	if pool == nil {
+		pool = rt.Shared()
+	}
+	// run is per call, not per view: a parallel round invokes SameBatch
+	// concurrently on disjoint chunks.
+	run := roundRun{nw: nw, base: base, pairs: pairs, out: out}
+	pool.Run(len(pairs), len(pairs), &run)
+}
+
 // N returns the number of agents.
 func (nw *Network) N() int { return len(nw.agents) }
 

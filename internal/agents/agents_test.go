@@ -221,3 +221,64 @@ func TestBoundExecutorPerSessionPools(t *testing.T) {
 		t.Errorf("session B's round did not dispatch on its own pool")
 	}
 }
+
+// TestBatchOracleView: the batch view answers whole chunks with a block
+// of real protocol sessions, matching per-pair handshakes bit for bit
+// — including CR chunks that repeat an agent, which ExecuteRound's ER
+// check would reject.
+func TestBatchOracleView(t *testing.T) {
+	labels := []int{0, 1, 0, 2, 1, 0}
+	nw := NewNetwork(GroupKeys(labels, 21))
+	b := nw.Batch(nil)
+	pairs := []model.Pair{
+		{A: 0, B: 2}, {A: 0, B: 5}, {A: 1, B: 4}, // agent 0 repeats: CR-legal
+		{A: 0, B: 3}, {A: 1, B: 2},
+	}
+	out := make([]bool, len(pairs))
+	before := nw.Sessions()
+	b.SameBatch(pairs, out)
+	if got := nw.Sessions() - before; got != int64(len(pairs)) {
+		t.Fatalf("batch chunk ran %d sessions, want %d", got, len(pairs))
+	}
+	for i, p := range pairs {
+		if want := labels[p.A] == labels[p.B]; out[i] != want {
+			t.Errorf("pair %d (%d,%d) = %v, want %v", i, p.A, p.B, out[i], want)
+		}
+	}
+}
+
+// TestBatchOracleViewFullSort: a session over the batch view sorts the
+// roster with the same accounting as a session over the plain network.
+func TestBatchOracleViewFullSort(t *testing.T) {
+	labels := make([]int, 64)
+	rng := rand.New(rand.NewSource(5))
+	for i := range labels {
+		labels[i] = rng.Intn(4)
+	}
+	pool := rt.NewPool(4)
+	defer pool.Close()
+
+	nwPlain := NewNetwork(GroupKeys(labels, 9))
+	sPlain := model.NewSession(nwPlain, model.CR, model.Workers(4), model.WithPool(pool))
+	resPlain, err := core.SortCRUnknownK(sPlain)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nwBatch := NewNetwork(GroupKeys(labels, 9))
+	sBatch := model.NewSession(nwBatch.Batch(pool), model.CR, model.Workers(4), model.WithPool(pool))
+	resBatch, err := core.SortCRUnknownK(sBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !core.SameClassification(resBatch.Labels(len(labels)), resPlain.Labels(len(labels))) {
+		t.Fatal("batch view sorted differently")
+	}
+	if resBatch.Stats != resPlain.Stats {
+		t.Errorf("stats diverge: batch %+v, plain %+v", resBatch.Stats, resPlain.Stats)
+	}
+	if nwBatch.Sessions() != nwPlain.Sessions() {
+		t.Errorf("protocol sessions diverge: batch %d, plain %d", nwBatch.Sessions(), nwPlain.Sessions())
+	}
+}

@@ -1,0 +1,75 @@
+package algo
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ecsort/internal/core"
+	"ecsort/internal/model"
+	rt "ecsort/internal/runtime"
+)
+
+// maskBatch hides an oracle's batch capability so the session takes the
+// per-pair path; the batch run must be indistinguishable from it.
+type maskBatch struct{ o model.Oracle }
+
+func (m maskBatch) N() int             { return m.o.N() }
+func (m maskBatch) Same(i, j int) bool { return m.o.Same(i, j) }
+
+// TestRegistryBatchEquivalence runs EVERY registry regimen twice per
+// worker count — once over the batch-capable label oracle, once with
+// the capability masked — and requires bit-identical classes, stats,
+// and physical round logs. Batch dispatch changes who answers a chunk,
+// never what is asked or charged.
+func TestRegistryBatchEquivalence(t *testing.T) {
+	pool := rt.NewPool(4)
+	defer pool.Close()
+	hints := Hints{K: 3, Lambda: 0.2, Seed: 1}
+	for _, info := range Infos() {
+		k := 3
+		if info.Name == "two-class-er" {
+			k = 2 // the regimen's promise
+		}
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/workers=%d", info.Name, workers), func(t *testing.T) {
+				run := func(mask bool) (core.Result, []int) {
+					a, err := ByName(info.Name, hints)
+					if err != nil {
+						t.Fatalf("ByName(%q): %v", info.Name, err)
+					}
+					var o model.Oracle
+					o, _ = balanced(240, k, 7)
+					if _, ok := o.(model.BatchOracle); !ok {
+						t.Fatal("label oracle must be batch-capable for this test to bite")
+					}
+					if mask {
+						o = maskBatch{o}
+					}
+					s := model.NewSession(o, a.Mode(),
+						model.Workers(workers), model.WithPool(pool), model.WithRoundLog())
+					res, err := a.Sort(context.Background(), s)
+					if err != nil {
+						t.Fatalf("%q mask=%v: %v", info.Name, mask, err)
+					}
+					return res, s.RoundLog()
+				}
+				batch, batchLog := run(false)
+				plain, plainLog := run(true)
+				if !reflect.DeepEqual(batch.Classes, plain.Classes) {
+					t.Errorf("classes diverge: batch %v, per-pair %v", batch.Classes, plain.Classes)
+				}
+				if batch.Stats != plain.Stats {
+					t.Errorf("stats diverge: batch %+v, per-pair %+v", batch.Stats, plain.Stats)
+				}
+				if !reflect.DeepEqual(batchLog, plainLog) {
+					t.Errorf("round logs diverge: batch %v, per-pair %v", batchLog, plainLog)
+				}
+				if batch.Algorithm != plain.Algorithm {
+					t.Errorf("algorithm names diverge: %q vs %q", batch.Algorithm, plain.Algorithm)
+				}
+			})
+		}
+	}
+}

@@ -8,16 +8,16 @@ import (
 
 // OracleRound proves the accounting model's core invariant: equivalence
 // tests happen only inside scheduled rounds. Outside internal/model and
-// internal/core's round machinery, no code may call Oracle.Same (or any
-// method of a BatchOracle, should one land) directly — every comparison
-// must flow through model.Session so Result's comparison and round
-// counts stay truthful. A method of a type that itself implements
-// model.Oracle may delegate to an inner oracle (the wrapper pattern:
-// recorders, adversaries, the service's sub-universe views); everything
+// internal/core's round machinery, no code may call Oracle.Same or
+// BatchOracle.SameBatch directly — every comparison must flow through
+// model.Session so Result's comparison and round counts stay truthful.
+// A method of a type that itself implements model.Oracle may delegate
+// to an inner oracle (the wrapper pattern: recorders, adversaries, the
+// service's sub-universe views and counting decorators); everything
 // else is a finding.
 var OracleRound = &Analyzer{
 	Name: "oracleround",
-	Doc:  "direct Oracle.Same calls outside model.Session round machinery",
+	Doc:  "direct Oracle.Same/BatchOracle.SameBatch calls outside model.Session round machinery",
 	Run:  runOracleRound,
 }
 
@@ -67,9 +67,9 @@ func runOracleRound(pass *Pass) {
 					pass.Reportf(call.Pos(),
 						"direct Oracle.Same call on %s: comparisons must flow through model.Session (Round/RoundBuf/Compare) so Result stats stay truthful",
 						types.TypeString(recv, types.RelativeTo(pass.Pkg.Types)))
-				case batchIface != nil && implementsOracle(recv, batchIface):
+				case batchIface != nil && sel.Sel.Name == "SameBatch" && implementsOracle(recv, batchIface) && isSameBatchSig(selection.Obj()):
 					pass.Reportf(call.Pos(),
-						"direct BatchOracle call on %s: batch answers must be scheduled as model.Session rounds",
+						"direct BatchOracle.SameBatch call on %s: batch answers must be scheduled as model.Session rounds",
 						types.TypeString(recv, types.RelativeTo(pass.Pkg.Types)))
 				}
 				return true
@@ -123,4 +123,25 @@ func isSameSig(obj types.Object) bool {
 	}
 	b, ok := sig.Results().At(0).Type().Underlying().(*types.Basic)
 	return isInt(sig.Params().At(0).Type()) && isInt(sig.Params().At(1).Type()) && ok && b.Kind() == types.Bool
+}
+
+// isSameBatchSig pins the exact SameBatch(pairs []Pair, out []bool)
+// shape — two slice parameters, the second of bools, no results — so a
+// coincidental SameBatch method never matches. Pinning the name and
+// shape (rather than flagging every method of a BatchOracle
+// implementation) keeps ordinary calls like a middleware's Stats() off
+// the report.
+func isSameBatchSig(obj types.Object) bool {
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 2 || sig.Results().Len() != 0 {
+		return false
+	}
+	p0, ok0 := sig.Params().At(0).Type().Underlying().(*types.Slice)
+	p1, ok1 := sig.Params().At(1).Type().Underlying().(*types.Slice)
+	if !ok0 || !ok1 {
+		return false
+	}
+	_, pairElem := p0.Elem().Underlying().(*types.Struct)
+	b, okb := p1.Elem().Underlying().(*types.Basic)
+	return pairElem && okb && b.Kind() == types.Bool
 }

@@ -35,3 +35,46 @@ type set struct{}
 func (set) Same(other set) bool { return true }
 
 func unrelated(s set) bool { return s.Same(set{}) }
+
+// batcher is a concrete batch-capable oracle implementation.
+type batcher struct{ labels []int }
+
+func (b *batcher) N() int             { return len(b.labels) }
+func (b *batcher) Same(i, j int) bool { return b.labels[i] == b.labels[j] }
+func (b *batcher) SameBatch(pairs []model.Pair, out []bool) {
+	for i, p := range pairs {
+		out[i] = b.labels[p.A] == b.labels[p.B]
+	}
+}
+
+// directBatch calls SameBatch outside any round — the batch twin of the
+// direct Same violation.
+func directBatch(o model.BatchOracle, pairs []model.Pair, out []bool) {
+	o.SameBatch(pairs, out) // want oracleround
+}
+
+// concreteBatch calls SameBatch on a concrete implementation.
+func concreteBatch(b *batcher, pairs []model.Pair, out []bool) {
+	b.SameBatch(pairs, out) // want oracleround
+}
+
+// batchWrapper implements model.BatchOracle itself, so its methods may
+// delegate whole chunks to the inner oracle — the counting-decorator
+// pattern.
+type batchWrapper struct{ inner model.BatchOracle }
+
+func (w *batchWrapper) N() int             { return w.inner.N() }
+func (w *batchWrapper) Same(i, j int) bool { return w.inner.Same(i, j) }
+func (w *batchWrapper) SameBatch(pairs []model.Pair, out []bool) {
+	w.inner.SameBatch(pairs, out)
+}
+
+// chunkSet has a SameBatch method with an unrelated signature; calling
+// it is fine even though chunkSet coincidentally implements Oracle.
+type chunkSet struct{}
+
+func (chunkSet) N() int                          { return 0 }
+func (chunkSet) Same(i, j int) bool              { return false }
+func (chunkSet) SameBatch(a, b []int) (int, int) { return 0, 0 }
+
+func unrelatedBatch(c chunkSet) (int, int) { return c.SameBatch(nil, nil) }

@@ -42,6 +42,53 @@ func checkGolden(t *testing.T, label string, g goldenCase, res Result) {
 	}
 }
 
+// hideBatch masks an oracle's batch capability: its method set is
+// exactly N/Same, so sessions over it take the per-pair path.
+type hideBatch struct{ o model.Oracle }
+
+func (h hideBatch) N() int             { return h.o.N() }
+func (h hideBatch) Same(i, j int) bool { return h.o.Same(i, j) }
+
+// TestParallelGoldenBatchOracle pins batch-vs-pairwise equivalence
+// against the recorded goldens: oracle.Label answers whole chunks via
+// SameBatch, and hiding that capability must not move a single stat,
+// round, or partition bit at any worker count. (The goldens themselves
+// were recorded on the per-pair engine, so the batch runs here prove
+// the dispatch rewrite is invisible.)
+func TestParallelGoldenBatchOracle(t *testing.T) {
+	pool := rt.NewPool(4)
+	defer pool.Close()
+	goldenCR := goldenByName(t, "SortCR/n=1000/k=3/seed=11")
+	goldenER := goldenByName(t, "SortER/n=1024/k=6/seed=17")
+	for _, workers := range []int{1, 4} {
+		for _, hidden := range []bool{false, true} {
+			label := fmt.Sprintf("workers=%d hidden=%v", workers, hidden)
+			var oCR, oER model.Oracle
+			oCR = oracle.RandomBalanced(1000, 3, rand.New(rand.NewSource(11)))
+			oER = oracle.RandomBalanced(1024, 6, rand.New(rand.NewSource(17)))
+			if _, ok := oCR.(model.BatchOracle); !ok {
+				t.Fatal("oracle.Label must be batch-capable for this test to bite")
+			}
+			if hidden {
+				oCR, oER = hideBatch{oCR}, hideBatch{oER}
+			}
+			s := model.NewSession(oCR, model.CR, model.Workers(workers), model.WithPool(pool))
+			res, err := SortCR(s, 3)
+			if err != nil {
+				t.Fatalf("SortCR %s: %v", label, err)
+			}
+			checkGolden(t, "SortCR "+label, goldenCR, res)
+
+			sER := model.NewSession(oER, model.ER, model.Workers(workers), model.WithPool(pool))
+			resER, err := SortER(sER)
+			if err != nil {
+				t.Fatalf("SortER %s: %v", label, err)
+			}
+			checkGolden(t, "SortER "+label, goldenER, resER)
+		}
+	}
+}
+
 func TestParallelGoldenDeterminism(t *testing.T) {
 	pool := rt.NewPool(4)
 	defer pool.Close()

@@ -52,16 +52,37 @@ func RenderServiceSweep(w io.Writer, points []ServiceSweepPoint) error {
 	cfg := points[0].Report.Config
 	fmt.Fprintf(w, "service ingestion sweep: %d collections × %d elements (%d classes), batch %d, %d writers\n",
 		cfg.Collections, cfg.Elements, cfg.Classes, cfg.Batch, cfg.Writers)
-	fmt.Fprintf(w, "%8s %12s %12s %14s %12s %9s\n",
-		"shards", "elements/s", "batches/s", "comparisons", "rounds", "verified")
+	fmt.Fprintf(w, "%8s %6s %12s %12s %14s %12s %12s %9s\n",
+		"shards", "batch", "elements/s", "batches/s", "comparisons", "rounds", "pairs/chunk", "verified")
 	for _, p := range points {
 		r := p.Report
-		if _, err := fmt.Fprintf(w, "%8d %12.0f %12.0f %14d %12d %9v\n",
-			p.Shards, r.ElementsPerSec, r.BatchesPerSec, r.Comparisons, r.Rounds, r.Verified); err != nil {
+		if _, err := fmt.Fprintf(w, "%8d %6s %12.0f %12.0f %14d %12d %12s %9v\n",
+			p.Shards, batchMode(r), r.ElementsPerSec, r.BatchesPerSec, r.Comparisons, r.Rounds,
+			pairsPerChunk(r), r.Verified); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// batchMode labels a report's oracle dispatch: "on" when worker-pool
+// chunks were answered whole through the batch interface, "off" for
+// per-pair dispatch (Service.DisableBatchOracle).
+func batchMode(r service.StressReport) string {
+	if r.Config.Service.DisableBatchOracle {
+		return "off"
+	}
+	return "on"
+}
+
+// pairsPerChunk formats the batch amortization factor — equivalence
+// tests per whole-chunk oracle invocation — or "-" when no batch
+// invocation happened.
+func pairsPerChunk(r service.StressReport) string {
+	if r.BatchRounds == 0 {
+		return "-"
+	}
+	return strconv.FormatFloat(float64(r.BatchPairs)/float64(r.BatchRounds), 'f', 1, 64)
 }
 
 // WriteServiceSweepCSV writes the sweep's raw observations.
@@ -70,13 +91,18 @@ func WriteServiceSweepCSV(w io.Writer, points []ServiceSweepPoint) error {
 	if err := cw.Write([]string{
 		"shards", "collections", "elements_per_collection", "classes", "batch", "writers",
 		"elapsed_seconds", "elements", "batches", "flushes",
-		"elements_per_sec", "batches_per_sec", "comparisons", "rounds", "verified",
+		"elements_per_sec", "batches_per_sec", "comparisons", "rounds",
+		"batch_oracle", "batch_rounds", "batch_pairs", "batch_pairs_per_round", "verified",
 	}); err != nil {
 		return err
 	}
 	for _, p := range points {
 		r := p.Report
 		cfg := r.Config
+		amortized := "0"
+		if r.BatchRounds > 0 {
+			amortized = strconv.FormatFloat(float64(r.BatchPairs)/float64(r.BatchRounds), 'f', 2, 64)
+		}
 		if err := cw.Write([]string{
 			strconv.Itoa(p.Shards),
 			strconv.Itoa(cfg.Collections),
@@ -92,6 +118,10 @@ func WriteServiceSweepCSV(w io.Writer, points []ServiceSweepPoint) error {
 			strconv.FormatFloat(r.BatchesPerSec, 'f', 1, 64),
 			strconv.FormatInt(r.Comparisons, 10),
 			strconv.FormatInt(r.Rounds, 10),
+			strconv.FormatBool(!cfg.Service.DisableBatchOracle),
+			strconv.FormatInt(r.BatchRounds, 10),
+			strconv.FormatInt(r.BatchPairs, 10),
+			amortized,
 			strconv.FormatBool(r.Verified),
 		}); err != nil {
 			return err

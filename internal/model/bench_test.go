@@ -103,3 +103,62 @@ func BenchmarkExecute(b *testing.B) {
 			WithExecutor(spawnExecutor{oracle: o, workers: 4}), Processors(len(pairs))))
 	})
 }
+
+// batchMixOracle is mixOracle with the whole-chunk answering path: the
+// same per-pair work, minus one oracle invocation per pair — chunks
+// cost runtime.NumChunks(len(pairs), workers) calls per round.
+type batchMixOracle struct{ mixOracle }
+
+func (o batchMixOracle) SameBatch(pairs []Pair, out []bool) {
+	for i, p := range pairs {
+		out[i] = o.Same(p.A, p.B)
+	}
+}
+
+// BenchmarkRoundBatch is the tracked-baseline benchmark of the batch
+// round path (see BENCH_baseline.json and the CI bench smoke): the
+// identical one-round workload answered whole-chunk (batch) versus
+// pair-at-a-time (perpair), both through the persistent pool at a
+// pinned width of 4. The stats, answers, and chunking are bit-identical
+// by construction; the delta is dispatch overhead — per-pair interface
+// calls versus one SameBatch per chunk.
+func BenchmarkRoundBatch(b *testing.B) {
+	const n = 4096
+	rng := rand.New(rand.NewSource(42))
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = rng.Intn(8)
+	}
+	o := mixOracle{labels: labels}
+	pairs := make([]Pair, n)
+	for i := range pairs {
+		a, c := rng.Intn(n), rng.Intn(n)
+		for a == c {
+			c = rng.Intn(n)
+		}
+		pairs[i] = Pair{a, c}
+	}
+	buf := make([]bool, len(pairs))
+
+	bench := func(b *testing.B, s *Session) {
+		b.Helper()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.RoundBuf(pairs, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("batch", func(b *testing.B) {
+		pool := rt.NewPool(4)
+		defer pool.Close()
+		bench(b, NewSession(batchMixOracle{o}, CR, Workers(4), WithPool(pool), Processors(len(pairs))))
+	})
+	b.Run("perpair", func(b *testing.B) {
+		pool := rt.NewPool(4)
+		defer pool.Close()
+		bench(b, NewSession(o, CR, Workers(4), WithPool(pool), Processors(len(pairs))))
+	})
+}

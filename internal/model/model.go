@@ -64,6 +64,28 @@ type Oracle interface {
 	Same(i, j int) bool
 }
 
+// BatchOracle is an optional Oracle capability: answer a whole chunk of
+// equivalence tests in one call. A Session detects it once at
+// construction (a plain type assertion on the oracle) and then
+// dispatches whole worker-pool chunks instead of individual pairs, so
+// an oracle whose answers have per-call overhead — a network round
+// trip, a protocol handshake wave, a middleware cycle — pays that
+// overhead once per chunk rather than once per pair. Accounting is
+// unchanged: comparisons, rounds, max round size, round logs, and
+// therefore partition fingerprints are bit-identical to the per-pair
+// path.
+//
+// SameBatch must write out[i] = Same(pairs[i].A, pairs[i].B) for every
+// i < len(pairs), with len(out) >= len(pairs), and must not retain
+// either slice. Like Same it must be safe for concurrent use: a
+// parallel round calls SameBatch concurrently on disjoint chunks.
+type BatchOracle interface {
+	Oracle
+	// SameBatch answers pairs[i] into out[i] for one chunk of a
+	// physical round.
+	SameBatch(pairs []Pair, out []bool)
+}
+
 // Pair is a single equivalence test between elements A and B.
 type Pair struct {
 	A, B int
@@ -213,6 +235,9 @@ func NewSession(o Oracle, mode Mode, opts ...Option) *Session {
 		opt(s)
 	}
 	s.exec.oracle = o
+	// Batch capability is resolved once here, not per round: execute and
+	// RunChunk branch on a plain nil check in the hot path.
+	s.exec.batch, _ = o.(BatchOracle)
 	if s.procs <= 0 {
 		s.procs = s.n
 	}
@@ -418,6 +443,10 @@ func (s *Session) execute(pairs []Pair, out []bool) error {
 		return nil
 	}
 	if s.workers <= 1 || len(pairs) < 2 {
+		if s.exec.batch != nil {
+			s.exec.batch.SameBatch(pairs, out)
+			return nil
+		}
 		for i, p := range pairs {
 			out[i] = s.oracle.Same(p.A, p.B)
 		}
@@ -440,14 +469,22 @@ func (s *Session) execute(pairs []Pair, out []bool) error {
 // It lives inside the Session so taking its address never allocates.
 type roundExec struct {
 	oracle Oracle
+	batch  BatchOracle // non-nil iff oracle implements BatchOracle
 	pairs  []Pair
 	out    []bool
 }
 
-// RunChunk implements runtime.Runner.
+// RunChunk implements runtime.Runner. A batch-capable oracle answers
+// the whole chunk in one call — the amortization this interface exists
+// for: oracle invocations per physical round drop from len(pairs) to
+// runtime.NumChunks(len(pairs), workers).
 //
 //ecsort:hotpath
 func (e *roundExec) RunChunk(lo, hi int) {
+	if e.batch != nil {
+		e.batch.SameBatch(e.pairs[lo:hi], e.out[lo:hi])
+		return
+	}
 	pairs, out := e.pairs, e.out
 	for i := lo; i < hi; i++ {
 		out[i] = e.oracle.Same(pairs[i].A, pairs[i].B)

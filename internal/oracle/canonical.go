@@ -3,6 +3,8 @@ package oracle
 import (
 	"sort"
 	"strings"
+
+	"ecsort/internal/model"
 )
 
 // Canonical labeling for small graphs: a string certificate such that two
@@ -226,6 +228,18 @@ func (o *GraphIsoCached) N() int { return len(o.graphs) }
 
 // Same implements model.Oracle via certificate comparison.
 func (o *GraphIsoCached) Same(i, j int) bool { return o.certs[i] == o.certs[j] }
+
+// SameBatch implements model.BatchOracle: with certificates
+// precomputed, a whole chunk of tests is a vectorizable walk over the
+// cert index — no per-pair call overhead.
+//
+//ecsort:hotpath
+func (o *GraphIsoCached) SameBatch(pairs []model.Pair, out []bool) {
+	certs := o.certs
+	for i, p := range pairs {
+		out[i] = certs[p.A] == certs[p.B]
+	}
+}
 
 // Graph returns the i-th graph.
 func (o *GraphIsoCached) Graph(i int) *Graph { return o.graphs[i] }

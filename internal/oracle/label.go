@@ -10,6 +10,8 @@ package oracle
 import (
 	"fmt"
 	"math/rand"
+
+	"ecsort/internal/model"
 )
 
 // Label is the reference oracle: element i belongs to the class labels[i].
@@ -32,6 +34,18 @@ func (o *Label) N() int { return len(o.labels) }
 
 // Same reports whether elements i and j carry the same label.
 func (o *Label) Same(i, j int) bool { return o.labels[i] == o.labels[j] }
+
+// SameBatch implements model.BatchOracle: one slice walk answers a
+// whole worker-pool chunk, so a parallel round costs one oracle
+// invocation per chunk instead of one per pair.
+//
+//ecsort:hotpath
+func (o *Label) SameBatch(pairs []model.Pair, out []bool) {
+	labels := o.labels
+	for i, p := range pairs {
+		out[i] = labels[p.A] == labels[p.B]
+	}
+}
 
 // Labels returns a copy of the underlying labels.
 func (o *Label) Labels() []int {

@@ -26,6 +26,18 @@ type Unreliable interface {
 	TrySame(ctx context.Context, i, j int) (bool, error)
 }
 
+// BatchUnreliable is an Unreliable backend that can answer a whole
+// chunk of tests in one exchange — the failure-aware twin of
+// model.BatchOracle. TrySameBatch writes out[i] for pairs[i] and
+// returns the indexes it could not answer (nil when every pair was
+// answered); a non-nil error means the whole exchange failed and
+// nothing in out can be trusted. Like TrySame it must respect ctx and
+// be safe for concurrent use.
+type BatchUnreliable interface {
+	Unreliable
+	TrySameBatch(ctx context.Context, pairs []model.Pair, out []bool) (failed []int, err error)
+}
+
 // ErrUnavailable is the (wrapped) failure for calls rejected while the
 // circuit breaker is open: the oracle is presumed down and calls fail
 // fast instead of burning their full timeout+retry budget.
@@ -145,6 +157,13 @@ type ResilientStats struct {
 	FastFails int64
 	// Trips counts closed/half-open → open transitions.
 	Trips int64
+	// BatchAsks counts whole-chunk exchanges issued through the batch
+	// path: one timeout/breaker/backoff cycle each, however many pairs
+	// the chunk carried.
+	BatchAsks int64
+	// BatchFallbacks counts pairs that a batch exchange could not answer
+	// and that were re-asked individually through the per-pair path.
+	BatchFallbacks int64
 }
 
 // Resilient wraps an Unreliable oracle with the service's
@@ -171,12 +190,22 @@ type Resilient struct {
 	lastErr  error
 	onTrip   func(error)
 
-	attempts  atomic.Int64
-	retries   atomic.Int64
-	failures  atomic.Int64
-	fastFails atomic.Int64
-	trips     atomic.Int64
+	// bound, when set, overrides cfg.Ctx as the lifetime of Same and
+	// SameBatch asks — the service binds each fold's cancelable context
+	// here (see BindContext).
+	bound atomic.Pointer[boundCtx]
+
+	attempts       atomic.Int64
+	retries        atomic.Int64
+	failures       atomic.Int64
+	fastFails      atomic.Int64
+	trips          atomic.Int64
+	batchAsks      atomic.Int64
+	batchFallbacks atomic.Int64
 }
+
+// boundCtx boxes a context so it can sit behind an atomic pointer.
+type boundCtx struct{ ctx context.Context }
 
 // NewResilient wraps base with the configured middleware.
 func NewResilient(base Unreliable, cfg ResilientConfig) *Resilient {
@@ -188,7 +217,12 @@ func NewResilient(base Unreliable, cfg ResilientConfig) *Resilient {
 // in-process oracle cannot be interrupted mid-test). It lets the
 // middleware — vote mode in particular — wrap oracles with no failure
 // modes of their own.
-func AsUnreliable(o model.Oracle) Unreliable { return infallible{o} }
+func AsUnreliable(o model.Oracle) Unreliable {
+	if b, ok := o.(model.BatchOracle); ok {
+		return infallibleBatch{infallible{o}, b}
+	}
+	return infallible{o}
+}
 
 type infallible struct{ o model.Oracle }
 
@@ -197,6 +231,20 @@ func (a infallible) N() int { return a.o.N() }
 func (a infallible) TrySame(_ context.Context, i, j int) (bool, error) {
 	//ecsort:ignore oracleround middleware adapter: the session accounts the outer Resilient.Same, not this inner call
 	return a.o.Same(i, j), nil
+}
+
+// infallibleBatch preserves the wrapped oracle's batch capability
+// through the adapter, so Resilient's batch path stays one exchange
+// per chunk even for fault-free backends.
+type infallibleBatch struct {
+	infallible
+	b model.BatchOracle
+}
+
+func (a infallibleBatch) TrySameBatch(_ context.Context, pairs []model.Pair, out []bool) ([]int, error) {
+	//ecsort:ignore oracleround middleware adapter: the session accounts the outer Resilient.SameBatch, not this inner call
+	a.b.SameBatch(pairs, out)
+	return nil, nil
 }
 
 // OnTrip registers fn to run — once per trip, on the goroutine whose
@@ -232,6 +280,98 @@ func (r *Resilient) TrySame(ctx context.Context, i, j int) (bool, error) {
 		return majority.Vote(k, func() (bool, error) { return r.ask(ctx, i, j) })
 	}
 	return r.ask(ctx, i, j)
+}
+
+// SameBatch implements model.BatchOracle: one timeout/breaker/backoff
+// cycle answers a whole worker-pool chunk when the backend is itself
+// batch-capable (BatchUnreliable), with per-pair fallback only for the
+// pairs that actually failed. A backend without the capability — or
+// vote mode, whose k-of-n semantics are inherently per answer — walks
+// the chunk through the regular Same path, so degradation (breaker
+// fast-fails answering false) is identical to per-pair execution.
+//
+//ecsort:hotpath
+func (r *Resilient) SameBatch(pairs []model.Pair, out []bool) {
+	bb, ok := r.base.(BatchUnreliable)
+	if !ok || r.cfg.Votes > 1 {
+		for i, p := range pairs {
+			out[i] = r.Same(p.A, p.B)
+		}
+		return
+	}
+	r.batchAsks.Add(1)
+	failed, err := r.askBatch(bb, pairs, out)
+	if err != nil {
+		// The whole exchange failed: every pair degrades to the per-pair
+		// path, which re-applies admission per ask — after a mid-batch
+		// trip the remaining pairs fast-fail to false exactly as they
+		// would have without batching.
+		r.batchFallbacks.Add(int64(len(pairs)))
+		for i, p := range pairs {
+			out[i] = r.Same(p.A, p.B)
+		}
+		return
+	}
+	if len(failed) > 0 {
+		r.batchFallbacks.Add(int64(len(failed)))
+		for _, i := range failed {
+			out[i] = r.Same(pairs[i].A, pairs[i].B)
+		}
+	}
+}
+
+// askBatch runs one retry-wrapped whole-chunk exchange under breaker
+// admission, mirroring ask at chunk granularity.
+func (r *Resilient) askBatch(bb BatchUnreliable, pairs []model.Pair, out []bool) ([]int, error) {
+	ctx := r.lifetime()
+	if err := r.admit(); err != nil {
+		return nil, err
+	}
+	retries := r.cfg.retries()
+	var (
+		failed []int
+		err    error
+	)
+	for try := 0; try <= retries; try++ {
+		if try > 0 {
+			r.retries.Add(1)
+			if werr := r.waitBackoff(ctx, try); werr != nil {
+				err = werr
+				break
+			}
+		}
+		r.attempts.Add(1)
+		if failed, err = r.attemptBatch(ctx, bb, pairs, out); err == nil {
+			r.succeed()
+			return failed, nil
+		}
+	}
+	r.fail(err)
+	return nil, err
+}
+
+// attemptBatch issues one bounded whole-chunk call to the backend.
+func (r *Resilient) attemptBatch(ctx context.Context, bb BatchUnreliable, pairs []model.Pair, out []bool) ([]int, error) {
+	if t := r.cfg.timeout(); t > 0 {
+		tctx, cancel := context.WithTimeout(ctx, t)
+		defer cancel()
+		return bb.TrySameBatch(tctx, pairs, out)
+	}
+	return bb.TrySameBatch(ctx, pairs, out)
+}
+
+// BindContext binds ctx as the lifetime of subsequent Same/SameBatch
+// asks, taking precedence over ResilientConfig.Ctx. The service binds
+// each fold's cancelable context here so an OnTrip cancellation (or
+// shutdown) interrupts in-flight backoffs and timeouts immediately
+// instead of letting them run against the longer-lived root context.
+// A nil ctx restores the config binding. Safe for concurrent use.
+func (r *Resilient) BindContext(ctx context.Context) {
+	if ctx == nil {
+		r.bound.Store(nil)
+		return
+	}
+	r.bound.Store(&boundCtx{ctx: ctx})
 }
 
 // State reports the breaker's effective position: an open breaker whose
@@ -271,11 +411,13 @@ func (r *Resilient) LastErr() error {
 // Stats snapshots the activity counters.
 func (r *Resilient) Stats() ResilientStats {
 	return ResilientStats{
-		Attempts:  r.attempts.Load(),
-		Retries:   r.retries.Load(),
-		Failures:  r.failures.Load(),
-		FastFails: r.fastFails.Load(),
-		Trips:     r.trips.Load(),
+		Attempts:       r.attempts.Load(),
+		Retries:        r.retries.Load(),
+		Failures:       r.failures.Load(),
+		FastFails:      r.fastFails.Load(),
+		Trips:          r.trips.Load(),
+		BatchAsks:      r.batchAsks.Load(),
+		BatchFallbacks: r.batchFallbacks.Load(),
 	}
 }
 
@@ -396,8 +538,12 @@ func (r *Resilient) waitBackoff(ctx context.Context, try int) error {
 	}
 }
 
-// lifetime is the context bounding Same's asks.
+// lifetime is the context bounding Same/SameBatch asks: the
+// per-fold BindContext binding when present, else the config's Ctx.
 func (r *Resilient) lifetime() context.Context {
+	if b := r.bound.Load(); b != nil {
+		return b.ctx
+	}
 	if r.cfg.Ctx != nil {
 		return r.cfg.Ctx
 	}

@@ -1,0 +1,224 @@
+package oracle
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"ecsort/internal/model"
+)
+
+// batchScripted is a BatchUnreliable test double: the first healthy
+// exchanges (per-pair or whole-chunk alike) answer from labels, then
+// the backend goes down for good. When partial is set, a healthy
+// TrySameBatch still reports those indexes as unanswered.
+type batchScripted struct {
+	mu      sync.Mutex
+	labels  []int
+	healthy int
+	calls   int
+	partial []int
+}
+
+func (b *batchScripted) N() int { return len(b.labels) }
+
+func (b *batchScripted) take() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.calls++
+	return b.calls <= b.healthy
+}
+
+func (b *batchScripted) TrySame(ctx context.Context, i, j int) (bool, error) {
+	if !b.take() {
+		return false, errBackend
+	}
+	return b.labels[i] == b.labels[j], nil
+}
+
+func (b *batchScripted) TrySameBatch(ctx context.Context, pairs []model.Pair, out []bool) ([]int, error) {
+	if !b.take() {
+		return nil, errBackend
+	}
+	for i, p := range pairs {
+		out[i] = b.labels[p.A] == b.labels[p.B]
+	}
+	return b.partial, nil
+}
+
+// pairScripted masks the batch capability, leaving the same scripted
+// per-pair backend.
+type pairScripted struct{ b *batchScripted }
+
+func (p pairScripted) N() int { return p.b.N() }
+
+func (p pairScripted) TrySame(ctx context.Context, i, j int) (bool, error) {
+	return p.b.TrySame(ctx, i, j)
+}
+
+func chaosPairs(n int) []model.Pair {
+	pairs := make([]model.Pair, n-1)
+	for i := range pairs {
+		pairs[i] = model.Pair{A: i, B: i + 1}
+	}
+	return pairs
+}
+
+// TestResilientBatchTripDegradesLikePerPair: a backend that dies
+// mid-batch trips the breaker, and the chunk's answers degrade exactly
+// as the per-pair path degrades — every unanswerable pair reads false,
+// none true, and the breaker ends open either way.
+func TestResilientBatchTripDegradesLikePerPair(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Retries = -1
+	cfg.BreakerThreshold = 1
+	labels := make([]int, 16) // one class: a healthy oracle would answer all true
+	pairs := chaosPairs(len(labels))
+
+	dead := &batchScripted{labels: labels}
+	rBatch := NewResilient(dead, cfg)
+	outBatch := make([]bool, len(pairs))
+	rBatch.SameBatch(pairs, outBatch)
+
+	deadPair := &batchScripted{labels: labels}
+	rPair := NewResilient(pairScripted{deadPair}, cfg)
+	outPair := make([]bool, len(pairs))
+	rPair.SameBatch(pairs, outPair) // non-batch base: walks the per-pair path
+
+	for i := range outBatch {
+		if outBatch[i] != outPair[i] {
+			t.Fatalf("answer %d: batch path %v, per-pair path %v", i, outBatch[i], outPair[i])
+		}
+		if outBatch[i] {
+			t.Fatalf("answer %d: dead backend produced true", i)
+		}
+	}
+	if st := rBatch.State(); st == BreakerClosed {
+		t.Error("batch path: breaker still closed after a dead chunk")
+	}
+	if st := rPair.State(); st == BreakerClosed {
+		t.Error("per-pair path: breaker still closed after a dead chunk")
+	}
+
+	stB, stP := rBatch.Stats(), rPair.Stats()
+	if stB.BatchAsks != 1 {
+		t.Errorf("batch path BatchAsks = %d, want 1", stB.BatchAsks)
+	}
+	if stB.BatchFallbacks != int64(len(pairs)) {
+		t.Errorf("batch path BatchFallbacks = %d, want %d (whole chunk degraded)", stB.BatchFallbacks, len(pairs))
+	}
+	if stB.Trips == 0 {
+		t.Error("batch path recorded no breaker trip")
+	}
+	if stP.BatchAsks != 0 || stP.BatchFallbacks != 0 {
+		t.Errorf("per-pair path charged batch counters: %+v", stP)
+	}
+}
+
+// TestResilientBatchPartialFallback: a healthy exchange that could not
+// answer some pairs falls back per pair for exactly those, and the
+// answers end correct everywhere.
+func TestResilientBatchPartialFallback(t *testing.T) {
+	labels := []int{0, 1, 0, 1, 0, 1}
+	b := &batchScripted{labels: labels, healthy: 100, partial: []int{1, 3}}
+	r := NewResilient(b, fastCfg())
+	pairs := []model.Pair{{A: 0, B: 2}, {A: 0, B: 1}, {A: 1, B: 3}, {A: 2, B: 5}}
+	out := make([]bool, len(pairs))
+	r.SameBatch(pairs, out)
+	want := []bool{true, false, true, false}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("answer %d = %v, want %v", i, out[i], want[i])
+		}
+	}
+	st := r.Stats()
+	if st.BatchAsks != 1 {
+		t.Errorf("BatchAsks = %d, want 1", st.BatchAsks)
+	}
+	if st.BatchFallbacks != 2 {
+		t.Errorf("BatchFallbacks = %d, want 2 (the unanswered indexes)", st.BatchFallbacks)
+	}
+	if st.Failures != 0 {
+		t.Errorf("Failures = %d on a healthy partial exchange", st.Failures)
+	}
+	if r.State() != BreakerClosed {
+		t.Error("breaker opened on a healthy partial exchange")
+	}
+}
+
+// TestResilientBatchVotesStayPerPair: vote mode's k-of-n semantics are
+// per answer, so a batch-capable backend still gets asked pair by pair.
+func TestResilientBatchVotesStayPerPair(t *testing.T) {
+	labels := []int{0, 0, 1}
+	b := &batchScripted{labels: labels, healthy: 1 << 30}
+	cfg := fastCfg()
+	cfg.Votes = 3
+	r := NewResilient(b, cfg)
+	pairs := []model.Pair{{A: 0, B: 1}, {A: 0, B: 2}}
+	out := make([]bool, len(pairs))
+	r.SameBatch(pairs, out)
+	if !out[0] || out[1] {
+		t.Errorf("answers = %v, want [true false]", out)
+	}
+	st := r.Stats()
+	if st.BatchAsks != 0 {
+		t.Errorf("BatchAsks = %d in vote mode, want 0", st.BatchAsks)
+	}
+	// majority.Vote stops once one side is unbeatable: 2 identical
+	// answers settle a 3-vote ask, so each pair costs 2 attempts here.
+	if want := int64(2 * len(pairs)); st.Attempts != want {
+		t.Errorf("Attempts = %d, want %d (unbeatable-majority asks per pair)", st.Attempts, want)
+	}
+}
+
+// TestResilientBindContext: a bound canceled context interrupts asks
+// that would otherwise wait on the backend forever.
+func TestResilientBindContext(t *testing.T) {
+	h := &hung{}
+	r := NewResilient(h, ResilientConfig{Timeout: -1, Retries: -1, BreakerThreshold: -1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r.BindContext(ctx)
+	done := make(chan bool, 1)
+	go func() { done <- r.Same(0, 1) }()
+	select {
+	case v := <-done:
+		if v {
+			t.Fatal("canceled ask answered true")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Same hung despite the bound canceled context")
+	}
+	r.BindContext(nil)
+	if got := r.lifetime(); got != context.Background() {
+		t.Errorf("lifetime after unbind = %v, want Background", got)
+	}
+}
+
+// TestAsUnreliableKeepsBatchCapability: adapting an infallible batch
+// oracle must preserve the whole-chunk path end to end.
+func TestAsUnreliableKeepsBatchCapability(t *testing.T) {
+	lbl := NewLabel([]int{0, 0, 1, 1})
+	un := AsUnreliable(lbl)
+	bb, ok := un.(BatchUnreliable)
+	if !ok {
+		t.Fatal("AsUnreliable dropped the batch capability")
+	}
+	pairs := []model.Pair{{A: 0, B: 1}, {A: 0, B: 2}, {A: 2, B: 3}}
+	out := make([]bool, len(pairs))
+	failed, err := bb.TrySameBatch(context.Background(), pairs, out)
+	if err != nil || len(failed) != 0 {
+		t.Fatalf("TrySameBatch = %v, %v", failed, err)
+	}
+	if !out[0] || out[1] || !out[2] {
+		t.Errorf("answers = %v, want [true false true]", out)
+	}
+	r := NewResilient(un, fastCfg())
+	var _ model.BatchOracle = r
+	out2 := make([]bool, len(pairs))
+	r.SameBatch(pairs, out2)
+	if st := r.Stats(); st.BatchAsks != 1 || st.BatchFallbacks != 0 {
+		t.Errorf("stats = %+v, want one clean batch ask", st)
+	}
+}

@@ -182,6 +182,27 @@ func (p *Pool) Run(n, par int, r Runner) {
 	p.release(j)
 }
 
+// NumChunks reports how many chunks Run splits n units of work into at
+// parallel width par — equivalently, the number of RunChunk calls one
+// Run(n, par, r) issues on a pool wide enough to go parallel (a
+// single-worker or closed pool always runs 1 inline chunk). This is the
+// chunk-granularity contract batch-capable oracles amortize against:
+// a model.BatchOracle is invoked NumChunks(len(pairs), workers) times
+// per physical round instead of len(pairs) times.
+func NumChunks(n, par int) int {
+	if n <= 0 {
+		return 0
+	}
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		return 1
+	}
+	chunk := (n + par - 1) / par
+	return (n + chunk - 1) / chunk
+}
+
 // worker is the loop of one persistent goroutine.
 func (p *Pool) worker() {
 	defer p.wg.Done()

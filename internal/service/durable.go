@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"ecsort/internal/adversary"
+	"ecsort/internal/agents"
 	"ecsort/internal/core"
 	"ecsort/internal/model"
 	"ecsort/internal/oracle"
@@ -54,6 +55,12 @@ func (s *Service) buildSorter(spec OracleSpec) (engine, error) {
 	if err != nil {
 		return engine{}, err
 	}
+	if nw, ok := base.(*agents.Network); ok && !s.cfg.DisableBatchOracle {
+		// Agent collections answer whole worker-pool chunks as waves of
+		// real protocol sessions on the service pool — the batch-oracle
+		// sibling of Network.Bound — instead of one handshake per Same.
+		base = nw.Batch(s.pool)
+	}
 	eng := engine{algoName: algoName, orc: base}
 	if spec.Faults != nil || spec.Resilience != nil {
 		// A faulted oracle is always fronted by the middleware: raw
@@ -73,6 +80,16 @@ func (s *Service) buildSorter(spec OracleSpec) (engine, error) {
 		rcfg.Ctx = s.ctx
 		eng.res = oracle.NewResilient(un, rcfg)
 		eng.orc = eng.res
+	}
+	if b, ok := eng.orc.(model.BatchOracle); ok {
+		if s.cfg.DisableBatchOracle {
+			// Mask the capability so sessions fall back to per-pair Same
+			// (Resilient always carries SameBatch, so the mask is what
+			// makes the switch effective for resilient collections too).
+			eng.orc = oracleOnly{b}
+		} else {
+			eng.orc = &countingBatchOracle{Oracle: b, batch: b, svc: s}
+		}
 	}
 	opts := []model.Option{model.WithPool(s.pool), model.Workers(s.pool.Size()), model.WithContext(s.ctx)}
 	if s.cfg.Processors > 0 {

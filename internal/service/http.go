@@ -216,13 +216,21 @@ func (s *Service) handleDrop(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
-	var req ingestRequest
-	if err := decodeBody(r, &req); err != nil {
+	// The hottest write path decodes through the pooled streaming
+	// decoder (ingestdecode.go) instead of decodeBody: items land in a
+	// reusable arena with zero per-item allocations. Ingest copies what
+	// it keeps (WAL encode buffer, sorter Adds), so the arena is safe
+	// to recycle once the call returns.
+	d := getItemsDecoder()
+	items, err := d.decode(io.LimitReader(r.Body, maxIngestBody))
+	if err != nil {
+		putItemsDecoder(d)
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
 	force := boolParam(r, "flush")
-	res, err := s.Ingest(r.PathValue("key"), req.Items, force)
+	res, err := s.Ingest(r.PathValue("key"), items, force)
+	putItemsDecoder(d)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -474,12 +482,28 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			func(st oracle.ResilientStats) int64 { return st.FastFails }},
 		{"ecsort_oracle_breaker_trips_total", "Circuit breaker trips.",
 			func(st oracle.ResilientStats) int64 { return st.Trips }},
+		{"ecsort_oracle_batch_asks_total", "Whole-chunk exchanges issued through the middleware's batch path.",
+			func(st oracle.ResilientStats) int64 { return st.BatchAsks }},
+		{"ecsort_oracle_batch_fallbacks_total", "Pairs re-asked individually after a batch exchange failed them.",
+			func(st oracle.ResilientStats) int64 { return st.BatchFallbacks }},
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", m.name, m.help, m.name)
 		for _, k := range resKeys {
 			fmt.Fprintf(w, "%s{collection=%q} %d\n", m.name, k, m.value(resStats[k]))
 		}
 	}
+
+	// Batch-oracle amortization, service-wide: rounds is SameBatch
+	// invocations (one per worker-pool chunk), pairs the tests they
+	// carried — pairs/rounds is the amortization factor the batch path
+	// buys over per-pair dispatch.
+	batchRounds, batchPairs := s.BatchOracleStats()
+	fmt.Fprintf(w, "# HELP ecsort_oracle_batch_rounds_total Whole-chunk oracle invocations across all collections.\n")
+	fmt.Fprintf(w, "# TYPE ecsort_oracle_batch_rounds_total counter\n")
+	fmt.Fprintf(w, "ecsort_oracle_batch_rounds_total %d\n", batchRounds)
+	fmt.Fprintf(w, "# HELP ecsort_oracle_batch_pairs_total Equivalence tests answered through whole-chunk oracle invocations.\n")
+	fmt.Fprintf(w, "# TYPE ecsort_oracle_batch_pairs_total counter\n")
+	fmt.Fprintf(w, "ecsort_oracle_batch_pairs_total %d\n", batchPairs)
 
 	// Per-collection gauges from the published snapshots (comparisons,
 	// rounds, widest round, class counts), never touching the writers.

@@ -114,6 +114,12 @@ type Config struct {
 	// diverging classes for re-sorting. The zero value disables the
 	// daemon; RepairSweep can still be called explicitly.
 	Repair RepairConfig
+	// DisableBatchOracle hides every oracle's batch capability from the
+	// collection sessions, forcing per-pair Same dispatch. Batch
+	// answering is on by default; this switch exists for A/B
+	// measurement (serve-stress -batch-oracle) and as an operational
+	// escape hatch.
+	DisableBatchOracle bool
 }
 
 func (c Config) shards() int {
@@ -402,6 +408,14 @@ type Service struct {
 	foldNanos     atomic.Int64
 	lastFoldNanos atomic.Int64
 
+	// Batch-oracle amortization counters, service-wide: batchRounds is
+	// whole-chunk SameBatch invocations, batchPairs the pairs they
+	// carried; pairs/rounds is the per-invocation amortization the
+	// batch path exists for. Fed by the counting wrapper buildSorter
+	// installs around batch-capable effective oracles.
+	batchRounds atomic.Int64
+	batchPairs  atomic.Int64
+
 	// Durability accounting. walCtr is shared by every shard's logs
 	// (segment rotation replaces Log values, so counters live here);
 	// the checkpoint gauges and the recovery summary feed /metrics and
@@ -626,10 +640,15 @@ func (s *Service) fold(sh *shard, c *collection) error {
 		fctx, cancel := context.WithCancel(s.ctx)
 		c.res.OnTrip(func(error) { cancel() })
 		c.srt.SetContext(fctx)
+		// The middleware's own asks follow the same fold lifetime: a trip
+		// interrupts in-flight backoffs and timeouts immediately instead
+		// of letting them run against the service root context.
+		c.res.BindContext(fctx)
 		defer func() {
 			c.res.OnTrip(nil)
 			cancel()
 			c.srt.SetContext(s.ctx)
+			c.res.BindContext(nil)
 		}()
 	}
 	if err := c.srt.Flush(); err != nil {
@@ -865,18 +884,8 @@ func (s *Service) Ingest(key string, items []int, forceFlush bool) (IngestResult
 			return &DegradedError{Key: key, RetryAfter: ra}
 		}
 		n := c.spec.N()
-		inBatch := make(map[int]struct{}, len(items))
-		for _, e := range items {
-			if e < 0 || e >= n {
-				return fmt.Errorf("%w: element %d out of range [0,%d)", ErrBadItem, e, n)
-			}
-			if _, dup := inBatch[e]; dup {
-				return fmt.Errorf("%w: element %d appears twice in batch", ErrBadItem, e)
-			}
-			if c.srt.Has(e) {
-				return fmt.Errorf("%w: element %d already ingested", ErrBadItem, e)
-			}
-			inBatch[e] = struct{}{}
+		if err := validateBatch(items, n, c.srt); err != nil {
+			return err
 		}
 		if sh.wal != nil {
 			// Write-ahead: the accepted batch is logged before any sorter

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"ecsort/internal/algo"
 	"ecsort/internal/core"
@@ -87,7 +88,8 @@ func (w incSorter) Restore(members, pending, elems, offs []int, st model.Stats, 
 
 // subOracle restricts a base oracle to the sub-universe ids, the view a
 // batch regimen sorts: position i of the sub-universe is base element
-// ids[i].
+// ids[i]. Build one with newSubOracle, which preserves the base's
+// batch capability.
 type subOracle struct {
 	base model.Oracle
 	ids  []int
@@ -96,6 +98,48 @@ type subOracle struct {
 func (o *subOracle) N() int { return len(o.ids) }
 
 func (o *subOracle) Same(i, j int) bool { return o.base.Same(o.ids[i], o.ids[j]) }
+
+// newSubOracle builds the sub-universe view, returning a batch-capable
+// view when base itself implements model.BatchOracle so the capability
+// survives into the per-flush sessions.
+func newSubOracle(base model.Oracle, ids []int) model.Oracle {
+	o := &subOracle{base: base, ids: ids}
+	if b, ok := base.(model.BatchOracle); ok {
+		return &subBatchOracle{subOracle: o, batch: b}
+	}
+	return o
+}
+
+// subBatchOracle forwards whole chunks through the id translation: a
+// chunk's pairs are rewritten into base element ids in a pooled scratch
+// buffer, then answered by one base SameBatch call. The scratch is per
+// call (pooled), not per view — a parallel round invokes SameBatch
+// concurrently on disjoint chunks.
+type subBatchOracle struct {
+	*subOracle
+	batch model.BatchOracle
+	bufs  sync.Pool
+}
+
+// SameBatch implements model.BatchOracle.
+func (o *subBatchOracle) SameBatch(pairs []model.Pair, out []bool) {
+	bp, _ := o.bufs.Get().(*[]model.Pair)
+	if bp == nil {
+		bp = new([]model.Pair)
+	}
+	buf := *bp
+	if cap(buf) < len(pairs) {
+		buf = make([]model.Pair, len(pairs))
+	}
+	buf = buf[:len(pairs)]
+	ids := o.ids
+	for i, p := range pairs {
+		buf[i] = model.Pair{A: ids[p.A], B: ids[p.B]}
+	}
+	o.batch.SameBatch(buf, out)
+	*bp = buf
+	o.bufs.Put(bp)
+}
 
 // batchSorter runs a batch Algorithm as a collection engine. Where the
 // incremental sorter folds only the new arrivals, a batch regimen is
@@ -154,7 +198,7 @@ func (b *batchSorter) Flush() error {
 	if b.pending == 0 {
 		return nil
 	}
-	s := model.NewSession(&subOracle{base: b.base, ids: b.members}, b.alg.Mode(), b.opts...)
+	s := model.NewSession(newSubOracle(b.base, b.members), b.alg.Mode(), b.opts...)
 	res, err := b.alg.Sort(b.ctx, s)
 	if err != nil {
 		// The answer and pending count are untouched, so a failed fold

@@ -99,6 +99,13 @@ type StressReport struct {
 	Flushes     int64         `json:"flushes"`
 	Comparisons int64         `json:"comparisons"`
 	Rounds      int64         `json:"rounds"`
+	// BatchRounds and BatchPairs are the service's batch-oracle
+	// amortization counters after the drive: whole-chunk oracle
+	// invocations and the equivalence tests they carried. Both zero when
+	// Service.DisableBatchOracle is set. BatchPairs/BatchRounds is the
+	// per-invocation amortization the batch path buys.
+	BatchRounds int64 `json:"batch_rounds,omitempty"`
+	BatchPairs  int64 `json:"batch_pairs,omitempty"`
 	// ElementsPerSec is ingestion throughput end to end: buffered,
 	// flushed, and snapshot-published.
 	ElementsPerSec float64 `json:"elements_per_sec"`
@@ -265,6 +272,7 @@ func RunStress(cfg StressConfig) (StressReport, error) {
 	rep.Verified = verified
 	rep.Divergences = svc.repairDivergences.Load()
 	rep.Corrections = svc.repairCorrections.Load()
+	rep.BatchRounds, rep.BatchPairs = svc.BatchOracleStats()
 
 	for _, j := range jobs {
 		snap, err := svc.Classes(j.key, false)
@@ -309,6 +317,13 @@ func WriteStressReport(w io.Writer, rep StressReport) error {
 		rep.Verified)
 	if err != nil {
 		return err
+	}
+	if rep.BatchRounds > 0 {
+		_, err = fmt.Fprintf(w, "  batch:       %d whole-chunk invocations carried %d tests (%.1f pairs/invocation)\n",
+			rep.BatchRounds, rep.BatchPairs, float64(rep.BatchPairs)/float64(rep.BatchRounds))
+		if err != nil {
+			return err
+		}
 	}
 	if cfg.Faults != nil || rep.Deletes > 0 || rep.Invalidates > 0 {
 		var faults string

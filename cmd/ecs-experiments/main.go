@@ -32,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all | algo | fig5-uniform | fig5-geometric | fig5-poisson | fig5-zeta | fig1 | rounds-cr | rounds-er | rounds-const | lb-equal | lb-smallest | dominance | zeta-exponent | procs | profile | serve-stress")
+		exp      = flag.String("exp", "all", "experiment: all | algo | fig5-uniform | fig5-geometric | fig5-poisson | fig5-zeta | fig1 | rounds-cr | rounds-er | rounds-const | lb-equal | lb-smallest | dominance | zeta-exponent | procs | profile | serve-stress | cluster-stress")
 		scale    = flag.Int("scale", 10, "divide the paper's input sizes by this factor")
 		trials   = flag.Int("trials", 3, "trials per input size (paper: 10)")
 		n        = flag.Int("n", 1024, "input size for lower-bound and dominance experiments")
@@ -226,6 +226,30 @@ func main() {
 				return err
 			}
 			return harness.RenderServiceSweep(os.Stdout, points)
+		case "cluster-stress":
+			// One level above serve-stress: the same concurrent batched
+			// workload routed by a cluster coordinator across backend
+			// nodes (ChanTransport — the wire codec and message-passing
+			// discipline without socket noise), swept over node counts.
+			cfg := harness.ClusterStressConfig{
+				Collections: 16,
+				Elements:    max(*n, 256),
+				Classes:     16,
+				Batch:       64,
+				Writers:     8,
+				Seed:        *seed,
+				Service:     service.Config{Shards: 4, BatchSize: 128, Workers: *workers},
+			}
+			reports, err := harness.RunClusterSweep([]int{1, 2, 4, 8}, cfg)
+			if err != nil {
+				return err
+			}
+			if err := writeCSV(name, func(w io.Writer) error {
+				return harness.WriteClusterSweepCSV(w, reports)
+			}); err != nil {
+				return err
+			}
+			return harness.RenderClusterSweep(os.Stdout, reports)
 		case "procs":
 			procs := []int{*n, *n / 4, *n / 16, *n / 64}
 			points, err := harness.RunProcessorSweep(*n, 8, procs, *seed)

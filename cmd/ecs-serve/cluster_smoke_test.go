@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestClusterSmoke is the end-to-end multi-node smoke CI runs: it builds
+// the real ecs-serve binary, boots a coordinator in front of two TCP
+// backend nodes, drives the full PUT/POST/GET/DELETE surface through
+// the coordinator, and asserts the classes are bit-identical to a
+// single-node control run of the same workload. It then SIGKILLs one
+// node and checks the coordinator degrades only that node's collections
+// (503 + Retry-After) while the rest keep serving. Gated by
+// ECSORT_CLUSTER_SMOKE=1 because it builds a binary and binds four TCP
+// ports.
+func TestClusterSmoke(t *testing.T) {
+	if os.Getenv("ECSORT_CLUSTER_SMOKE") != "1" {
+		t.Skip("set ECSORT_CLUSTER_SMOKE=1 to run the multi-node cluster smoke")
+	}
+	bin := filepath.Join(t.TempDir(), "ecs-serve")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build ecs-serve: %v\n%s", err, out)
+	}
+
+	start := func(args ...string) *exec.Cmd {
+		cmd := exec.Command(bin, args...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start ecs-serve %v: %v", args, err)
+		}
+		t.Cleanup(func() {
+			cmd.Process.Signal(syscall.SIGTERM)
+			cmd.Wait()
+		})
+		return cmd
+	}
+
+	// Two backend nodes, wire + HTTP each, then the coordinator. Node 2
+	// is durable (fsync always) because the test kills and restarts it:
+	// recovery must bring its collections back for re-admission.
+	wire1, wire2 := pickAddr(t), pickAddr(t)
+	node1HTTP, node2HTTP := pickAddr(t), pickAddr(t)
+	dir2 := filepath.Join(t.TempDir(), "node2-data")
+	node2 := func() *exec.Cmd {
+		return start("-addr", node2HTTP, "-cluster-node", wire2, "-shards", "2", "-batch", "4",
+			"-data-dir", dir2, "-fsync", "always")
+	}
+	start("-addr", node1HTTP, "-cluster-node", wire1, "-shards", "2", "-batch", "4")
+	n2 := node2()
+	waitHealthy(t, "http://"+node1HTTP)
+	waitHealthy(t, "http://"+node2HTTP)
+
+	coordHTTP := pickAddr(t)
+	start("-addr", coordHTTP, "-cluster-coordinator", "-join", wire1+","+wire2, "-down-cooldown", "500ms")
+	coord := "http://" + coordHTTP
+	waitHealthy(t, coord)
+
+	// The single-node control arm for bit-identity.
+	controlHTTP := pickAddr(t)
+	start("-addr", controlHTTP, "-shards", "2", "-batch", "4")
+	control := "http://" + controlHTTP
+	waitHealthy(t, control)
+
+	// Same deterministic workload through both arms: several collections
+	// (so both nodes own some), batched ingest, churn, then classes.
+	spec := `{"kind":"label","labels":[0,1,0,1,2,2,0,1,3,3]}`
+	keys := []string{"smoke-a", "smoke-b", "smoke-c", "smoke-d"}
+	for _, base := range []string{coord, control} {
+		for _, key := range keys {
+			put(t, base+"/v1/collections/"+key, spec)
+			post(t, base+"/v1/collections/"+key+"/items", `{"items":[0,1,2,3]}`)
+			post(t, base+"/v1/collections/"+key+"/items?flush=1", `{"items":[4,5,6,7,8,9]}`)
+			del(t, base+"/v1/collections/"+key+"/items/9")
+			post(t, base+"/v1/collections/"+key+"/classes/0/invalidate?flush=1", "")
+		}
+	}
+	for _, key := range keys {
+		want := getJSON(t, control+"/v1/collections/"+key+"/classes?fresh=1")
+		got := getJSON(t, coord+"/v1/collections/"+key+"/classes?fresh=1")
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: coordinator classes diverged from single-node control:\n got %v\nwant %v", key, got, want)
+		}
+	}
+
+	// Fleet-wide listing and readiness through the coordinator.
+	if n := len(getJSON(t, coord+"/v1/collections")["collections"].([]any)); n != len(keys) {
+		t.Errorf("coordinator lists %d collections, want %d", n, len(keys))
+	}
+
+	// Find one key on each node (nodes report their own collections).
+	ownedBy2 := map[string]bool{}
+	if cols, ok := getJSON(t, "http://"+node2HTTP+"/v1/collections")["collections"].([]any); ok {
+		for _, c := range cols {
+			ownedBy2[c.(map[string]any)["key"].(string)] = true
+		}
+	}
+	var on1, on2 string
+	for _, key := range keys {
+		if ownedBy2[key] {
+			on2 = key
+		} else {
+			on1 = key
+		}
+	}
+	if on1 == "" || on2 == "" {
+		t.Fatalf("collections did not spread across both nodes (node2 owns %v)", ownedBy2)
+	}
+
+	// Kill node 2: its collections 503 with Retry-After, node 1's keep
+	// serving, and readiness reports the degraded fleet.
+	n2.Process.Signal(syscall.SIGKILL)
+	n2.Wait()
+
+	res, err := http.Post(coord+"/v1/collections/"+on2+"/items", "application/json",
+		bytes.NewReader([]byte(`{"items":[9]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != 503 {
+		t.Errorf("write to dead node's collection: status %d, want 503", res.StatusCode)
+	}
+	if res.Header.Get("Retry-After") == "" {
+		t.Error("dead-node 503 carries no Retry-After")
+	}
+	post(t, coord+"/v1/collections/"+on1+"/items?flush=1", `{"items":[9]}`)
+	if _, err := http.Get(coord + "/v1/collections/" + on1 + "/classes"); err != nil {
+		t.Errorf("surviving node's collection unreadable: %v", err)
+	}
+	res, err = http.Get(coord + "/healthz/ready")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != 503 {
+		t.Errorf("readiness with a dead node: status %d, want 503", res.StatusCode)
+	}
+
+	// The node comes back; after the down cooldown the coordinator routes
+	// to it again.
+	node2()
+	waitHealthy(t, "http://"+node2HTTP)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		res, err := http.Get(coord + "/v1/collections/" + on2 + "/classes")
+		if err == nil {
+			res.Body.Close()
+			if res.StatusCode == 200 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("coordinator did not re-admit the restarted node within 10s")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func del(t *testing.T, url string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doOK(t, req)
+}

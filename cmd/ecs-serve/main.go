@@ -41,6 +41,17 @@
 // Each collection may pin its own sorting regimen via the PUT body's
 // "algorithm" field (default: the incremental compounding engine);
 // GET /v1/algorithms lists the registry with hint requirements.
+//
+// The same binary scales past one machine. A backend node serves the
+// cluster wire protocol next to its HTTP API; a coordinator owns no
+// collections and routes every request to the nodes it joined:
+//
+//	ecs-serve -addr :8081 -cluster-node :9091 -data-dir /var/lib/ecsort-1
+//	ecs-serve -addr :8082 -cluster-node :9092 -data-dir /var/lib/ecsort-2
+//	ecs-serve -addr :8080 -cluster-coordinator -join localhost:9091,localhost:9092
+//
+// Clients talk to the coordinator exactly as they would a single
+// server; see docs/ARCHITECTURE.md for placement and failure semantics.
 package main
 
 import (
@@ -49,12 +60,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"ecsort/internal/cluster"
 	"ecsort/internal/service"
 )
 
@@ -76,10 +90,24 @@ func main() {
 		repairDist    = flag.String("repair-dist", "", "repair sampling distribution: uniform, geometric, poisson, or zeta (default uniform)")
 		repairParam   = flag.Float64("repair-dist-param", 0, "distribution parameter: p (geometric), lambda (poisson), s (zeta); 0: sampler default")
 		repairSeed    = flag.Int64("repair-seed", 0, "seed for the repair sampling stream")
+		clusterNode   = flag.String("cluster-node", "", "also answer the cluster wire protocol on this TCP address (backend-node mode)")
+		clusterCoord  = flag.Bool("cluster-coordinator", false, "run as a cluster coordinator: no local collections, requests route to the -join nodes")
+		join          = flag.String("join", "", "comma-separated backend wire addresses the coordinator routes across (with -cluster-coordinator)")
+		downCooldown  = flag.Duration("down-cooldown", 0, "how long an unreachable node's collections reject with 503 before the next probe (0: 3s)")
 	)
 	flag.Parse()
 	if *workers < 0 {
 		log.Fatalf("ecs-serve: -workers must be >= 0, got %d", *workers)
+	}
+	if *clusterCoord {
+		if *clusterNode != "" {
+			log.Fatalf("ecs-serve: -cluster-coordinator and -cluster-node are mutually exclusive (a coordinator owns no collections)")
+		}
+		runCoordinator(*addr, *join, *downCooldown)
+		return
+	}
+	if *join != "" {
+		log.Fatalf("ecs-serve: -join requires -cluster-coordinator")
 	}
 
 	svc, err := service.Open(service.Config{
@@ -110,19 +138,70 @@ func main() {
 			*dataDir, rec.Collections, rec.Records, rec.Segments, rec.TornTails, rec.Duration.Round(time.Microsecond))
 	}
 
+	// Backend-node mode: answer the cluster wire protocol next to the
+	// HTTP API (the node's own /metrics and /healthz stay scrapeable).
+	if *clusterNode != "" {
+		node := cluster.NewNode(svc)
+		l, err := net.Listen("tcp", *clusterNode)
+		if err != nil {
+			log.Fatalf("ecs-serve: cluster-node listen: %v", err)
+		}
+		defer l.Close()
+		go func() {
+			if err := node.ServeTCP(l); err != nil {
+				log.Printf("ecs-serve: cluster-node: %v", err)
+			}
+		}()
+		log.Printf("ecs-serve: cluster node answering wire protocol on %s", l.Addr())
+	}
+
+	serveHTTP(*addr, svc.Handler(),
+		fmt.Sprintf("listening on %s (%d shards, batch %d)", *addr, *shards, *batch))
+}
+
+// runCoordinator is the -cluster-coordinator main: assemble TCP
+// transports to every joined node, discover what they own, and serve
+// the coordinator's HTTP API until shutdown.
+func runCoordinator(addr, join string, downCooldown time.Duration) {
+	var backends []cluster.Backend
+	for _, nodeAddr := range strings.Split(join, ",") {
+		nodeAddr = strings.TrimSpace(nodeAddr)
+		if nodeAddr == "" {
+			continue
+		}
+		backends = append(backends, cluster.Backend{
+			Name:      nodeAddr,
+			Transport: cluster.NewTCPTransport(nodeAddr),
+		})
+	}
+	if len(backends) == 0 {
+		log.Fatalf("ecs-serve: -cluster-coordinator needs -join with at least one node address")
+	}
+	co, err := cluster.New(cluster.Config{DownCooldown: downCooldown}, backends)
+	if err != nil {
+		log.Fatalf("ecs-serve: %v", err)
+	}
+	defer co.Close()
+	serveHTTP(addr, co.Handler(),
+		fmt.Sprintf("coordinator listening on %s, routing across %d node(s): %s",
+			addr, len(backends), strings.Join(co.Nodes(), ", ")))
+}
+
+// serveHTTP runs one HTTP server until SIGINT/SIGTERM, draining
+// connections before returning (and so before deferred service/
+// coordinator closes run).
+func serveHTTP(addr string, handler http.Handler, banner string) {
 	server := &http.Server{
-		Addr:              *addr,
-		Handler:           svc.Handler(),
+		Addr:              addr,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	// Serve until SIGINT/SIGTERM, then drain connections before closing
-	// the shard goroutines.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- server.ListenAndServe() }()
-	log.Printf("ecs-serve: listening on %s (%d shards, batch %d)", *addr, *shards, *batch)
+	log.Printf("ecs-serve: %s", banner)
 
 	select {
 	case err := <-errCh:

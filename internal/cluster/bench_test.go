@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"ecsort/internal/service"
+)
+
+// BenchmarkClusterIngest measures coordinator-routed ingest over
+// ChanTransport, 1 node vs 4: each iteration creates a collection,
+// streams its universe through in batches, reads the classes fresh, and
+// drops it — the single-collection service benchmark with the wire
+// round trip (encode → channel → decode) layered on. Node count shifts
+// routing, not total work, so the two sizes should track each other;
+// the benchcmp gate holds the per-op allocation line.
+func BenchmarkClusterIngest(b *testing.B) {
+	labels := make([]int, 1024)
+	for i := range labels {
+		labels[i] = i % 16
+	}
+	for _, nodes := range []int{1, 4} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			svcs := make([]*service.Service, nodes)
+			backends := make([]Backend, nodes)
+			for i := range svcs {
+				svcs[i] = service.New(service.Config{Shards: 1, BatchSize: 256, Workers: 1})
+				node := NewNode(svcs[i])
+				node.SetLogger(func(string, ...any) {})
+				backends[i] = Backend{Name: fmt.Sprintf("n%d", i), Transport: NewChanTransport(node)}
+			}
+			co, err := New(Config{}, backends)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() {
+				co.Close()
+				for _, s := range svcs {
+					s.Close()
+				}
+			}()
+
+			ctx := context.Background()
+			batch := make([]int, 64)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				key := fmt.Sprintf("bench-%d", i)
+				if _, err := co.CreateCollection(ctx, key, service.OracleSpec{Kind: service.KindLabel, Labels: labels}); err != nil {
+					b.Fatal(err)
+				}
+				for lo := 0; lo < len(labels); lo += len(batch) {
+					for j := range batch {
+						batch[j] = lo + j
+					}
+					if _, err := co.Ingest(ctx, key, batch, false); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := co.Classes(ctx, key, true); err != nil {
+					b.Fatal(err)
+				}
+				if err := co.DropCollection(ctx, key); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,214 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"ecsort/internal/wal"
+)
+
+// defaultCallTimeout bounds a TCP exchange when the caller's context
+// carries no deadline: a wedged node must not wedge the coordinator.
+const defaultCallTimeout = 30 * time.Second
+
+// TCPTransport speaks the wire protocol over TCP: each connection opens
+// with a 16-byte header exchange (magic "ECSC", WireVersion — built and
+// verified by internal/wal's header helpers), then carries one
+// [len u32][CRC32-C u32][payload] frame per message, the WAL's exact
+// framing. One request is in flight per connection; concurrency comes
+// from a lazily grown idle-connection pool. Any error on a connection
+// — dial failure, deadline, short read, CRC mismatch — discards that
+// connection and fails the call: the coordinator decides whether the
+// node is down, the transport never retries silently.
+type TCPTransport struct {
+	addr string
+
+	mu     sync.Mutex
+	idle   []*tcpConn
+	closed bool
+}
+
+// tcpConn is one pooled connection with its reusable read buffer. A
+// conn has exactly one owner at a time — the Call that checked it out
+// of the pool, or the node-side serveConn loop — so buf is never
+// touched concurrently; ecs-vet's shardown analyzer proves that
+// discipline statically.
+type tcpConn struct {
+	c   net.Conn
+	buf []byte //ecsort:owned-by-shard
+}
+
+// NewTCPTransport returns a transport for the node listening at addr.
+// No connection is made until the first Call.
+func NewTCPTransport(addr string) *TCPTransport {
+	return &TCPTransport{addr: addr}
+}
+
+// Call sends one framed request and reads one framed response. Between
+// conn() and release() this goroutine is the connection's sole owner.
+//
+//ecsort:shard-goroutine
+func (t *TCPTransport) Call(ctx context.Context, req []byte) ([]byte, error) {
+	conn, err := t.conn(ctx)
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(defaultCallTimeout)
+	if d, ok := ctx.Deadline(); ok {
+		deadline = d
+	}
+	if err := conn.c.SetDeadline(deadline); err != nil {
+		conn.c.Close()
+		return nil, fmt.Errorf("cluster: tcp %s: %w", t.addr, err)
+	}
+	if _, err := conn.c.Write(wal.AppendFrame(nil, req)); err != nil {
+		conn.c.Close()
+		return nil, fmt.Errorf("cluster: tcp %s: write: %w", t.addr, err)
+	}
+	payload, err := wal.ReadFrame(conn.c, conn.buf)
+	if err != nil {
+		// CRC mismatch, impossible length, torn read: the connection can
+		// no longer be trusted to be frame-aligned. Drop it loudly.
+		conn.c.Close()
+		return nil, fmt.Errorf("cluster: tcp %s: read: %w", t.addr, err)
+	}
+	conn.buf = payload[:0]
+	// The pool reuses conn.buf for the next read on this connection, so
+	// hand the caller its own copy.
+	out := make([]byte, len(payload))
+	copy(out, payload)
+	t.release(conn)
+	return out, nil
+}
+
+// conn returns an idle pooled connection or dials a new one, running
+// the header handshake on fresh connections.
+func (t *TCPTransport) conn(ctx context.Context) (*tcpConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrTransportClosed
+	}
+	if n := len(t.idle); n > 0 {
+		conn := t.idle[n-1]
+		t.idle = t.idle[:n-1]
+		t.mu.Unlock()
+		return conn, nil
+	}
+	t.mu.Unlock()
+
+	var d net.Dialer
+	c, err := d.DialContext(ctx, "tcp", t.addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: tcp %s: dial: %w", t.addr, err)
+	}
+	if err := handshake(c); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("cluster: tcp %s: %w", t.addr, err)
+	}
+	return &tcpConn{c: c}, nil
+}
+
+// release parks a healthy connection for reuse.
+func (t *TCPTransport) release(conn *tcpConn) {
+	conn.c.SetDeadline(time.Time{})
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		conn.c.Close()
+		return
+	}
+	t.idle = append(t.idle, conn)
+	t.mu.Unlock()
+}
+
+// Close discards every pooled connection. In-flight calls finish on
+// their own connections and find the pool closed on release.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	for _, conn := range t.idle {
+		conn.c.Close()
+	}
+	t.idle = nil
+	return nil
+}
+
+// handshake exchanges and verifies stream headers on a new connection.
+// Both sides send the same header shape; either side hanging is bounded
+// by a short deadline.
+func handshake(c net.Conn) error {
+	c.SetDeadline(time.Now().Add(10 * time.Second))
+	defer c.SetDeadline(time.Time{})
+	hdr := wal.NewHeader(wireMagic, WireVersion, 0)
+	if _, err := c.Write(hdr[:]); err != nil {
+		return fmt.Errorf("handshake write: %w", err)
+	}
+	var peer [wal.HeaderSize]byte
+	if _, err := io.ReadFull(c, peer[:]); err != nil {
+		return fmt.Errorf("handshake read: %w", err)
+	}
+	if err := wal.VerifyHeader(peer, wireMagic, WireVersion); err != nil {
+		return fmt.Errorf("handshake: %w", err)
+	}
+	return nil
+}
+
+// ServeTCP answers the wire protocol on l until l is closed (use the
+// listener's Close as the stop signal). Each connection gets its own
+// goroutine; a frame that fails its integrity checks is counted,
+// logged, and kills the connection — corruption is rejected loudly,
+// never resynced past.
+func (n *Node) ServeTCP(l net.Listener) error {
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go n.serveConn(c)
+	}
+}
+
+// serveConn runs one connection's handshake-then-frames loop; it is
+// the connection's owner goroutine for the connection's lifetime.
+//
+//ecsort:shard-goroutine
+func (n *Node) serveConn(c net.Conn) {
+	defer c.Close()
+	if err := handshake(c); err != nil {
+		n.corruptFrames.Add(1)
+		n.logf("cluster: node: rejected connection from %s: %v", c.RemoteAddr(), err)
+		return
+	}
+	var buf, out []byte
+	for {
+		req, err := wal.ReadFrame(c, buf)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return // clean disconnect between frames
+			}
+			if errors.Is(err, wal.ErrCorrupt) {
+				// A CRC mismatch or impossible length on a live connection
+				// means the stream is damaged; there is no safe way to find
+				// the next frame boundary. Count it, say so, drop the link.
+				n.corruptFrames.Add(1)
+				n.logf("cluster: node: corrupt frame from %s: %v", c.RemoteAddr(), err)
+			}
+			return
+		}
+		buf = req[:0]
+		out = wal.AppendFrame(out[:0], n.Handle(req))
+		if _, err := c.Write(out); err != nil {
+			return
+		}
+	}
+}

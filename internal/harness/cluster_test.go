@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ecsort/internal/service"
+)
+
+// TestClusterStressVerifies: a small fixed-seed drive through a 2-node
+// coordinator reproduces ground truth, and its accounting covers every
+// collection.
+func TestClusterStressVerifies(t *testing.T) {
+	cfg := ClusterStressConfig{
+		Collections: 6,
+		Elements:    192,
+		Classes:     8,
+		Batch:       32,
+		Writers:     3,
+		Seed:        7,
+		Service:     service.Config{Shards: 2, BatchSize: 64},
+	}
+	rep, err := RunClusterStress(2, cfg)
+	if err != nil {
+		t.Fatalf("RunClusterStress: %v", err)
+	}
+	if !rep.Verified {
+		t.Fatal("cluster drive did not verify against ground truth")
+	}
+	if rep.Elements != 6*192 {
+		t.Fatalf("elements accounted: got %d, want %d", rep.Elements, 6*192)
+	}
+	total := 0
+	for _, n := range rep.Spread {
+		total += n
+	}
+	if total != cfg.Collections {
+		t.Fatalf("spread %v sums to %d, want %d collections", rep.Spread, total, cfg.Collections)
+	}
+}
+
+// TestClusterSweepOutputs exercises the render and CSV writers.
+func TestClusterSweepOutputs(t *testing.T) {
+	cfg := ClusterStressConfig{
+		Collections: 4,
+		Elements:    96,
+		Classes:     4,
+		Batch:       32,
+		Writers:     2,
+		Seed:        11,
+		Service:     service.Config{Shards: 1, BatchSize: 64},
+	}
+	reports, err := RunClusterSweep([]int{1, 2}, cfg)
+	if err != nil {
+		t.Fatalf("RunClusterSweep: %v", err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports, want 2", len(reports))
+	}
+	var table bytes.Buffer
+	if err := RenderClusterSweep(&table, reports); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table.String(), "nodes") || !strings.Contains(table.String(), "verified") {
+		t.Fatalf("render missing columns:\n%s", table.String())
+	}
+	var csvOut bytes.Buffer
+	if err := WriteClusterSweepCSV(&csvOut, reports); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvOut.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV: got %d lines, want header + 2 rows:\n%s", len(lines), csvOut.String())
+	}
+}

@@ -1,0 +1,153 @@
+package oracle
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestAdmitWriteClosed(t *testing.T) {
+	r := NewResilient(&scripted{n: 2, outs: []error{nil}}, fastCfg())
+	ra, probe, ok := r.AdmitWrite()
+	if !ok || probe || ra != 0 {
+		t.Fatalf("AdmitWrite on closed breaker = (%v, %v, %v), want (0, false, true)", ra, probe, ok)
+	}
+}
+
+func TestAdmitWriteOpenRejectsWithRetryAfter(t *testing.T) {
+	s := &scripted{n: 2, outs: []error{errBackend}}
+	r := NewResilient(s, fastCfg())
+	for i := 0; i < 2; i++ { // threshold = 2
+		r.TrySame(context.Background(), 0, 1)
+	}
+	ra, probe, ok := r.AdmitWrite()
+	if ok || probe {
+		t.Fatalf("AdmitWrite admitted through an open breaker (probe=%v)", probe)
+	}
+	if ra <= 0 || ra > fastCfg().BreakerCooldown {
+		t.Fatalf("retry-after = %v, want (0, %v]", ra, fastCfg().BreakerCooldown)
+	}
+}
+
+func TestAdmitWriteSingleProbePerCooldown(t *testing.T) {
+	s := &scripted{n: 2, outs: []error{errBackend}}
+	cfg := fastCfg()
+	r := NewResilient(s, cfg)
+	for i := 0; i < 2; i++ {
+		r.TrySame(context.Background(), 0, 1)
+	}
+	time.Sleep(cfg.BreakerCooldown + 5*time.Millisecond)
+
+	// First write after the cooldown claims the probe slot.
+	ra, probe, ok := r.AdmitWrite()
+	if !ok || !probe || ra != 0 {
+		t.Fatalf("first half-open write = (%v, %v, %v), want probe admission", ra, probe, ok)
+	}
+	// A concurrent write is rejected while the probe is outstanding.
+	if ra, probe, ok := r.AdmitWrite(); ok || probe || ra <= 0 {
+		t.Fatalf("second half-open write = (%v, %v, %v), want rejection with retry-after", ra, probe, ok)
+	}
+
+	// The probe's ask succeeds: breaker closes, writes flow again.
+	s.mu.Lock()
+	s.outs = []error{nil}
+	s.mu.Unlock()
+	if v, err := r.TrySame(context.Background(), 0, 1); err != nil || !v {
+		t.Fatalf("probe ask = %v, %v", v, err)
+	}
+	if r.State() != BreakerClosed {
+		t.Fatalf("state = %v after successful probe write", r.State())
+	}
+	if _, probe, ok := r.AdmitWrite(); !ok || probe {
+		t.Fatal("writes not freely admitted after recovery")
+	}
+}
+
+func TestAdmitWriteFailedProbeReopens(t *testing.T) {
+	s := &scripted{n: 2, outs: []error{errBackend}}
+	cfg := fastCfg()
+	cfg.BreakerCooldown = 10 * time.Millisecond
+	r := NewResilient(s, cfg)
+	for i := 0; i < 2; i++ {
+		r.TrySame(context.Background(), 0, 1)
+	}
+	time.Sleep(cfg.BreakerCooldown + 3*time.Millisecond)
+	if _, probe, ok := r.AdmitWrite(); !ok || !probe {
+		t.Fatal("probe slot not granted after cooldown")
+	}
+	// The probe's ask fails: breaker re-opens and the slot is released,
+	// so the next write is rejected by the open breaker, not the slot.
+	r.TrySame(context.Background(), 0, 1)
+	ra, probe, ok := r.AdmitWrite()
+	if ok || probe || ra <= 0 {
+		t.Fatalf("write after failed probe = (%v, %v, %v), want open-breaker rejection", ra, probe, ok)
+	}
+	// After another cooldown a fresh probe slot is available.
+	time.Sleep(cfg.BreakerCooldown + 3*time.Millisecond)
+	if _, probe, ok := r.AdmitWrite(); !ok || !probe {
+		t.Fatal("probe slot not re-granted after the second cooldown")
+	}
+}
+
+func TestAdmitWriteProbeSlotExpires(t *testing.T) {
+	s := &scripted{n: 2, outs: []error{errBackend}}
+	cfg := fastCfg()
+	cfg.BreakerCooldown = 10 * time.Millisecond
+	r := NewResilient(s, cfg)
+	for i := 0; i < 2; i++ {
+		r.TrySame(context.Background(), 0, 1)
+	}
+	time.Sleep(cfg.BreakerCooldown + 3*time.Millisecond)
+	if _, probe, ok := r.AdmitWrite(); !ok || !probe {
+		t.Fatal("probe slot not granted after cooldown")
+	}
+	// The probe write's fold issued no oracle asks (nothing ever calls
+	// succeed/fail). The slot must self-expire after one cooldown rather
+	// than wedge writes forever.
+	time.Sleep(cfg.BreakerCooldown + 3*time.Millisecond)
+	if _, probe, ok := r.AdmitWrite(); !ok || !probe {
+		t.Fatal("probe slot did not expire after an ask-free probe write")
+	}
+}
+
+func TestUpdateConfigLive(t *testing.T) {
+	s := &scripted{n: 2, outs: []error{errBackend}}
+	cfg := fastCfg()
+	cfg.Retries = -1 // no retries
+	r := NewResilient(s, cfg)
+	r.TrySame(context.Background(), 0, 1)
+	if s.calls != 1 {
+		t.Fatalf("backend calls = %d, want 1 (retries disabled)", s.calls)
+	}
+
+	cfg.Retries = 3
+	r.UpdateConfig(cfg)
+	s.mu.Lock()
+	s.calls = 0
+	s.mu.Unlock()
+	r.TrySame(context.Background(), 0, 1)
+	if s.calls != 4 {
+		t.Fatalf("backend calls = %d, want 4 (3 retries after live update)", s.calls)
+	}
+}
+
+func TestUpdateConfigPreservesBreakerState(t *testing.T) {
+	s := &scripted{n: 2, outs: []error{errBackend}}
+	cfg := fastCfg()
+	cfg.BreakerCooldown = time.Hour // stay open for the whole test
+	r := NewResilient(s, cfg)
+	for i := 0; i < 2; i++ {
+		r.TrySame(context.Background(), 0, 1)
+	}
+	if r.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", r.State())
+	}
+	cfg.Votes = 3
+	r.UpdateConfig(cfg)
+	if r.State() != BreakerOpen {
+		t.Fatal("UpdateConfig amnestied a tripped breaker")
+	}
+	if r.RetryAfter() <= 0 {
+		t.Fatal("RetryAfter lost across UpdateConfig")
+	}
+}

@@ -180,13 +180,19 @@ type ResilientStats struct {
 // instead of grinding through a dead oracle's remaining tests.
 type Resilient struct {
 	base Unreliable
-	cfg  ResilientConfig
+
+	// cfg is behind an atomic pointer so UpdateConfig can swap the
+	// tuning live (PATCH …/resilience) while hot paths read it
+	// lock-free; each reader loads once per operation, so one ask never
+	// mixes two profiles.
+	cfg atomic.Pointer[ResilientConfig]
 
 	mu       sync.Mutex
 	rng      *rand.Rand
 	state    BreakerState
 	fails    int // consecutive exhausted asks while closed
 	openedAt time.Time
+	probeAt  time.Time // half-open probe-write slot claim time; zero = free
 	lastErr  error
 	onTrip   func(error)
 
@@ -209,8 +215,23 @@ type boundCtx struct{ ctx context.Context }
 
 // NewResilient wraps base with the configured middleware.
 func NewResilient(base Unreliable, cfg ResilientConfig) *Resilient {
-	return &Resilient{base: base, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	r := &Resilient{base: base, rng: rand.New(rand.NewSource(cfg.Seed))}
+	r.cfg.Store(&cfg)
+	return r
 }
+
+// UpdateConfig swaps the middleware's tuning in place; in-flight asks
+// finish under the profile they started with, subsequent asks use the
+// new one. Breaker position, failure streak, open timestamp, and the
+// jitter rng are deliberately preserved: a live PATCH retunes the
+// profile, it does not amnesty a tripped backend. The new config's
+// Seed is therefore ignored.
+func (r *Resilient) UpdateConfig(cfg ResilientConfig) {
+	r.cfg.Store(&cfg)
+}
+
+// config returns the current tuning. Callers load once per operation.
+func (r *Resilient) config() *ResilientConfig { return r.cfg.Load() }
 
 // AsUnreliable adapts an infallible model.Oracle to the Unreliable
 // interface: TrySame never fails and ignores ctx (a synchronous
@@ -276,7 +297,7 @@ func (r *Resilient) Same(i, j int) bool {
 // breaker admission, reporting the final error when the middleware
 // could not extract an answer.
 func (r *Resilient) TrySame(ctx context.Context, i, j int) (bool, error) {
-	if k := r.cfg.Votes; k > 1 {
+	if k := r.config().Votes; k > 1 {
 		return majority.Vote(k, func() (bool, error) { return r.ask(ctx, i, j) })
 	}
 	return r.ask(ctx, i, j)
@@ -293,7 +314,7 @@ func (r *Resilient) TrySame(ctx context.Context, i, j int) (bool, error) {
 //ecsort:hotpath
 func (r *Resilient) SameBatch(pairs []model.Pair, out []bool) {
 	bb, ok := r.base.(BatchUnreliable)
-	if !ok || r.cfg.Votes > 1 {
+	if !ok || r.config().Votes > 1 {
 		for i, p := range pairs {
 			out[i] = r.Same(p.A, p.B)
 		}
@@ -327,7 +348,7 @@ func (r *Resilient) askBatch(bb BatchUnreliable, pairs []model.Pair, out []bool)
 	if err := r.admit(); err != nil {
 		return nil, err
 	}
-	retries := r.cfg.retries()
+	retries := r.config().retries()
 	var (
 		failed []int
 		err    error
@@ -352,7 +373,7 @@ func (r *Resilient) askBatch(bb BatchUnreliable, pairs []model.Pair, out []bool)
 
 // attemptBatch issues one bounded whole-chunk call to the backend.
 func (r *Resilient) attemptBatch(ctx context.Context, bb BatchUnreliable, pairs []model.Pair, out []bool) ([]int, error) {
-	if t := r.cfg.timeout(); t > 0 {
+	if t := r.config().timeout(); t > 0 {
 		tctx, cancel := context.WithTimeout(ctx, t)
 		defer cancel()
 		return bb.TrySameBatch(tctx, pairs, out)
@@ -379,7 +400,7 @@ func (r *Resilient) BindContext(ctx context.Context) {
 func (r *Resilient) State() BreakerState {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.state == BreakerOpen && time.Since(r.openedAt) >= r.cfg.cooldown() {
+	if r.state == BreakerOpen && time.Since(r.openedAt) >= r.config().cooldown() {
 		return BreakerHalfOpen
 	}
 	return r.state
@@ -394,11 +415,50 @@ func (r *Resilient) RetryAfter() time.Duration {
 	if r.state != BreakerOpen {
 		return 0
 	}
-	rem := r.cfg.cooldown() - time.Since(r.openedAt)
+	rem := r.config().cooldown() - time.Since(r.openedAt)
 	if rem < 0 {
 		return 0
 	}
 	return rem
+}
+
+// AdmitWrite decides whether a write-triggered fold may run right now,
+// returning (retryAfter, probe, admitted):
+//
+//   - breaker closed: admitted, not a probe.
+//   - breaker open, still cooling: rejected with the remaining cooldown
+//     (the HTTP layer's 503 + Retry-After).
+//   - half-open (cooldown elapsed): exactly ONE write per cooldown
+//     window is admitted as a probe; concurrent writes are rejected
+//     until the probe settles. Without this slot a write-only workload
+//     never recovers — the breaker re-closes only when some ask
+//     succeeds, and rejecting every write means no ask is ever issued.
+//
+// The probe slot is claimed here and released by the ask's own
+// succeed/fail settlement. It also self-expires after one cooldown, so
+// a probe write whose fold happened to issue zero oracle asks (e.g. a
+// single-item batch into an empty collection) cannot wedge the slot.
+func (r *Resilient) AdmitWrite() (time.Duration, bool, bool) {
+	cd := r.config().cooldown()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch r.state {
+	case BreakerClosed:
+		return 0, false, true
+	case BreakerOpen:
+		if rem := cd - time.Since(r.openedAt); rem > 0 {
+			return rem, false, false
+		}
+	}
+	// Half-open, explicitly or as an open breaker whose cooldown has
+	// elapsed: one probe writer at a time.
+	if !r.probeAt.IsZero() {
+		if held := time.Since(r.probeAt); held < cd {
+			return cd - held, false, false
+		}
+	}
+	r.probeAt = time.Now()
+	return 0, true, true
 }
 
 // LastErr returns the failure that most recently exhausted an ask.
@@ -429,7 +489,7 @@ func (r *Resilient) ask(ctx context.Context, i, j int) (bool, error) {
 		r.fastFails.Add(1)
 		return false, err
 	}
-	retries := r.cfg.retries()
+	retries := r.config().retries()
 	var err error
 	for try := 0; try <= retries; try++ {
 		if try > 0 {
@@ -452,7 +512,7 @@ func (r *Resilient) ask(ctx context.Context, i, j int) (bool, error) {
 
 // attempt issues one bounded call to the backend.
 func (r *Resilient) attempt(ctx context.Context, i, j int) (bool, error) {
-	if t := r.cfg.timeout(); t > 0 {
+	if t := r.config().timeout(); t > 0 {
 		tctx, cancel := context.WithTimeout(ctx, t)
 		defer cancel()
 		return r.base.TrySame(tctx, i, j)
@@ -466,7 +526,7 @@ func (r *Resilient) admit() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.state == BreakerOpen {
-		if time.Since(r.openedAt) < r.cfg.cooldown() {
+		if time.Since(r.openedAt) < r.config().cooldown() {
 			return ErrUnavailable
 		}
 		r.state = BreakerHalfOpen
@@ -474,10 +534,11 @@ func (r *Resilient) admit() error {
 	return nil
 }
 
-// succeed records a successful ask.
+// succeed records a successful ask, releasing any claimed probe slot.
 func (r *Resilient) succeed() {
 	r.mu.Lock()
 	r.fails = 0
+	r.probeAt = time.Time{}
 	if r.state == BreakerHalfOpen {
 		r.state = BreakerClosed
 	}
@@ -491,6 +552,7 @@ func (r *Resilient) fail(err error) {
 	r.failures.Add(1)
 	r.mu.Lock()
 	r.lastErr = err
+	r.probeAt = time.Time{}
 	tripped := false
 	switch r.state {
 	case BreakerHalfOpen:
@@ -498,7 +560,7 @@ func (r *Resilient) fail(err error) {
 		r.openedAt = time.Now()
 		tripped = true
 	case BreakerClosed:
-		if th := r.cfg.threshold(); th > 0 {
+		if th := r.config().threshold(); th > 0 {
 			if r.fails++; r.fails >= th {
 				r.state = BreakerOpen
 				r.openedAt = time.Now()
@@ -520,8 +582,8 @@ func (r *Resilient) fail(err error) {
 // waitBackoff sleeps the jittered exponential backoff before retry
 // number try (1-based), interruptible by ctx.
 func (r *Resilient) waitBackoff(ctx context.Context, try int) error {
-	d := r.cfg.backoff() << (try - 1)
-	if mx := r.cfg.maxBackoff(); d > mx || d <= 0 {
+	d := r.config().backoff() << (try - 1)
+	if mx := r.config().maxBackoff(); d > mx || d <= 0 {
 		d = mx
 	}
 	r.mu.Lock()
@@ -544,8 +606,8 @@ func (r *Resilient) lifetime() context.Context {
 	if b := r.bound.Load(); b != nil {
 		return b.ctx
 	}
-	if r.cfg.Ctx != nil {
-		return r.cfg.Ctx
+	if r.config().Ctx != nil {
+		return r.config().Ctx
 	}
 	//ecsort:ignore ctxflow contract fallback: an unbound Resilient is documented as never-canceled
 	return context.Background()

@@ -375,9 +375,39 @@ func (s *Service) applyRecord(sh *shard, rec wal.Record) error {
 		if c.srt.Pending() > 0 {
 			sh.dirty[c] = struct{}{}
 		}
+	case wal.RecResilience:
+		c, ok := sh.cols[rec.Key]
+		if !ok {
+			return fmt.Errorf("resilience update for %q: no such collection", rec.Key)
+		}
+		var rs ResilienceSpec
+		if err := json.Unmarshal(rec.Spec, &rs); err != nil {
+			return fmt.Errorf("resilience update for %q: undecodable spec: %v", rec.Key, err)
+		}
+		if err := s.applyResilience(c, rs); err != nil {
+			return fmt.Errorf("resilience update for %q: %v", rec.Key, err)
+		}
 	default:
 		return fmt.Errorf("unknown record type %d", rec.Type)
 	}
+	return nil
+}
+
+// applyResilience installs rs as c's live resilience profile: the spec
+// (so checkpoints persist the new profile) and the middleware's tuning
+// (breaker history preserved — see oracle.Resilient.UpdateConfig). Runs
+// on the owning shard goroutine only, from the live update op or replay.
+//
+//ecsort:shard-goroutine
+func (s *Service) applyResilience(c *collection, rs ResilienceSpec) error {
+	if c.res == nil {
+		return fmt.Errorf("%w: collection has no resilience middleware to retune (create it with a resilience or faults profile)", ErrBadSpec)
+	}
+	rsCopy := rs
+	c.spec.Resilience = &rsCopy
+	rcfg := rsCopy.config()
+	rcfg.Ctx = s.ctx
+	c.res.UpdateConfig(rcfg)
 	return nil
 }
 

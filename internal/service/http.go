@@ -29,6 +29,7 @@ import (
 //	GET    /v1/collections/{key}/classes/{element}  one element's class (O(1) index lookup; ?fresh=1 flushes first)
 //	POST   /v1/collections/{key}/classes/{class}/invalidate  withdraw a class for re-verification (?flush=1 re-folds now)
 //	GET    /v1/collections/{key}/stats   per-collection counters + snapshot
+//	PATCH  /v1/collections/{key}/resilience  live-update the resilience profile (body: ResilienceSpec)
 //	GET    /healthz                      liveness (also /healthz/live)
 //	GET    /healthz/ready                readiness: 503 while any collection is degraded or recovery failed
 //	GET    /metrics                      Prometheus-style text metrics
@@ -53,6 +54,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/collections/{key}/classes/{element}", s.handleClassOf)
 	mux.HandleFunc("POST /v1/collections/{key}/classes/{class}/invalidate", s.handleInvalidate)
 	mux.HandleFunc("GET /v1/collections/{key}/stats", s.handleStats)
+	mux.HandleFunc("PATCH /v1/collections/{key}/resilience", s.handleUpdateResilience)
 	return mux
 }
 
@@ -290,6 +292,23 @@ func (s *Service) handleClassOf(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, view)
+}
+
+// handleUpdateResilience live-updates a collection's resilience profile
+// — votes, timeouts, breaker tuning — without recreating it. The update
+// is WAL-logged, so it survives a restart.
+func (s *Service) handleUpdateResilience(w http.ResponseWriter, r *http.Request) {
+	var rs ResilienceSpec
+	if err := decodeBody(r, &rs); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	key := r.PathValue("key")
+	if err := s.UpdateResilience(key, rs); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"key": key, "resilience": rs})
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {

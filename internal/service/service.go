@@ -284,6 +284,20 @@ func (c *collection) degraded() (time.Duration, bool) {
 	return 0, false
 }
 
+// admitWrite is the fold-triggering write gate: like degraded, but in
+// half-open it claims the breaker's single probe-write slot — one write
+// per cooldown is admitted (and must fold, so the oracle is actually
+// probed) while the rest stay rejected until the probe settles. This is
+// how write-only workloads recover: without it no ask is ever issued
+// and the breaker can never re-close. Returns (retryAfter, probe,
+// admitted).
+func (c *collection) admitWrite() (time.Duration, bool, bool) {
+	if c.res == nil {
+		return 0, false, true
+	}
+	return c.res.AdmitWrite()
+}
+
 // publish rebuilds the snapshot from the sorter. Shard goroutine only.
 // The sorter's flat answer is copied with one memmove; classes become
 // views into that copy, so publication costs a handful of allocations
@@ -856,6 +870,51 @@ func (s *Service) DropCollection(key string) error {
 	})
 }
 
+// UpdateResilience replaces key's resilience profile in place — a live
+// retune of votes, timeouts, and breaker settings without recreating
+// the collection (the profile is otherwise frozen at create time). Only
+// collections built with the middleware (a faults or resilience profile
+// in their spec) can be retuned: the middleware cannot be retrofitted
+// onto a bare oracle, so others reject with ErrBadSpec. The update is
+// WAL-logged before it applies and the checkpointed spec carries it, so
+// a recovered collection runs with the profile the operator last set.
+// Breaker position and failure history survive the update.
+func (s *Service) UpdateResilience(key string, rs ResilienceSpec) error {
+	if err := rs.validate(); err != nil {
+		return err
+	}
+	sh := s.shardOf(key)
+	c, err := sh.lookup(key)
+	if err != nil {
+		return err
+	}
+	var specJSON []byte
+	if s.cfg.DataDir != "" {
+		if specJSON, err = json.Marshal(&rs); err != nil {
+			return fmt.Errorf("%w: unencodable resilience spec: %v", ErrBadSpec, err)
+		}
+	}
+	return s.do(sh, func() error {
+		if cur, lookupErr := sh.lookup(key); lookupErr != nil {
+			return lookupErr
+		} else if cur != c {
+			return fmt.Errorf("%w: %q was recreated mid-update", ErrNotFound, key)
+		}
+		if c.res == nil {
+			return fmt.Errorf("%w: %q has no resilience middleware to retune (create it with a resilience or faults profile)", ErrBadSpec, key)
+		}
+		if sh.wal != nil {
+			if err := sh.wal.AppendResilience(key, specJSON); err != nil {
+				return err
+			}
+			if err := sh.wal.Commit(); err != nil {
+				return err
+			}
+		}
+		return s.applyResilience(c, rs)
+	})
+}
+
 // Ingest buffers a batch of element ids into key's collection and flushes
 // per the batching policy (always when forceFlush is set, when the
 // pending buffer reaches Config.BatchSize, or — with BatchSize 0 — at the
@@ -877,7 +936,8 @@ func (s *Service) Ingest(key string, items []int, forceFlush bool) (IngestResult
 		} else if cur != c {
 			return fmt.Errorf("%w: %q was recreated mid-ingest", ErrNotFound, key)
 		}
-		if ra, bad := c.degraded(); bad {
+		ra, probe, admitted := c.admitWrite()
+		if !admitted {
 			// Read-only mode: accepting the batch would either wedge on
 			// the dead oracle at fold time or silently defer work the
 			// client believes accepted. Reject with the cooldown.
@@ -906,7 +966,10 @@ func (s *Service) Ingest(key string, items []int, forceFlush bool) (IngestResult
 		c.ingested.Add(int64(len(items)))
 		c.batches.Add(1)
 		res.Accepted = len(items)
-		flush := forceFlush || s.cfg.BatchSize <= 0 || c.srt.Pending() >= s.cfg.BatchSize
+		// A probe write must fold now: buffering it would claim the
+		// half-open slot without ever asking the oracle, and nothing
+		// would learn whether the backend healed.
+		flush := forceFlush || probe || s.cfg.BatchSize <= 0 || c.srt.Pending() >= s.cfg.BatchSize
 		if flush && c.srt.Pending() > 0 {
 			if err := s.fold(sh, c); err != nil {
 				// A failed fold is live now that batch regimens can fail
@@ -962,7 +1025,7 @@ func (s *Service) Flush(key string) (*Snapshot, error) {
 		} else if cur != c {
 			return fmt.Errorf("%w: %q was recreated mid-flush", ErrNotFound, key)
 		}
-		if ra, bad := c.degraded(); bad {
+		if ra, _, admitted := c.admitWrite(); !admitted {
 			return &DegradedError{Key: key, RetryAfter: ra}
 		}
 		if c.srt.Pending() == 0 {

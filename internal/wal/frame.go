@@ -1,0 +1,89 @@
+package wal
+
+// Frame and header primitives, exported for reuse as a wire format.
+// The WAL's on-disk framing — a 16-byte magic/version header followed
+// by [length u32][CRC32-C u32][payload] frames — is deliberately
+// self-contained (this package imports no project code), so the cluster
+// transport (internal/cluster) speaks the same frames over TCP: same
+// integrity rules, same versioning discipline, one codec to audit.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// HeaderSize is the fixed size of a stream or file header produced by
+// NewHeader: magic[4] version[u16] reserved[u16] tag[u64].
+const HeaderSize = headerSize
+
+// NewHeader renders a 16-byte header: a 4-byte magic, a little-endian
+// version, two reserved zero bytes, and a caller-defined u64 tag
+// (segment files store their generation there; stream handshakes may
+// use 0).
+func NewHeader(magic string, version uint16, tag uint64) [HeaderSize]byte {
+	var hdr [HeaderSize]byte
+	copy(hdr[:4], magic)
+	binary.LittleEndian.PutUint16(hdr[4:6], version)
+	binary.LittleEndian.PutUint64(hdr[8:16], tag)
+	return hdr
+}
+
+// VerifyHeader checks a header's magic and exact version, mirroring the
+// segment reader's reject-unknown discipline: a version this build does
+// not speak is an error, never something to skip past.
+func VerifyHeader(hdr [HeaderSize]byte, magic string, version uint16) error {
+	if string(hdr[:4]) != magic {
+		return fmt.Errorf("%w: bad magic %q (want %q)", ErrCorrupt, hdr[:4], magic)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != version {
+		return fmt.Errorf("%w: format version %d unsupported (this build speaks version %d)", ErrCorrupt, v, version)
+	}
+	return nil
+}
+
+// AppendFrame appends one framed payload — [len u32][CRC32-C u32] then
+// the payload bytes — to dst and returns the extended slice, allocating
+// only when dst lacks capacity (pass the previous call's return value
+// to amortize, exactly like Log's reusable encode buffer).
+func AppendFrame(dst, payload []byte) []byte {
+	var frame [frameOverhead]byte
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, frame[:]...)
+	return append(dst, payload...)
+}
+
+// ReadFrame reads one frame from r, reusing buf when it has capacity,
+// and returns the CRC-validated payload. Integrity failures — an
+// impossible length, a checksum mismatch — return ErrCorrupt-wrapped
+// errors: on a live connection they mean the peer (or the path) is
+// damaged, and the caller must drop the connection rather than resync.
+// A clean EOF before any frame byte returns io.EOF; an EOF mid-frame
+// returns io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var frame [frameOverhead]byte
+	if _, err := io.ReadFull(r, frame[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, io.ErrUnexpectedEOF
+	}
+	length := binary.LittleEndian.Uint32(frame[0:4])
+	wantCRC := binary.LittleEndian.Uint32(frame[4:8])
+	if length == 0 || length > maxRecordSize {
+		return nil, fmt.Errorf("%w: impossible frame length %d", ErrCorrupt, length)
+	}
+	if cap(buf) < int(length) {
+		buf = make([]byte, length)
+	}
+	buf = buf[:length]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, io.ErrUnexpectedEOF
+	}
+	if got := crc32.Checksum(buf, castagnoli); got != wantCRC {
+		return nil, fmt.Errorf("%w: frame CRC mismatch: got %#08x, want %#08x", ErrCorrupt, got, wantCRC)
+	}
+	return buf, nil
+}

@@ -11,11 +11,12 @@ import (
 // Record is one decoded WAL record handed to the replay callback.
 type Record struct {
 	// Type is one of RecCreate, RecDrop, RecBatch, RecFlush, RecDelete,
-	// RecInvalidate.
+	// RecInvalidate, RecResilience.
 	Type byte
 	// Key is the collection the record applies to.
 	Key string
-	// Spec is the opaque collection spec (RecCreate only).
+	// Spec is the opaque collection spec (RecCreate) or resilience
+	// profile (RecResilience).
 	Spec []byte
 	// Items is the accepted batch's element ids (RecBatch only).
 	Items []int
@@ -193,7 +194,7 @@ func decodeRecord(p []byte) (Record, error) {
 	}
 	rec.Key = string(key)
 	switch rec.Type {
-	case RecCreate:
+	case RecCreate, RecResilience:
 		spec, rest2, err := decodeBytes(rest, "spec")
 		if err != nil {
 			return Record{}, err

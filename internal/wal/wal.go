@@ -79,6 +79,13 @@ const (
 	// element (not a class index) because element identity is stable
 	// across replay while class ordering is not. Format version 2.
 	RecInvalidate byte = 6
+	// RecResilience updates a collection's resilience profile in place:
+	// key + the new profile's JSON encoding (the service stores
+	// ResilienceSpec JSON). Replay re-applies the update at the same
+	// point in the history, so a recovered collection runs with the
+	// profile the operator last PATCHed, not the one frozen at create
+	// time. Format version 3.
+	RecResilience byte = 7
 )
 
 // Format constants shared by segment and checkpoint files. See
@@ -91,9 +98,10 @@ const (
 	// FormatVersion is the current on-disk format version, stamped into
 	// every segment and checkpoint header. Readers reject other versions,
 	// loudly: version 2 added the RecDelete/RecInvalidate record types,
-	// and a version-1 reader must never skip records it cannot interpret
-	// (see docs/PERSISTENCE.md, "Versioning").
-	FormatVersion = 2
+	// version 3 added RecResilience, and an older reader must never skip
+	// records it cannot interpret (see docs/PERSISTENCE.md,
+	// "Versioning").
+	FormatVersion = 3
 	// headerSize is the fixed size of both file headers:
 	// magic[4] version[u16] reserved[u16] generation[u64].
 	headerSize = 16
@@ -293,6 +301,16 @@ func (l *Log) AppendDelete(key string, elem int) error {
 func (l *Log) AppendInvalidate(key string, elem int) error {
 	p := l.payload(RecInvalidate, key)
 	p = binary.AppendUvarint(p, uint64(elem))
+	return l.appendFrame(p)
+}
+
+// AppendResilience appends a resilience-profile update record: key plus
+// the new profile's opaque encoding (the service stores ResilienceSpec
+// JSON).
+func (l *Log) AppendResilience(key string, spec []byte) error {
+	p := l.payload(RecResilience, key)
+	p = binary.AppendUvarint(p, uint64(len(spec)))
+	p = append(p, spec...)
 	return l.appendFrame(p)
 }
 

@@ -620,3 +620,179 @@ func TestListSorted(t *testing.T) {
 		t.Fatalf("List order: got %v, want %v", got, want)
 	}
 }
+
+// TestEstimateWeightKindMismatch: the estimator sizes its sampling loop
+// by OracleSpec.N(), which is keyed off Kind — so the sampled field must
+// be selected by Kind too. A spec carrying a stray second identity field
+// (valid to the node, which also picks by Kind) used to index the wrong
+// field out of range.
+func TestEstimateWeightKindMismatch(t *testing.T) {
+	states := make([]uint64, 100)
+	for i := range states {
+		states[i] = uint64(i % 7)
+	}
+	// Kind says fault (N = len(States) = 100) but a short Labels field
+	// rides along: sampling must stay inside States.
+	spec := &service.OracleSpec{Kind: service.KindFault, States: states, Labels: []int{7}}
+	if w := estimateWeight(spec); w <= 0 {
+		t.Fatalf("fault spec with stray labels: weight %v, want > 0", w)
+	}
+	// Kind selects a field that is empty: N() is 0, weight 0, no panic.
+	if w := estimateWeight(&service.OracleSpec{Kind: service.KindGraphIso, Labels: []int{1, 2, 3}}); w != 0 {
+		t.Fatalf("graph-iso spec without graphs: weight %v, want 0", w)
+	}
+}
+
+// TestMismatchedSpecCreateDoesNotWedge drives the same shape end to end:
+// the old estimator panicked while CreateCollection held the route lock,
+// wedging every later coordinator request.
+func TestMismatchedSpecCreateDoesNotWedge(t *testing.T) {
+	co, _ := newChanCluster(t, 2, Config{}, service.Config{Shards: 1})
+	ctx := context.Background()
+	states := make([]uint64, 100)
+	mixed := service.OracleSpec{Kind: service.KindFault, States: states, Labels: []int{7}}
+	if _, err := co.CreateCollection(ctx, "mixed", mixed); err != nil {
+		t.Fatalf("create with stray second field: %v", err)
+	}
+	if _, err := co.Ingest(ctx, "mixed", []int{0, 1, 99}, true); err != nil {
+		t.Fatalf("ingest after mixed create: %v", err)
+	}
+	if _, err := co.CreateCollection(ctx, "after", service.OracleSpec{Kind: service.KindLabel, Labels: []int{0, 1}}); err != nil {
+		t.Fatalf("coordinator wedged after mixed create: %v", err)
+	}
+}
+
+// TestNegativeHeavyFactorDisables pins the documented Config contract:
+// a negative HeavyFactor means pure hash placement, never least-loaded.
+func TestNegativeHeavyFactorDisables(t *testing.T) {
+	co := &Coordinator{
+		nodes:       []*nodeClient{{name: "a"}, {name: "b"}, {name: "c"}},
+		heavyFactor: -1,
+		load:        []float64{100, 10, 100},
+		routes:      map[string]route{},
+	}
+	for _, key := range []string{"a", "b", "c", "heavy"} {
+		if got, want := co.place(key, 1e12), hashSlot(key, 3); got != want {
+			t.Fatalf("disabled heavy placement of %q: got %d, want hash slot %d", key, got, want)
+		}
+	}
+	if co.HeavyPlacements() != 0 {
+		t.Fatalf("heavy placements counted while disabled: %d", co.HeavyPlacements())
+	}
+}
+
+// ctxErrTransport surfaces caller-context failures the way both real
+// transports do: as a transport-level error wrapping ctx.Err().
+type ctxErrTransport struct{ inner Transport }
+
+func (t *ctxErrTransport) Call(ctx context.Context, req []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("cluster: test transport: %w", err)
+	}
+	return t.inner.Call(ctx, req)
+}
+
+func (t *ctxErrTransport) Close() error { return t.inner.Close() }
+
+// TestCallerCtxErrorKeepsNodeUp: a canceled caller context must surface
+// as the context error, not mark the node down — one impatient client
+// must not 503 the node's collections for everyone else.
+func TestCallerCtxErrorKeepsNodeUp(t *testing.T) {
+	svc := service.New(service.Config{Shards: 1})
+	defer svc.Close()
+	node := NewNode(svc)
+	node.SetLogger(testLogf(t))
+	co, err := New(Config{}, []Backend{{Name: "n", Transport: &ctxErrTransport{inner: NewChanTransport(node)}}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer co.Close()
+	ctx := context.Background()
+	if _, err := co.CreateCollection(ctx, "x", service.OracleSpec{Kind: service.KindLabel, Labels: []int{0, 0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	_, err = co.Ingest(canceled, "x", []int{0}, false)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled ingest: got %v, want context.Canceled", err)
+	}
+	var de *service.DegradedError
+	if errors.As(err, &de) {
+		t.Fatalf("caller cancellation misreported as degraded: %v", err)
+	}
+	// No cooldown: the very next call must reach the node.
+	if _, err := co.Ingest(ctx, "x", []int{0, 1, 2}, true); err != nil {
+		t.Fatalf("node marked down by caller cancellation: %v", err)
+	}
+	if st := co.Health(ctx); !st[0].Up {
+		t.Fatalf("health down after caller cancellation: %+v", st[0])
+	}
+}
+
+// TestCreateRollbackOnFailure: a create the node rejects must free its
+// reserved route so the key can be created again.
+func TestCreateRollbackOnFailure(t *testing.T) {
+	co, _ := newChanCluster(t, 2, Config{}, service.Config{Shards: 1})
+	ctx := context.Background()
+	// Kind fault with no states: N() = 0, node rejects with 400.
+	if _, err := co.CreateCollection(ctx, "k", service.OracleSpec{Kind: service.KindFault}); err == nil {
+		t.Fatal("empty-universe spec accepted")
+	}
+	if _, err := co.Stats(ctx, "k"); !errors.Is(err, service.ErrNotFound) {
+		t.Fatalf("failed create left a route behind: %v", err)
+	}
+	// The key is placeable again with a corrected spec.
+	if _, err := co.CreateCollection(ctx, "k", service.OracleSpec{Kind: service.KindFault, States: []uint64{1, 2, 2}}); err != nil {
+		t.Fatalf("re-create after rollback: %v", err)
+	}
+	if _, err := co.Ingest(ctx, "k", []int{0, 1, 2}, true); err != nil {
+		t.Fatalf("ingest after re-create: %v", err)
+	}
+}
+
+// TestConcurrentCreateSingleOwner: concurrent creates of one key must
+// converge on a single node — the route is reserved before the remote
+// create, so latecomers forward to the same owner (and get its 409)
+// instead of re-running placement against shifted load.
+func TestConcurrentCreateSingleOwner(t *testing.T) {
+	co, svcs := newChanCluster(t, 2, Config{}, service.Config{Shards: 1})
+	ctx := context.Background()
+	labels := make([]int, 50_000) // heavy enough to trigger least-loaded placement
+	const racers = 8
+	errs := make(chan error, racers)
+	for i := 0; i < racers; i++ {
+		go func() {
+			_, err := co.CreateCollection(ctx, "raced", service.OracleSpec{Kind: service.KindLabel, Labels: labels})
+			errs <- err
+		}()
+	}
+	okCount := 0
+	for i := 0; i < racers; i++ {
+		if err := <-errs; err == nil {
+			okCount++
+		} else {
+			var re *RemoteError
+			if !errors.As(err, &re) || re.Status != 409 {
+				t.Fatalf("raced create: got %v, want nil or RemoteError 409", err)
+			}
+		}
+	}
+	if okCount != 1 {
+		t.Fatalf("raced create succeeded %d times, want exactly 1", okCount)
+	}
+	owners := 0
+	for i, svc := range svcs {
+		for _, info := range svc.Collections() {
+			if info.Key == "raced" {
+				owners++
+				if node, err := co.owner("raced"); err != nil || node != i {
+					t.Fatalf("route (node %d, err %v) disagrees with owner node %d", node, err, i)
+				}
+			}
+		}
+	}
+	if owners != 1 {
+		t.Fatalf("collection exists on %d nodes, want exactly 1", owners)
+	}
+}

@@ -204,6 +204,15 @@ func (co *Coordinator) call(ctx context.Context, idx int, o op, key string, body
 	nc.routed.Add(1)
 	resp, err := nc.t.Call(ctx, encodeRequest(nil, o, key, body))
 	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			// The caller's own context was canceled or hit its deadline
+			// mid-call (a client disconnect, a short client timeout).
+			// That says nothing about the node's health: surface the
+			// context error without marking the node down, or one
+			// impatient client would 503 the node's collections for
+			// every other client for the whole cooldown.
+			return nil, ctxErr
+		}
 		nc.markDown(err, co.cfg.downCooldown())
 		return nil, &service.DegradedError{Key: key, RetryAfter: co.cfg.downCooldown()}
 	}
@@ -236,35 +245,56 @@ func (co *Coordinator) CreateCollection(ctx context.Context, key string, spec se
 	if key == "" {
 		return info, fmt.Errorf("%w: empty collection key", service.ErrBadSpec)
 	}
-	co.mu.Lock()
-	idx, routed := 0, false
-	if r, ok := co.routes[key]; ok {
-		// Already placed: forward and let the owner answer (409).
-		idx, routed = r.node, true
-	} else {
-		idx = co.place(key, estimateWeight(&spec))
-	}
-	co.mu.Unlock()
-
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return info, fmt.Errorf("%w: unencodable spec: %v", service.ErrBadSpec, err)
 	}
+	// Estimate outside the lock: sampling scales with the sample budget,
+	// not the universe, but it still has no business inside the route
+	// lock's critical section.
+	weight := estimateWeight(&spec)
+	co.mu.Lock()
+	idx, reserved := 0, false
+	if r, ok := co.routes[key]; ok {
+		// Already placed (or reserved by a concurrent create): forward
+		// and let the owner answer (409 if it truly exists).
+		idx = r.node
+	} else {
+		idx = co.place(key, weight)
+		// Reserve the route before the remote create so a concurrent
+		// create for the same key forwards to this same node instead of
+		// re-running place() against shifted load and planting a second,
+		// silently orphaned copy elsewhere.
+		co.routes[key] = route{node: idx, weight: weight}
+		co.load[idx] += weight
+		reserved = true
+	}
+	co.mu.Unlock()
+
 	out, err := co.call(ctx, idx, opCreate, key, body)
 	if err != nil {
+		if reserved {
+			// Keep the reservation on a 409: the collection exists on
+			// that node (a concurrent create won), so the route is
+			// correct. Anything else means the create did not take —
+			// roll the reservation back so the key can be placed again.
+			var re *RemoteError
+			if !errors.As(err, &re) || re.Status != 409 {
+				co.mu.Lock()
+				if r, ok := co.routes[key]; ok && r.node == idx {
+					co.load[idx] -= r.weight
+					if co.load[idx] < 0 {
+						co.load[idx] = 0
+					}
+					delete(co.routes, key)
+				}
+				co.mu.Unlock()
+			}
+		}
 		return info, err
 	}
 	if err := json.Unmarshal(out, &info); err != nil {
 		return info, fmt.Errorf("cluster: node %s: undecodable create response: %w", co.nodes[idx].name, err)
-	}
-	if !routed {
-		w := estimateWeight(&spec)
-		co.mu.Lock()
-		if _, raced := co.routes[key]; !raced {
-			co.routes[key] = route{node: idx, weight: w}
-			co.load[idx] += w
-		}
-		co.mu.Unlock()
 	}
 	return info, nil
 }

@@ -61,13 +61,25 @@ func estimateWeight(spec *service.OracleSpec) float64 {
 		// front-loading in a way a prefix scan is not.
 		i := s * n / samples
 		var id uint64
-		switch {
-		case len(spec.Labels) > 0:
-			id = uint64(spec.Labels[i])
-		case len(spec.States) > 0:
-			id = spec.States[i]
-		case len(spec.Graphs) > 0:
-			id = graphSignature(&spec.Graphs[i])
+		// The sampled field must be the one N() is keyed off — selected
+		// by Kind, exactly mirroring OracleSpec.N() — or a spec carrying
+		// a stray second field would be indexed past the field that
+		// actually sized the loop. The bounds guard makes a malformed
+		// spec score conservatively instead of panicking; Build rejects
+		// it downstream either way.
+		switch spec.Kind {
+		case service.KindFault, service.KindFaultAgents:
+			if i < len(spec.States) {
+				id = spec.States[i]
+			}
+		case service.KindGraphIso:
+			if i < len(spec.Graphs) {
+				id = graphSignature(&spec.Graphs[i])
+			}
+		default:
+			if i < len(spec.Labels) {
+				id = uint64(spec.Labels[i])
+			}
 		}
 		if ids[id]++; ids[id] > top {
 			top = ids[id]
@@ -106,6 +118,10 @@ func graphSignature(g *service.GraphSpec) uint64 {
 func (co *Coordinator) place(key string, weight float64) int {
 	nodes := len(co.nodes)
 	slot := hashSlot(key, nodes)
+	if co.heavyFactor < 0 {
+		// Heavy placement disabled: pure hash routing, never least-loaded.
+		return slot
+	}
 	var total float64
 	for _, l := range co.load {
 		total += l

@@ -142,9 +142,23 @@ func (s *Service) checkMeta() error {
 	if err := json.Unmarshal(b, &m); err != nil {
 		return fmt.Errorf("%w: %s: %v", wal.ErrCorrupt, path, err)
 	}
-	if m.FormatVersion != wal.FormatVersion {
-		return fmt.Errorf("service: data directory %s uses format version %d; this build reads version %d",
-			s.cfg.DataDir, m.FormatVersion, wal.FormatVersion)
+	if m.FormatVersion < wal.MinFormatVersion || m.FormatVersion > wal.FormatVersion {
+		return fmt.Errorf("service: data directory %s uses format version %d; this build reads versions %d through %d",
+			s.cfg.DataDir, m.FormatVersion, wal.MinFormatVersion, wal.FormatVersion)
+	}
+	if m.FormatVersion < wal.FormatVersion {
+		// Readable older directory: restamp to the current version now
+		// that this build will write current-version segments and
+		// checkpoints into it, so a later downgrade fails here — at the
+		// meta file, with a clear message — instead of mid-replay on an
+		// unreadable newer segment header.
+		b, err := json.Marshal(dirMeta{FormatVersion: wal.FormatVersion, Shards: m.Shards})
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			return fmt.Errorf("service: restamp data directory: %w", err)
+		}
 	}
 	if m.Shards != len(s.shards) {
 		return fmt.Errorf("service: data directory %s was written with %d shards but the service is configured with %d; "+

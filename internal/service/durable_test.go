@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"math/rand"
 	"net/http/httptest"
@@ -484,5 +485,57 @@ func TestMemoryOnlyCheckpointNoop(t *testing.T) {
 	defer svc.Close()
 	if err := svc.Checkpoint(); err != nil {
 		t.Fatalf("memory-only Checkpoint: %v", err)
+	}
+}
+
+// TestMetaVersionUpgrade: a data directory stamped with the previous
+// (still-readable) format version opens cleanly, recovers its
+// collections, and is restamped to the current version so a later
+// downgrade fails at the meta check. Versions below the readable floor
+// still refuse to open.
+func TestMetaVersionUpgrade(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Shards: 2, DataDir: dir, Fsync: "never"}
+	svc, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.CreateCollection("k", OracleSpec{Kind: KindLabel, Labels: []int{0, 0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Ingest("k", []int{0, 1, 2}, true); err != nil {
+		t.Fatal(err)
+	}
+	svc.Close()
+
+	path := filepath.Join(dir, metaName)
+	if err := os.WriteFile(path, []byte(`{"format_version": 2, "shards": 2}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	revived, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("open v2-stamped directory: %v", err)
+	}
+	if _, err := revived.CollectionStats("k"); err != nil {
+		t.Fatalf("collection lost across version upgrade: %v", err)
+	}
+	revived.Close()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m dirMeta
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.FormatVersion != wal.FormatVersion || m.Shards != 2 {
+		t.Fatalf("meta not restamped after upgrade: %+v", m)
+	}
+
+	if err := os.WriteFile(path, []byte(`{"format_version": 1, "shards": 2}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(cfg); err == nil {
+		t.Fatal("format version below the readable floor accepted")
 	}
 }

@@ -96,12 +96,18 @@ const (
 	// snapMagic opens every checkpoint file.
 	snapMagic = "ECSS"
 	// FormatVersion is the current on-disk format version, stamped into
-	// every segment and checkpoint header. Readers reject other versions,
-	// loudly: version 2 added the RecDelete/RecInvalidate record types,
-	// version 3 added RecResilience, and an older reader must never skip
-	// records it cannot interpret (see docs/PERSISTENCE.md,
-	// "Versioning").
+	// every header this build writes: version 2 added the
+	// RecDelete/RecInvalidate record types, version 3 added
+	// RecResilience (see docs/PERSISTENCE.md, "Versioning").
 	FormatVersion = 3
+	// MinFormatVersion is the oldest version this build still reads.
+	// v3 is a strict superset of v2 — one new record type, no existing
+	// record or checkpoint layout changed — so v2 segments and
+	// checkpoints replay as-is and an upgraded node recovers its old
+	// data. Versions below the floor, or above FormatVersion, are
+	// rejected loudly: a reader must never skip records it cannot
+	// interpret.
+	MinFormatVersion = 2
 	// headerSize is the fixed size of both file headers:
 	// magic[4] version[u16] reserved[u16] generation[u64].
 	headerSize = 16
@@ -238,12 +244,14 @@ func OpenAppend(dir string, gen uint64, opts Options) (*Log, error) {
 }
 
 // checkHeader validates a 16-byte file header's magic and version.
+// Versions inside [MinFormatVersion, FormatVersion] are readable; new
+// files are always written at FormatVersion.
 func checkHeader(hdr [headerSize]byte, magic string) error {
 	if string(hdr[:4]) != magic {
 		return fmt.Errorf("bad magic %q (want %q)", hdr[:4], magic)
 	}
-	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != FormatVersion {
-		return fmt.Errorf("format version %d unsupported (this build reads version %d)", v, FormatVersion)
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v < MinFormatVersion || v > FormatVersion {
+		return fmt.Errorf("format version %d unsupported (this build reads versions %d through %d)", v, MinFormatVersion, FormatVersion)
 	}
 	return nil
 }

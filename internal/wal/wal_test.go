@@ -386,3 +386,72 @@ func TestOpenAppendRejectsWrongGen(t *testing.T) {
 		t.Fatalf("OpenAppend with mismatched generation: %v, want ErrCorrupt", err)
 	}
 }
+
+// TestFormatVersionWindow: files stamped inside [MinFormatVersion,
+// FormatVersion] are readable (v3 only added a record type over v2, so
+// an upgraded node must still recover its v2 data); anything outside
+// the window is rejected as corruption.
+func TestFormatVersionWindow(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Create(dir, 1, Options{Policy: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendCreate("k", []byte(`{"kind":"label"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendBatch("k", []int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segPath := filepath.Join(dir, SegmentName(1))
+	stamp := func(path string, v uint16) {
+		t.Helper()
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[4], b[5] = byte(v), byte(v>>8)
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	replayCount := func() (int, error) {
+		n := 0
+		_, err := Replay(dir, 0, func(Record) error { n++; return nil })
+		return n, err
+	}
+
+	stamp(segPath, MinFormatVersion)
+	if n, err := replayCount(); err != nil || n != 2 {
+		t.Fatalf("v%d segment replay: %d records, err %v; want 2, nil", MinFormatVersion, n, err)
+	}
+	for _, v := range []uint16{MinFormatVersion - 1, FormatVersion + 1} {
+		stamp(segPath, v)
+		if _, err := replayCount(); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("v%d segment: got %v, want ErrCorrupt", v, err)
+		}
+	}
+	stamp(segPath, FormatVersion) // restore for the checkpoint half
+
+	// Checkpoints share the header check and the same window.
+	cp := &Checkpoint{WALGen: 2, Collections: []CollectionState{{Key: "k", Spec: []byte(`{}`)}}}
+	if err := WriteCheckpoint(dir, cp); err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(dir, SnapshotName)
+	stamp(snapPath, MinFormatVersion)
+	got, ok, err := ReadCheckpoint(dir)
+	if err != nil || !ok {
+		t.Fatalf("v%d checkpoint read: ok=%v err=%v", MinFormatVersion, ok, err)
+	}
+	if got.WALGen != 2 || len(got.Collections) != 1 || got.Collections[0].Key != "k" {
+		t.Fatalf("v%d checkpoint decoded wrong: %+v", MinFormatVersion, got)
+	}
+	stamp(snapPath, FormatVersion+1)
+	if _, _, err := ReadCheckpoint(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("v%d checkpoint: got %v, want ErrCorrupt", FormatVersion+1, err)
+	}
+}
